@@ -1,0 +1,337 @@
+// Package busprefetch reproduces Tullsen & Eggers, "Limitations of Cache
+// Prefetching on a Bus-Based Multiprocessor" (ISCA 1993): a trace-driven
+// simulation study of compiler-directed cache prefetching on a bus-based
+// shared-memory multiprocessor.
+//
+// The package is the public facade over the full system:
+//
+//   - five synthetic parallel workloads standing in for the paper's traced
+//     programs (Topopt, Mp3d, LocusRoute, Pverify, Water);
+//   - an offline oracle prefetch inserter implementing the paper's five
+//     disciplines (NP, PREF, EXCL, LPD, PWS);
+//   - a cycle-based multiprocessor simulator with Illinois-protocol caches,
+//     a contended split-transaction bus, lockup-free prefetching, and
+//     lock/barrier-aware trace replay;
+//   - the paper's full metric set: execution time, total / CPU / adjusted
+//     miss rates, the Figure 3 miss-component taxonomy, false sharing, bus
+//     and processor utilization.
+//
+// # Quick start
+//
+//	m, err := busprefetch.Run(busprefetch.RunSpec{
+//		Workload: "mp3d",
+//		Strategy: "PREF",
+//		Transfer: 8,
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("CPU miss rate %.4f, bus utilization %.2f\n",
+//		m.CPUMissRate, m.BusUtilization)
+//
+// Compare strategies the way the paper does (execution time relative to no
+// prefetching on the same architecture) with Compare.
+package busprefetch
+
+import (
+	"fmt"
+
+	"busprefetch/internal/memory"
+	"busprefetch/internal/prefetch"
+	"busprefetch/internal/sim"
+	"busprefetch/internal/trace"
+	"busprefetch/internal/workload"
+)
+
+// Strategies lists the paper's five prefetch disciplines in presentation
+// order: "NP", "PREF", "EXCL", "LPD", "PWS".
+func Strategies() []string {
+	var out []string
+	for _, s := range prefetch.Strategies() {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// WorkloadInfo describes one of the five workloads (the paper's Table 1).
+type WorkloadInfo struct {
+	// Name is the canonical workload name ("topopt", "mp3d", "locus",
+	// "pverify", "water").
+	Name string
+	// Description is a one-line summary.
+	Description string
+	// DefaultProcs is the process count used when RunSpec.Procs is zero.
+	DefaultProcs int
+}
+
+// Workloads lists the five workloads in the paper's order.
+func Workloads() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, w := range workload.All() {
+		out = append(out, WorkloadInfo{Name: w.Name, Description: w.Description, DefaultProcs: w.DefaultProcs})
+	}
+	return out
+}
+
+// RunSpec configures one simulation.
+type RunSpec struct {
+	// Workload is one of the names returned by Workloads. Required.
+	Workload string
+	// Strategy is one of "NP", "PREF", "EXCL", "LPD", "PWS" (case
+	// insensitive). Empty means NP.
+	Strategy string
+	// Transfer is the contended data-transfer latency in cycles (the paper
+	// sweeps 4-32). Zero selects 8.
+	Transfer int
+	// MemLatency is the total memory latency in cycles; zero selects the
+	// paper's 100.
+	MemLatency int
+	// Procs overrides the workload's process count (0 = default).
+	Procs int
+	// Scale multiplies trace length (0 = 1.0, roughly 10^5 references per
+	// process).
+	Scale float64
+	// Seed seeds the deterministic workload generator (0 = 1).
+	Seed int64
+	// Restructured uses the false-sharing-restructured data layout
+	// (meaningful for topopt and pverify, the programs the paper
+	// restructures).
+	Restructured bool
+	// Distance overrides the prefetch distance in estimated CPU cycles
+	// (0 = the strategy default: 100, or 400 for LPD).
+	Distance int
+	// CacheKB and LineBytes override the cache geometry (0 = the paper's
+	// 32 KB direct-mapped cache with 32-byte lines).
+	CacheKB   int
+	LineBytes int
+	// Protocol selects the coherence protocol: "illinois" (default, the
+	// paper's) or "msi" (the ablation without the private-clean state).
+	Protocol string
+	// VictimCacheLines adds a fully-associative victim cache of that many
+	// lines behind each data cache (0 = none) — the paper's §4.3
+	// suggestion for prefetch-induced conflict misses.
+	VictimCacheLines int
+	// BufferPrefetch routes prefetches into a non-snooping FIFO buffer
+	// instead of the cache (the §3.1 alternative the paper rejects).
+	// Write-shared lines are automatically excluded from prefetching, as
+	// the buffer's correctness requires.
+	BufferPrefetch bool
+}
+
+func (s RunSpec) normalize() (RunSpec, error) {
+	if s.Workload == "" {
+		return s, fmt.Errorf("busprefetch: RunSpec.Workload is required")
+	}
+	if s.Strategy == "" {
+		s.Strategy = "NP"
+	}
+	if s.Transfer == 0 {
+		s.Transfer = 8
+	}
+	if s.MemLatency == 0 {
+		s.MemLatency = 100
+	}
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.CacheKB == 0 {
+		s.CacheKB = 32
+	}
+	if s.LineBytes == 0 {
+		s.LineBytes = 32
+	}
+	return s, nil
+}
+
+// MissComponents is the paper's Figure 3 taxonomy, as rates per demand
+// reference.
+type MissComponents struct {
+	NonSharingNotPrefetched   float64
+	NonSharingPrefetched      float64
+	InvalidationNotPrefetched float64
+	InvalidationPrefetched    float64
+	PrefetchInProgress        float64
+}
+
+// Metrics is the outcome of one simulation, exposing every metric the paper
+// reports.
+type Metrics struct {
+	// Workload, Strategy and Transfer echo the spec.
+	Workload string
+	Strategy string
+	Transfer int
+
+	// Cycles is the parallel execution time in CPU cycles.
+	Cycles uint64
+	// DemandRefs is the number of demand references (miss-rate denominator).
+	DemandRefs uint64
+
+	// CPUMissRate counts all demand misses (including prefetch-in-progress)
+	// per demand reference. AdjustedCPUMissRate excludes prefetch-in-
+	// progress; TotalMissRate counts every memory fetch, demand or prefetch.
+	CPUMissRate         float64
+	AdjustedCPUMissRate float64
+	TotalMissRate       float64
+
+	// InvalidationMissRate and FalseSharingMissRate follow the paper's
+	// Table 3 definitions.
+	InvalidationMissRate float64
+	FalseSharingMissRate float64
+
+	// Components is the Figure 3 breakdown.
+	Components MissComponents
+
+	// BusUtilization is the contended resource's busy fraction;
+	// ProcessorUtilization is the mean CPU busy fraction.
+	BusUtilization       float64
+	ProcessorUtilization float64
+
+	// PrefetchesIssued counts prefetch instructions executed;
+	// PrefetchOverhead is prefetches per demand reference (the instruction
+	// overhead the annotation added).
+	PrefetchesIssued uint64
+	PrefetchOverhead float64
+
+	// BusOps is the total number of bus transactions (fills, invalidations
+	// and writebacks).
+	BusOps uint64
+}
+
+func metricsFrom(spec RunSpec, annotated *trace.Trace, res *sim.Result) *Metrics {
+	m := &Metrics{
+		Workload:             spec.Workload,
+		Strategy:             spec.Strategy,
+		Transfer:             spec.Transfer,
+		Cycles:               res.Cycles,
+		DemandRefs:           res.Counters.DemandRefs(),
+		CPUMissRate:          res.CPUMissRate(),
+		AdjustedCPUMissRate:  res.AdjustedCPUMissRate(),
+		TotalMissRate:        res.TotalMissRate(),
+		InvalidationMissRate: res.InvalidationMissRate(),
+		FalseSharingMissRate: res.FalseSharingMissRate(),
+		BusUtilization:       res.BusUtilization(),
+		ProcessorUtilization: res.MeanProcUtilization(),
+		PrefetchesIssued:     res.Counters.PrefetchesIssued,
+		PrefetchOverhead:     prefetch.Overhead(annotated),
+		BusOps:               res.Bus.TotalOps(),
+	}
+	m.Components = MissComponents{
+		NonSharingNotPrefetched:   res.MissClassRate(sim.NonSharingNotPref),
+		NonSharingPrefetched:      res.MissClassRate(sim.NonSharingPref),
+		InvalidationNotPrefetched: res.MissClassRate(sim.InvalNotPref),
+		InvalidationPrefetched:    res.MissClassRate(sim.InvalPref),
+		PrefetchInProgress:        res.MissClassRate(sim.PrefetchInProgress),
+	}
+	return m
+}
+
+// Run generates the workload trace, annotates it with the requested
+// prefetch strategy, simulates it on the configured machine and returns the
+// paper's metrics. Runs are deterministic in the spec.
+func Run(spec RunSpec) (*Metrics, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.ByName(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	geom := memory.Geometry{CacheSize: spec.CacheKB * 1024, LineSize: spec.LineBytes, Assoc: 1}
+	base, _, err := w.Generate(workload.Params{
+		Procs:        spec.Procs,
+		Scale:        spec.Scale,
+		Seed:         spec.Seed,
+		Restructured: spec.Restructured,
+		Geometry:     geom,
+	})
+	if err != nil {
+		return nil, err
+	}
+	strat, err := prefetch.ParseStrategy(spec.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	annotated, err := prefetch.Annotate(base, prefetch.Options{
+		Strategy:           strat,
+		Geometry:           geom,
+		Distance:           spec.Distance,
+		ExcludeWriteShared: spec.BufferPrefetch && strat != prefetch.NP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Geometry = geom
+	cfg.MemLatency = spec.MemLatency
+	cfg.TransferCycles = spec.Transfer
+	cfg.VictimCacheLines = spec.VictimCacheLines
+	if spec.BufferPrefetch {
+		cfg.PrefetchTarget = sim.PrefetchToBuffer
+	}
+	switch spec.Protocol {
+	case "", "illinois", "Illinois":
+		cfg.Protocol = sim.Illinois
+	case "msi", "MSI":
+		cfg.Protocol = sim.MSI
+	default:
+		return nil, fmt.Errorf("busprefetch: unknown protocol %q", spec.Protocol)
+	}
+	res, err := sim.Run(cfg, annotated)
+	if err != nil {
+		return nil, err
+	}
+	return metricsFrom(spec, annotated, res), nil
+}
+
+// Comparison holds one strategy's metrics plus its execution time relative
+// to the NP baseline on the same architecture (the paper's headline metric;
+// values below 1 are speedups).
+type Comparison struct {
+	Metrics
+	RelativeTime float64
+}
+
+// Compare runs the given strategies (all five when none are named) on one
+// workload and architecture, returning them in order with execution times
+// relative to NP. The NP baseline is always included first.
+func Compare(spec RunSpec, strategies ...string) ([]Comparison, error) {
+	if len(strategies) == 0 {
+		strategies = Strategies()
+	}
+	// Ensure NP is present and first.
+	ordered := []string{"NP"}
+	for _, s := range strategies {
+		if s != "NP" && s != "np" {
+			ordered = append(ordered, s)
+		}
+	}
+	var out []Comparison
+	var npCycles uint64
+	for _, s := range ordered {
+		spec := spec
+		spec.Strategy = s
+		m, err := Run(spec)
+		if err != nil {
+			return nil, err
+		}
+		c := Comparison{Metrics: *m, RelativeTime: 1}
+		if s == "NP" {
+			npCycles = m.Cycles
+		} else if npCycles > 0 {
+			c.RelativeTime = float64(m.Cycles) / float64(npCycles)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Speedup converts a relative execution time into the speedup the paper
+// quotes (1.39 for a relative time of 0.72, and so on).
+func Speedup(relativeTime float64) float64 {
+	if relativeTime <= 0 {
+		return 0
+	}
+	return 1 / relativeTime
+}

@@ -1,0 +1,133 @@
+// Command mkfigures regenerates every table and figure of the paper's
+// evaluation section and prints them in the paper's layout. With -out it
+// also writes the results into a Markdown report (the data behind
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mkfigures                 # full suite at scale 1 (several minutes)
+//	mkfigures -scale 0.25     # quick pass
+//	mkfigures -only fig2      # a single experiment
+//	mkfigures -out results.md # also write a Markdown report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"busprefetch/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 1.0, "trace length multiplier")
+		seed  = flag.Int64("seed", 1, "workload generator seed")
+		only  = flag.String("only", "", "run one experiment: table1, fig1, table2, fig2, util, fig3, table3, table4, table5, ablations")
+		out   = flag.String("out", "", "also write the report to this file")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	suite := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed})
+
+	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
+
+	// Pre-run the shared simulation grid in parallel.
+	var keys []experiments.Key
+	if want("fig1") || want("table2") || want("fig2") || want("util") || want("fig3") || want("table3") {
+		keys = append(keys, suite.GridKeys()...)
+	}
+	if want("table4") || want("table5") {
+		keys = append(keys, suite.RestructuredKeys()...)
+	}
+	if len(keys) > 0 && !*quiet {
+		fmt.Fprintf(os.Stderr, "mkfigures: simulating %d configurations (scale %.2f)...\n", len(keys), *scale)
+	}
+	start := time.Now()
+	progress := func(done, total int) {
+		if !*quiet && done%10 == 0 {
+			fmt.Fprintf(os.Stderr, "  %d/%d (%.0fs elapsed)\n", done, total, time.Since(start).Seconds())
+		}
+	}
+	if err := suite.Prewarm(keys, progress); err != nil {
+		fatal(err)
+	}
+
+	var sections []string
+	add := func(name, body string, err error) {
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		sections = append(sections, body)
+	}
+
+	if want("table1") {
+		rows, err := suite.Table1()
+		add("table1", experiments.RenderTable1(rows), err)
+	}
+	if want("fig1") {
+		rows, err := suite.Figure1()
+		add("fig1", experiments.RenderFigure1(rows), err)
+	}
+	if want("table2") {
+		rows, err := suite.Table2()
+		add("table2", experiments.RenderTable2(rows), err)
+	}
+	if want("fig2") {
+		rows, err := suite.Figure2()
+		add("fig2", experiments.RenderFigure2(rows, suite.Config().Transfers), err)
+	}
+	if want("util") {
+		rows, err := suite.Utilization()
+		add("util", experiments.RenderUtilization(rows), err)
+	}
+	if want("fig3") {
+		rows, err := suite.Figure3()
+		add("fig3", experiments.RenderFigure3(rows), err)
+	}
+	if want("table3") {
+		rows, err := suite.Table3()
+		add("table3", experiments.RenderTable3(rows), err)
+	}
+	if want("table4") {
+		rows, err := suite.Table4()
+		add("table4", experiments.RenderTable4(rows), err)
+	}
+	if want("table5") {
+		rows, err := suite.Table5()
+		add("table5", experiments.RenderTable5(rows, suite.Config().Transfers), err)
+	}
+	if want("ablations") {
+		rows, err := suite.AblationCacheSize("mp3d", nil)
+		add("ablation-cache", experiments.RenderAblation("Ablation: cache size (mp3d, NP, T=8)", rows), err)
+		rows, err = suite.AblationLineSize("mp3d", nil)
+		add("ablation-line", experiments.RenderAblation("Ablation: line size (mp3d, NP, T=8)", rows), err)
+		rows, err = suite.AblationAssociativity("topopt")
+		add("ablation-assoc", experiments.RenderAblation("Ablation: associativity & victim cache (topopt, PREF, T=8)", rows), err)
+		rows, err = suite.AblationProtocol("mp3d")
+		add("ablation-protocol", experiments.RenderAblation("Ablation: Illinois vs MSI (mp3d, T=8)", rows), err)
+		rows, err = suite.AblationPrefetchPlacement("mp3d")
+		add("ablation-placement", experiments.RenderAblation("Ablation: cache vs buffer prefetching (mp3d, T=8)", rows), err)
+	}
+
+	reportText := strings.Join(sections, "\n")
+	fmt.Println(reportText)
+
+	if *out != "" {
+		md := fmt.Sprintf("# Reproduction results (scale %.2f, seed %d)\n\n```\n%s\n```\n", *scale, *seed, reportText)
+		if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "mkfigures: wrote %s\n", *out)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkfigures:", err)
+	os.Exit(1)
+}

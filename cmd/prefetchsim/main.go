@@ -1,0 +1,189 @@
+// Command prefetchsim runs one simulation — a (workload, prefetch strategy,
+// memory architecture) triple — and prints the metrics the paper reports:
+// miss rates with the Figure 3 component breakdown, bus utilization,
+// processor utilization, and execution time.
+//
+// Usage:
+//
+//	prefetchsim -workload mp3d -strategy PREF -transfer 8
+//	prefetchsim -workload pverify -all -transfer 4      # all five strategies
+//	prefetchsim -workload topopt -all -restructured
+//	prefetchsim -trace water.bptr -strategy PREF   # replay a saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"busprefetch/internal/prefetch"
+	"busprefetch/internal/sim"
+	"busprefetch/internal/trace"
+	"busprefetch/internal/workload"
+)
+
+func main() {
+	var (
+		wlName       = flag.String("workload", "mp3d", "workload: topopt, mp3d, locus, pverify, water")
+		stratName    = flag.String("strategy", "NP", "prefetch strategy: NP, PREF, EXCL, LPD, PWS")
+		all          = flag.Bool("all", false, "run all five strategies and compare")
+		transfer     = flag.Int("transfer", 8, "contended data-transfer latency in cycles (paper: 4-32)")
+		latency      = flag.Int("latency", 100, "total memory latency in cycles")
+		procs        = flag.Int("procs", 0, "processor count (0 = workload default)")
+		scale        = flag.Float64("scale", 1.0, "trace length multiplier")
+		seed         = flag.Int64("seed", 1, "workload generator seed")
+		restructured = flag.Bool("restructured", false, "use the false-sharing-restructured layout")
+		distance     = flag.Int("distance", 0, "prefetch distance in cycles (0 = strategy default)")
+		regions      = flag.Bool("regions", false, "attribute CPU misses to workload data structures")
+		tracePath    = flag.String("trace", "", "replay a saved binary trace instead of generating a workload")
+	)
+	flag.Parse()
+
+	var (
+		base *trace.Trace
+		info workload.Info
+	)
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		base, err = trace.Decode(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		info = workload.Info{Name: base.Name, Description: "replayed from " + *tracePath}
+	} else {
+		w, err := workload.ByName(*wlName)
+		if err != nil {
+			fatal(err)
+		}
+		params := workload.Params{Procs: *procs, Scale: *scale, Seed: *seed, Restructured: *restructured}
+		base, info, err = w.Generate(params)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.MemLatency = *latency
+	cfg.TransferCycles = *transfer
+	if *regions {
+		cfg.Regions = info.Regions
+	}
+
+	st := trace.Summarize(base, cfg.Geometry)
+	fmt.Printf("workload %s: %d procs, %d demand refs (%d reads, %d writes), %d locks, %d barriers\n",
+		info.Name, st.Procs, st.DemandRefs, st.Reads, st.Writes, st.Locks, st.Barriers)
+	fmt.Printf("data touched %d KB, shared %d KB, write-shared %d KB; transfer latency %d/%d cycles\n\n",
+		st.TouchedData/1024, st.SharedData/1024, st.WriteShared/1024, *transfer, *latency)
+
+	strategies := []prefetch.Strategy{}
+	if *all {
+		strategies = prefetch.Strategies()
+	} else {
+		s, err := prefetch.ParseStrategy(*stratName)
+		if err != nil {
+			fatal(err)
+		}
+		strategies = append(strategies, s)
+	}
+
+	var npCycles uint64
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tcycles\trel.time\tCPU MR\tadj MR\ttotal MR\tinval MR\tFS MR\tbus util\tproc util\tprefetches\tpf-hits")
+	for _, s := range strategies {
+		annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(cfg, annotated)
+		if err != nil {
+			fatal(fmt.Errorf("strategy %s: %w", s, err))
+		}
+		if s == prefetch.NP {
+			npCycles = res.Cycles
+		}
+		rel := "-"
+		if npCycles > 0 {
+			rel = fmt.Sprintf("%.3f", float64(res.Cycles)/float64(npCycles))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.2f\t%.2f\t%d\t%d\n",
+			s, res.Cycles, rel,
+			res.CPUMissRate(), res.AdjustedCPUMissRate(), res.TotalMissRate(),
+			res.InvalidationMissRate(), res.FalseSharingMissRate(),
+			res.BusUtilization(), res.MeanProcUtilization(),
+			res.Counters.PrefetchesIssued, res.Counters.PrefetchCacheHits)
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
+		printComponents(res)
+		if *regions {
+			printRegions(res)
+		}
+	}
+}
+
+// printRegions shows which data structures the CPU misses came from,
+// largest contributor first.
+func printRegions(res *sim.Result) {
+	type row struct {
+		name string
+		rm   sim.RegionMisses
+	}
+	var rows []row
+	for name, rm := range res.RegionMisses {
+		rows = append(rows, row{name, rm})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].rm.Total() != rows[j].rm.Total() {
+			return rows[i].rm.Total() > rows[j].rm.Total()
+		}
+		return rows[i].name < rows[j].name
+	})
+	total := res.Counters.TotalCPUMisses()
+	fmt.Printf("    misses by data structure:\n")
+	for _, r := range rows {
+		if r.rm.Total() == 0 {
+			continue
+		}
+		inval := r.rm.CPUMisses[sim.InvalNotPref] + r.rm.CPUMisses[sim.InvalPref]
+		fmt.Printf("      %-18s %6.1f%%  (inval %.0f%%, false sharing %.0f%%)\n",
+			r.name, 100*float64(r.rm.Total())/float64(total),
+			100*float64(inval)/float64(r.rm.Total()),
+			100*float64(r.rm.FalseSharing)/float64(r.rm.Total()))
+	}
+}
+
+func printComponents(res *sim.Result) {
+	c := &res.Counters
+	total := c.TotalCPUMisses()
+	if total == 0 {
+		return
+	}
+	fmt.Printf("    miss components:")
+	for m := sim.MissClass(0); m < sim.NumMissClasses; m++ {
+		fmt.Printf("  %s %.1f%%", m, 100*float64(c.CPUMisses[m])/float64(total))
+	}
+	fmt.Printf("  | false sharing %.1f%% of inval\n", pct(c.FalseSharing, c.InvalidationMisses()))
+	busy, mem, lock, barrier, buffer := res.WaitBreakdown()
+	fmt.Printf("    time: busy %.2f mem %.2f lock %.2f barrier %.2f buffer %.2f\n",
+		busy, mem, lock, barrier, buffer)
+}
+
+func pct(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Falsesharing: reproduce the paper's §4.4 result that restructuring shared
+// data to remove false sharing both eliminates most invalidation misses and
+// lets a plain uniprocessor-style prefetcher (PREF) approach the specialized
+// write-shared strategy (PWS).
+//
+// The demo runs Topopt and Pverify — the two programs the paper restructures
+// — in their original (false-sharing-prone) and restructured layouts, and
+// prints the miss rates and relative execution times of Tables 4 and 5.
+//
+//	go run ./examples/falsesharing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"busprefetch"
+)
+
+func main() {
+	transfer := flag.Int("transfer", 8, "data-transfer latency in cycles")
+	scale := flag.Float64("scale", 0.5, "trace length multiplier")
+	flag.Parse()
+
+	fmt.Printf("Restructuring shared data to remove false sharing (transfer = %d cycles)\n\n", *transfer)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tlayout\tstrategy\trel. time\tCPU MR\tinval MR\tfalse-sharing MR")
+	for _, wl := range []string{"topopt", "pverify"} {
+		for _, restructured := range []bool{false, true} {
+			layout := "original"
+			if restructured {
+				layout = "restructured"
+			}
+			results, err := busprefetch.Compare(busprefetch.RunSpec{
+				Workload:     wl,
+				Transfer:     *transfer,
+				Scale:        *scale,
+				Restructured: restructured,
+			}, "PREF", "PWS")
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range results {
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.4f\t%.4f\t%.4f\n",
+					wl, layout, r.Strategy, r.RelativeTime,
+					r.CPUMissRate, r.InvalidationMissRate, r.FalseSharingMissRate)
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nRestructuring slashes the false-sharing miss rate; what invalidation")
+	fmt.Println("misses remain are true sharing. With the sharing problem gone, PREF's")
+	fmt.Println("relative time approaches PWS's — uniprocessor-oriented prefetching works")
+	fmt.Println("again, exactly the paper's conclusion.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: run one workload under every prefetching strategy on the
+// paper's default machine and print the headline comparison — execution time
+// relative to no prefetching, miss rates and bus utilization.
+//
+//	go run ./examples/quickstart
+//	go run ./examples/quickstart -workload pverify -transfer 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"busprefetch"
+)
+
+func main() {
+	workload := flag.String("workload", "mp3d", "workload to simulate")
+	transfer := flag.Int("transfer", 8, "data-transfer latency in cycles (4-32)")
+	scale := flag.Float64("scale", 0.5, "trace length multiplier")
+	flag.Parse()
+
+	fmt.Printf("Prefetching on a bus-based multiprocessor: %s, %d-cycle data transfer\n\n", *workload, *transfer)
+
+	results, err := busprefetch.Compare(busprefetch.RunSpec{
+		Workload: *workload,
+		Transfer: *transfer,
+		Scale:    *scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\trel. time\tspeedup\tCPU MR\ttotal MR\tbus util\tproc util")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.2f\t%.4f\t%.4f\t%.2f\t%.2f\n",
+			r.Strategy, r.RelativeTime, busprefetch.Speedup(r.RelativeTime),
+			r.CPUMissRate, r.TotalMissRate, r.BusUtilization, r.ProcessorUtilization)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nNote how every prefetching strategy raises the total miss rate and bus")
+	fmt.Println("utilization even when it lowers the CPU miss rate — the paper's central")
+	fmt.Println("tension on a bandwidth-limited machine.")
+}

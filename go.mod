@@ -1,0 +1,3 @@
+module busprefetch
+
+go 1.22

@@ -1,0 +1,311 @@
+// Package bus models the contended memory resource of the paper's
+// split-transaction bus architecture.
+//
+// The paper separates the fixed 100-cycle memory latency into an uncontended
+// portion (address transmission and memory lookup, assumed pipelined across
+// processors) and a contended portion — the data-bus transfer of 4 to 32
+// cycles that serializes on a single shared resource and is the machine's
+// potential bottleneck. This package implements only the contended resource:
+// callers submit a request that becomes Ready after its uncontended phase,
+// the bus grants requests one at a time, and each grant occupies the resource
+// for the request's Occupancy cycles.
+//
+// Arbitration is round-robin across processors and "favors blocking loads
+// over prefetches" (paper §3.3): all Demand-class requests are considered
+// before any Prefetch-class request, and writebacks come last.
+package bus
+
+import "fmt"
+
+// Scheduler lets the bus schedule future work on the simulation's event
+// queue. internal/sim implements it.
+type Scheduler interface {
+	// At schedules fn to run at time t (>= current simulation time). Events
+	// scheduled earlier run first; ties run in scheduling order.
+	At(t uint64, fn func(now uint64))
+}
+
+// Class is an arbitration priority class.
+type Class uint8
+
+const (
+	// Demand requests block a CPU: demand fetches, upgrades, and prefetches
+	// a CPU is now stalled on.
+	Demand Class = iota
+	// Prefetch requests are speculative; they lose arbitration to demand.
+	Prefetch
+	// Writeback requests drain dirty victims; nobody waits on them.
+	Writeback
+)
+
+func (c Class) String() string {
+	switch c {
+	case Demand:
+		return "demand"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Op classifies a request for traffic accounting.
+type Op uint8
+
+const (
+	// OpFill is a data transfer that fills a cache line (from memory or
+	// another cache).
+	OpFill Op = iota
+	// OpInvalidate is an address-only invalidation (a write to a Shared
+	// line upgrading to Modified).
+	OpInvalidate
+	// OpWriteback is a dirty-line writeback to memory.
+	OpWriteback
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpFill:
+		return "fill"
+	case OpInvalidate:
+		return "invalidate"
+	case OpWriteback:
+		return "writeback"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Request is one bus transaction.
+type Request struct {
+	// Ready is the earliest time the request may be granted (issue time plus
+	// the uncontended latency portion).
+	Ready uint64
+	// Occupancy is how many cycles the request holds the bus once granted.
+	Occupancy uint64
+	// Class is the arbitration priority. Promote can raise it later.
+	Class Class
+	// Op classifies the transaction for traffic accounting.
+	Op Op
+	// Proc is the requesting processor, used for round-robin fairness.
+	Proc int
+	// OnGrant, if non-nil, runs at the grant time — the transaction's
+	// serialization point, where the simulator performs snooping.
+	OnGrant func(grant uint64)
+	// OnComplete, if non-nil, runs when the occupancy ends (grant +
+	// Occupancy) — where fills install their line.
+	OnComplete func(complete uint64)
+
+	seq     uint64
+	pending bool
+	granted bool
+}
+
+// Granted reports whether the request has been granted the bus.
+func (r *Request) Granted() bool { return r.granted }
+
+// Stats counts bus traffic.
+type Stats struct {
+	// BusyCycles is the total occupancy granted.
+	BusyCycles uint64
+	// Ops counts transactions by kind.
+	Ops [3]uint64
+	// DemandGrants and PrefetchGrants split fills by the class they held at
+	// grant time.
+	DemandGrants   uint64
+	PrefetchGrants uint64
+}
+
+// TotalOps returns the total number of bus transactions.
+func (s *Stats) TotalOps() uint64 { return s.Ops[OpFill] + s.Ops[OpInvalidate] + s.Ops[OpWriteback] }
+
+// Bus is the contended resource.
+type Bus struct {
+	sched   Scheduler
+	nproc   int
+	freeAt  uint64
+	pending []*Request
+	lastWin int // processor that won the previous arbitration
+	seq     uint64
+	// attemptAt is the earliest outstanding grant-attempt event, or noAttempt.
+	attemptAt uint64
+	// completionDone guards the cycle at which the in-service transaction
+	// ends: independently scheduled arbitration events can fire at exactly
+	// freeAt *before* the completion callback installs the transaction's
+	// results, and a grant issued then would snoop stale cache state. No
+	// grant may happen at freeAt until the completion callback has run.
+	completionDone bool
+
+	stats Stats
+}
+
+const noAttempt = ^uint64(0)
+
+// New creates a bus for nproc processors using sched for future events.
+func New(sched Scheduler, nproc int) *Bus {
+	if nproc <= 0 {
+		panic(fmt.Sprintf("bus: nproc %d", nproc))
+	}
+	return &Bus{sched: sched, nproc: nproc, lastWin: nproc - 1, attemptAt: noAttempt, completionDone: true}
+}
+
+// Stats returns the traffic counters accumulated so far.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Pending returns the number of requests awaiting a grant.
+func (b *Bus) Pending() int { return len(b.pending) }
+
+// FreeAt returns the time the bus next becomes free.
+func (b *Bus) FreeAt() uint64 { return b.freeAt }
+
+// Submit queues a request. now is the current simulation time; the request's
+// Ready must be >= now.
+func (b *Bus) Submit(now uint64, r *Request) {
+	if r.pending || r.granted {
+		panic("bus: request submitted twice")
+	}
+	if r.Ready < now {
+		r.Ready = now
+	}
+	b.seq++
+	r.seq = b.seq
+	r.pending = true
+	b.pending = append(b.pending, r)
+	b.scheduleAttempt(now, maxU64(r.Ready, b.freeAt))
+}
+
+// Promote raises a still-pending request to Demand class (a CPU is now
+// blocked on a previously speculative prefetch). It is a no-op once granted.
+func (b *Bus) Promote(r *Request) {
+	if r.pending {
+		r.Class = Demand
+	}
+}
+
+// Cancel removes a still-pending request (unused by the core simulator but
+// available to extensions such as prefetch dropping). It reports whether the
+// request was removed before being granted.
+func (b *Bus) Cancel(r *Request) bool {
+	if !r.pending {
+		return false
+	}
+	for i, p := range b.pending {
+		if p == r {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			r.pending = false
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Bus) scheduleAttempt(now, t uint64) {
+	if t < now {
+		t = now
+	}
+	if b.attemptAt <= t {
+		return // an earlier or equal attempt is already outstanding
+	}
+	b.attemptAt = t
+	b.sched.At(t, b.attempt)
+}
+
+// attempt runs one arbitration round at time now.
+func (b *Bus) attempt(now uint64) {
+	if b.attemptAt == now || b.attemptAt < now {
+		b.attemptAt = noAttempt
+	}
+	if b.freeAt > now || (b.freeAt == now && !b.completionDone) {
+		// Busy, or the in-service transaction ends this cycle but has not
+		// installed its results yet; its completion will re-arm arbitration.
+		return
+	}
+	idx := b.pick(now)
+	if idx < 0 {
+		// Nothing ready yet: re-arm at the earliest future Ready.
+		earliest := noAttempt
+		for _, r := range b.pending {
+			if r.Ready < earliest {
+				earliest = r.Ready
+			}
+		}
+		if earliest != noAttempt {
+			b.scheduleAttempt(now, earliest)
+		}
+		return
+	}
+	r := b.pending[idx]
+	b.pending = append(b.pending[:idx], b.pending[idx+1:]...)
+	r.pending = false
+	r.granted = true
+	b.lastWin = r.Proc
+	b.freeAt = now + r.Occupancy
+	b.completionDone = false
+	b.stats.BusyCycles += r.Occupancy
+	b.stats.Ops[r.Op]++
+	if r.Op == OpFill {
+		if r.Class == Demand {
+			b.stats.DemandGrants++
+		} else {
+			b.stats.PrefetchGrants++
+		}
+	}
+	if r.OnGrant != nil {
+		r.OnGrant(now)
+	}
+	complete := b.freeAt
+	b.sched.At(complete, func(t uint64) {
+		b.completionDone = true
+		if r.OnComplete != nil {
+			r.OnComplete(t)
+		}
+		// The bus is free again; run the next arbitration round after the
+		// completion has installed its results (fills before snoops).
+		b.attempt(t)
+	})
+}
+
+// pick selects the winning pending request at time now, or -1. Selection
+// order: highest class (Demand < Prefetch < Writeback numerically), then
+// round-robin distance from the last winner, then submission order.
+func (b *Bus) pick(now uint64) int {
+	best := -1
+	for i, r := range b.pending {
+		if r.Ready > now {
+			continue
+		}
+		if best < 0 || b.better(r, b.pending[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (b *Bus) better(a, c *Request) bool {
+	if a.Class != c.Class {
+		return a.Class < c.Class
+	}
+	da, dc := b.robinDist(a.Proc), b.robinDist(c.Proc)
+	if da != dc {
+		return da < dc
+	}
+	return a.seq < c.seq
+}
+
+// robinDist returns how far proc is past the last winner in cyclic order;
+// the last winner itself gets the largest distance.
+func (b *Bus) robinDist(proc int) int {
+	d := proc - b.lastWin
+	if d <= 0 {
+		d += b.nproc
+	}
+	return d
+}
+
+func maxU64(a, c uint64) uint64 {
+	if a > c {
+		return a
+	}
+	return c
+}

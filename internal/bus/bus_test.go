@@ -1,0 +1,272 @@
+package bus
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// testSched is a minimal deterministic event queue for driving the bus in
+// isolation.
+type testSched struct {
+	h   schedHeap
+	now uint64
+	seq uint64
+}
+
+type schedEvent struct {
+	t   uint64
+	seq uint64
+	fn  func(uint64)
+}
+
+type schedHeap []schedEvent
+
+func (h schedHeap) Len() int { return len(h) }
+func (h schedHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h schedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *schedHeap) Push(x interface{}) { *h = append(*h, x.(schedEvent)) }
+func (h *schedHeap) Pop() interface{} {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+func (s *testSched) At(t uint64, fn func(uint64)) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.h, schedEvent{t, s.seq, fn})
+}
+
+func (s *testSched) run() {
+	for s.h.Len() > 0 {
+		e := heap.Pop(&s.h).(schedEvent)
+		s.now = e.t
+		e.fn(e.t)
+	}
+}
+
+func mkReq(ready, occ uint64, class Class, proc int, grants *[]grantRecord, name string) *Request {
+	r := &Request{Ready: ready, Occupancy: occ, Class: class, Op: OpFill, Proc: proc}
+	r.OnGrant = func(g uint64) {
+		*grants = append(*grants, grantRecord{name, g})
+	}
+	return r
+}
+
+type grantRecord struct {
+	name  string
+	grant uint64
+}
+
+func TestSingleRequestGrantedAtReady(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 4)
+	var grants []grantRecord
+	var completeAt uint64
+	r := mkReq(100, 8, Demand, 0, &grants, "r")
+	r.OnComplete = func(c uint64) { completeAt = c }
+	b.Submit(0, r)
+	s.run()
+	if len(grants) != 1 || grants[0].grant != 100 {
+		t.Fatalf("grants = %v, want r@100", grants)
+	}
+	if completeAt != 108 {
+		t.Errorf("complete at %d, want 108", completeAt)
+	}
+	if got := b.Stats().BusyCycles; got != 8 {
+		t.Errorf("busy cycles %d, want 8", got)
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 4)
+	var grants []grantRecord
+	b.Submit(0, mkReq(10, 8, Demand, 0, &grants, "a"))
+	b.Submit(0, mkReq(10, 8, Demand, 1, &grants, "b"))
+	s.run()
+	if len(grants) != 2 {
+		t.Fatalf("grants = %v", grants)
+	}
+	if grants[0].grant != 10 || grants[1].grant != 18 {
+		t.Errorf("grants at %d,%d; want 10,18", grants[0].grant, grants[1].grant)
+	}
+}
+
+func TestDemandBeatsPrefetch(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 4)
+	var grants []grantRecord
+	// Both ready at 10; prefetch submitted first but demand must win.
+	b.Submit(0, mkReq(10, 8, Prefetch, 0, &grants, "pf"))
+	b.Submit(0, mkReq(10, 8, Demand, 1, &grants, "dm"))
+	s.run()
+	if grants[0].name != "dm" {
+		t.Errorf("grant order %v, demand must win arbitration", grants)
+	}
+}
+
+func TestWritebackLosesToBoth(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 4)
+	var grants []grantRecord
+	b.Submit(0, mkReq(5, 4, Writeback, 0, &grants, "wb"))
+	b.Submit(0, mkReq(5, 4, Prefetch, 1, &grants, "pf"))
+	b.Submit(0, mkReq(5, 4, Demand, 2, &grants, "dm"))
+	s.run()
+	want := []string{"dm", "pf", "wb"}
+	for i, w := range want {
+		if grants[i].name != w {
+			t.Fatalf("grant order %v, want %v", grants, want)
+		}
+	}
+}
+
+func TestRoundRobinAmongSameClass(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 4)
+	var grants []grantRecord
+	// lastWin starts at proc 3, so round-robin order is 0,1,2,3.
+	b.Submit(0, mkReq(0, 2, Demand, 2, &grants, "p2"))
+	b.Submit(0, mkReq(0, 2, Demand, 0, &grants, "p0"))
+	b.Submit(0, mkReq(0, 2, Demand, 3, &grants, "p3"))
+	b.Submit(0, mkReq(0, 2, Demand, 1, &grants, "p1"))
+	s.run()
+	want := []string{"p0", "p1", "p2", "p3"}
+	for i, w := range want {
+		if grants[i].name != w {
+			t.Fatalf("grant order %v, want %v", grants, want)
+		}
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 2)
+	var grants []grantRecord
+	// After proc 0 wins, proc 1 must come before proc 0 again.
+	b.Submit(0, mkReq(0, 2, Demand, 0, &grants, "a0"))
+	s.run()
+	b.Submit(s.now, mkReq(s.now, 2, Demand, 0, &grants, "b0"))
+	b.Submit(s.now, mkReq(s.now, 2, Demand, 1, &grants, "b1"))
+	s.run()
+	if grants[1].name != "b1" || grants[2].name != "b0" {
+		t.Errorf("grant order %v, want b1 before b0 after proc 0 won", grants)
+	}
+}
+
+func TestPromote(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 4)
+	var grants []grantRecord
+	pf := mkReq(10, 8, Prefetch, 0, &grants, "pf")
+	b.Submit(0, pf)
+	b.Submit(0, mkReq(10, 8, Prefetch, 1, &grants, "pf2"))
+	b.Promote(pf)
+	if pf.Class != Demand {
+		t.Fatal("Promote did not raise the class")
+	}
+	s.run()
+	if grants[0].name != "pf" {
+		t.Errorf("promoted request lost arbitration: %v", grants)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 4)
+	var grants []grantRecord
+	r := mkReq(10, 8, Prefetch, 0, &grants, "r")
+	b.Submit(0, r)
+	if !b.Cancel(r) {
+		t.Fatal("Cancel failed on pending request")
+	}
+	if b.Cancel(r) {
+		t.Fatal("Cancel succeeded twice")
+	}
+	s.run()
+	if len(grants) != 0 {
+		t.Errorf("cancelled request granted: %v", grants)
+	}
+}
+
+func TestStatsByOp(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 2)
+	var grants []grantRecord
+	inv := mkReq(0, 2, Demand, 0, &grants, "inv")
+	inv.Op = OpInvalidate
+	wb := mkReq(0, 8, Writeback, 0, &grants, "wb")
+	wb.Op = OpWriteback
+	b.Submit(0, mkReq(0, 8, Demand, 1, &grants, "fill"))
+	b.Submit(0, inv)
+	b.Submit(0, wb)
+	s.run()
+	st := b.Stats()
+	if st.Ops[OpFill] != 1 || st.Ops[OpInvalidate] != 1 || st.Ops[OpWriteback] != 1 {
+		t.Errorf("ops = %v", st.Ops)
+	}
+	if st.TotalOps() != 3 {
+		t.Errorf("TotalOps = %d", st.TotalOps())
+	}
+	if st.BusyCycles != 18 {
+		t.Errorf("BusyCycles = %d, want 18", st.BusyCycles)
+	}
+	if st.DemandGrants != 1 || st.PrefetchGrants != 0 {
+		t.Errorf("fill grant split = %d/%d", st.DemandGrants, st.PrefetchGrants)
+	}
+}
+
+func TestCompletionRunsBeforeNextGrant(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 2)
+	var order []string
+	a := &Request{Ready: 0, Occupancy: 4, Class: Demand, Proc: 0,
+		OnComplete: func(uint64) { order = append(order, "a-complete") }}
+	c := &Request{Ready: 0, Occupancy: 4, Class: Demand, Proc: 1,
+		OnGrant: func(uint64) { order = append(order, "c-grant") }}
+	b.Submit(0, a)
+	b.Submit(0, c)
+	s.run()
+	if len(order) != 2 || order[0] != "a-complete" || order[1] != "c-grant" {
+		t.Errorf("order = %v; fills must install before the next snoop", order)
+	}
+}
+
+func TestDoubleSubmitPanics(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 2)
+	r := &Request{Ready: 0, Occupancy: 1, Proc: 0}
+	b.Submit(0, r)
+	defer func() {
+		if recover() == nil {
+			t.Error("double submit did not panic")
+		}
+	}()
+	b.Submit(0, r)
+}
+
+func TestLateReadyRequestWaits(t *testing.T) {
+	s := &testSched{}
+	b := New(s, 2)
+	var grants []grantRecord
+	b.Submit(0, mkReq(50, 4, Demand, 0, &grants, "late"))
+	b.Submit(0, mkReq(0, 4, Prefetch, 1, &grants, "early-pf"))
+	s.run()
+	// The prefetch is the only request ready at t=0 and must not wait for
+	// the (higher-priority) demand that is not ready yet.
+	if grants[0].name != "early-pf" || grants[0].grant != 0 {
+		t.Errorf("grants = %v", grants)
+	}
+	if grants[1].grant != 50 {
+		t.Errorf("late demand granted at %d, want 50", grants[1].grant)
+	}
+}

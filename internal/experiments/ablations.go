@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+
+	"busprefetch/internal/memory"
+	"busprefetch/internal/prefetch"
+	"busprefetch/internal/report"
+	"busprefetch/internal/sim"
+	"busprefetch/internal/workload"
+)
+
+// The ablations reproduce the configuration variations the paper describes
+// but does not tabulate (§3.3: "Several other configurations were
+// simulated... with larger caches, non-sharing misses were reduced, making
+// invalidation miss effects much more dominant; larger block sizes increased
+// false sharing") and the design alternatives it points at (§4.3's victim
+// cache and set associativity; §3.1's non-snooping prefetch buffer; §3.3's
+// reliance on the Illinois private-clean state).
+
+// AblationRow is one configuration's headline metrics.
+type AblationRow struct {
+	// Label identifies the varied parameter value ("64KB", "2-way", ...).
+	Label string
+	// Strategy is the prefetch discipline simulated.
+	Strategy prefetch.Strategy
+	// RelTime is execution time relative to the row marked baseline (the
+	// first row of the sweep with the same strategy).
+	RelTime float64
+	CPUMR   float64
+	InvalMR float64
+	FSMR    float64
+	BusUtil float64
+	// InvalShare is invalidation misses as a fraction of CPU misses.
+	InvalShare float64
+}
+
+func (s *Suite) runConfig(wl string, strat prefetch.Strategy, cfg sim.Config, restructured bool,
+	annotate func(prefetch.Options) prefetch.Options) (*sim.Result, error) {
+	w, err := workload.ByName(wl)
+	if err != nil {
+		return nil, err
+	}
+	// Ablation traces must be generated with the ablation geometry so the
+	// layouts (conflict-pair placement, padding) stay consistent with the
+	// simulated cache.
+	t, _, err := w.Generate(workload.Params{
+		Scale: s.cfg.Scale, Seed: s.cfg.Seed, Restructured: restructured, Geometry: cfg.Geometry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := prefetch.Options{Strategy: strat, Geometry: cfg.Geometry}
+	if annotate != nil {
+		opts = annotate(opts)
+	}
+	annotated, err := prefetch.Annotate(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg, annotated)
+}
+
+func ablationRow(label string, strat prefetch.Strategy, res *sim.Result, baseline uint64) AblationRow {
+	row := AblationRow{
+		Label:    label,
+		Strategy: strat,
+		CPUMR:    res.CPUMissRate(),
+		InvalMR:  res.InvalidationMissRate(),
+		FSMR:     res.FalseSharingMissRate(),
+		BusUtil:  res.BusUtilization(),
+	}
+	if baseline > 0 {
+		row.RelTime = float64(res.Cycles) / float64(baseline)
+	} else {
+		row.RelTime = 1
+	}
+	if total := res.Counters.TotalCPUMisses(); total > 0 {
+		row.InvalShare = float64(res.Counters.InvalidationMisses()) / float64(total)
+	}
+	return row
+}
+
+// AblationCacheSize sweeps the cache capacity on one workload under NP. The
+// paper's reported effect: larger caches remove non-sharing misses, so
+// invalidation misses dominate even more.
+func (s *Suite) AblationCacheSize(wl string, sizesKB []int) ([]AblationRow, error) {
+	if len(sizesKB) == 0 {
+		sizesKB = []int{16, 32, 64, 128}
+	}
+	var rows []AblationRow
+	var base uint64
+	for _, kb := range sizesKB {
+		cfg := sim.DefaultConfig()
+		cfg.Geometry = memory.Geometry{CacheSize: kb * 1024, LineSize: 32, Assoc: 1}
+		res, err := s.runConfig(wl, prefetch.NP, cfg, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		rows = append(rows, ablationRow(fmt.Sprintf("%dKB", kb), prefetch.NP, res, base))
+	}
+	return rows, nil
+}
+
+// AblationLineSize sweeps the cache-line size under NP. The paper's
+// reported effect: larger blocks increase false sharing and with it the
+// invalidation miss total.
+func (s *Suite) AblationLineSize(wl string, sizes []int) ([]AblationRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{16, 32, 64, 128}
+	}
+	var rows []AblationRow
+	var base uint64
+	for _, ls := range sizes {
+		cfg := sim.DefaultConfig()
+		cfg.Geometry = memory.Geometry{CacheSize: 32 * 1024, LineSize: ls, Assoc: 1}
+		res, err := s.runConfig(wl, prefetch.NP, cfg, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		rows = append(rows, ablationRow(fmt.Sprintf("%dB", ls), prefetch.NP, res, base))
+	}
+	return rows, nil
+}
+
+// AblationAssociativity compares the direct-mapped cache against
+// set-associative ones and a direct-mapped cache with a victim cache, under
+// PREF on Topopt — the paper's suggestion for the conflict misses
+// prefetching introduces ("the magnitude of this conflict would likely be
+// reduced by a victim cache or a set-associative cache", §4.3).
+func (s *Suite) AblationAssociativity(wl string) ([]AblationRow, error) {
+	type variant struct {
+		label  string
+		assoc  int
+		victim int
+	}
+	variants := []variant{
+		{"direct-mapped", 1, 0},
+		{"direct+victim8", 1, 8},
+		{"2-way", 2, 0},
+		{"4-way", 4, 0},
+	}
+	var rows []AblationRow
+	var base uint64
+	for _, v := range variants {
+		cfg := sim.DefaultConfig()
+		cfg.Geometry = memory.Geometry{CacheSize: 32 * 1024, LineSize: 32, Assoc: v.assoc}
+		cfg.VictimCacheLines = v.victim
+		res, err := s.runConfig(wl, prefetch.PREF, cfg, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		rows = append(rows, ablationRow(v.label, prefetch.PREF, res, base))
+	}
+	return rows, nil
+}
+
+// AblationProtocol compares Illinois against MSI under NP and EXCL. Without
+// the private-clean state every first write costs an invalidation bus
+// operation, and exclusive prefetching matters more — quantifying why the
+// paper calls the Illinois state its protocol's most important feature.
+func (s *Suite) AblationProtocol(wl string) ([]AblationRow, error) {
+	var rows []AblationRow
+	var base uint64
+	for _, proto := range []sim.Protocol{sim.Illinois, sim.MSI} {
+		for _, strat := range []prefetch.Strategy{prefetch.NP, prefetch.EXCL} {
+			cfg := sim.DefaultConfig()
+			cfg.Protocol = proto
+			res, err := s.runConfig(wl, strat, cfg, false, nil)
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = res.Cycles
+			}
+			rows = append(rows, ablationRow(proto.String(), strat, res, base))
+		}
+	}
+	return rows, nil
+}
+
+// AblationPrefetchPlacement compares cache prefetching against the
+// non-snooping prefetch buffer of §3.1. Buffered prefetching cannot touch
+// write-shared data, so on these workloads it covers far less — the paper's
+// reason to study cache prefetching only.
+func (s *Suite) AblationPrefetchPlacement(wl string) ([]AblationRow, error) {
+	var rows []AblationRow
+
+	np := sim.DefaultConfig()
+	resNP, err := s.runConfig(wl, prefetch.NP, np, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	base := resNP.Cycles
+	rows = append(rows, ablationRow("no prefetch", prefetch.NP, resNP, base))
+
+	resCache, err := s.runConfig(wl, prefetch.PREF, np, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ablationRow("cache prefetch", prefetch.PREF, resCache, base))
+
+	buf := sim.DefaultConfig()
+	buf.PrefetchTarget = sim.PrefetchToBuffer
+	resBuf, err := s.runConfig(wl, prefetch.PREF, buf, false, func(o prefetch.Options) prefetch.Options {
+		o.ExcludeWriteShared = true
+		return o
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ablationRow("buffer prefetch", prefetch.PREF, resBuf, base))
+	return rows, nil
+}
+
+// RenderAblation formats any ablation sweep.
+func RenderAblation(title string, rows []AblationRow) string {
+	t := report.NewTable(title,
+		"Config", "Strategy", "Rel. time", "CPU MR", "Inval MR", "FS MR", "Inval share", "Bus util")
+	for _, r := range rows {
+		t.AddRow(r.Label, r.Strategy.String(),
+			fmt.Sprintf("%.3f", r.RelTime), fmt.Sprintf("%.4f", r.CPUMR),
+			fmt.Sprintf("%.4f", r.InvalMR), fmt.Sprintf("%.4f", r.FSMR),
+			fmt.Sprintf("%.0f%%", 100*r.InvalShare), fmt.Sprintf("%.2f", r.BusUtil))
+	}
+	return t.String()
+}
+
+// AblationDistance sweeps the prefetch distance under PREF (the §4.3
+// study): short distances leave prefetches in progress, long ones trade
+// them for conflict misses, and "increasing the prefetch distance to the
+// point that virtually all prefetches complete does not pay off".
+func (s *Suite) AblationDistance(wl string, distances []int) ([]AblationRow, error) {
+	if len(distances) == 0 {
+		distances = []int{25, 50, 100, 200, 400, 800}
+	}
+	var rows []AblationRow
+	var base uint64
+	// Baseline: NP at the same architecture.
+	cfg := sim.DefaultConfig()
+	np, err := s.runConfig(wl, prefetch.NP, cfg, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	base = np.Cycles
+	rows = append(rows, ablationRow("NP", prefetch.NP, np, base))
+	for _, d := range distances {
+		d := d
+		res, err := s.runConfig(wl, prefetch.PREF, cfg, false, func(o prefetch.Options) prefetch.Options {
+			o.Distance = d
+			return o
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ablationRow(fmt.Sprintf("dist %d", d), prefetch.PREF, res, base))
+	}
+	return rows, nil
+}
+
+// AblationMemLatency sweeps the total memory latency under NP and PREF. The
+// paper's premise: "prefetching is less useful and possibly harmful if
+// there is little latency to hide" — at low latency the gains collapse.
+func (s *Suite) AblationMemLatency(wl string, latencies []int) ([]AblationRow, error) {
+	if len(latencies) == 0 {
+		latencies = []int{25, 50, 100, 200}
+	}
+	var rows []AblationRow
+	for _, lat := range latencies {
+		cfg := sim.DefaultConfig()
+		cfg.MemLatency = lat
+		if cfg.TransferCycles > lat {
+			cfg.TransferCycles = lat
+		}
+		np, err := s.runConfig(wl, prefetch.NP, cfg, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := s.runConfig(wl, prefetch.PREF, cfg, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		// RelTime here is PREF relative to NP at the same latency.
+		row := ablationRow(fmt.Sprintf("latency %d", lat), prefetch.PREF, pf, np.Cycles)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func ablSuite() *Suite { return NewSuite(Config{Scale: 0.15, Seed: 1}) }
+
+func TestAblationCacheSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := ablSuite().AblationCacheSize("mp3d", []int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper: larger caches reduce non-sharing misses, so invalidation
+	// misses become MORE dominant.
+	if rows[1].InvalShare <= rows[0].InvalShare {
+		t.Errorf("invalidation share fell with cache size: %.2f -> %.2f",
+			rows[0].InvalShare, rows[1].InvalShare)
+	}
+	if rows[1].CPUMR >= rows[0].CPUMR {
+		t.Errorf("CPU miss rate rose with cache size: %.4f -> %.4f", rows[0].CPUMR, rows[1].CPUMR)
+	}
+}
+
+func TestAblationLineSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := ablSuite().AblationLineSize("mp3d", []int{16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: larger block sizes increase false sharing.
+	if rows[1].FSMR <= rows[0].FSMR {
+		t.Errorf("false sharing fell with line size: %.4f -> %.4f", rows[0].FSMR, rows[1].FSMR)
+	}
+}
+
+func TestAblationAssociativity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := ablSuite().AblationAssociativity("topopt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	dm := rows[0]
+	// Both the victim cache and associativity must cut Topopt's conflict
+	// misses (paper §4.3): CPU miss rate strictly below direct-mapped.
+	for _, r := range rows[1:] {
+		if r.CPUMR >= dm.CPUMR {
+			t.Errorf("%s: CPU MR %.4f not below direct-mapped %.4f", r.Label, r.CPUMR, dm.CPUMR)
+		}
+		if r.RelTime >= 1.0 {
+			t.Errorf("%s: no speedup over direct-mapped (%.3f)", r.Label, r.RelTime)
+		}
+	}
+}
+
+func TestAblationProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := ablSuite().AblationProtocol("mp3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var illinoisNP, msiNP *AblationRow
+	for i := range rows {
+		if rows[i].Strategy.String() == "NP" {
+			if rows[i].Label == "Illinois" {
+				illinoisNP = &rows[i]
+			} else {
+				msiNP = &rows[i]
+			}
+		}
+	}
+	if illinoisNP == nil || msiNP == nil {
+		t.Fatal("missing NP rows")
+	}
+	// MSI pays an invalidation bus operation for every first write to a
+	// line; Illinois's private-clean state avoids it. Mp3d rereads and
+	// rewrites its own (mostly single-owner) particle lines every step, so
+	// MSI must demand visibly more of the bus or run longer.
+	if msiNP.BusUtil <= illinoisNP.BusUtil && msiNP.RelTime <= illinoisNP.RelTime {
+		t.Errorf("MSI (bus %.3f, time %.3f) not costlier than Illinois (bus %.3f, time %.3f)",
+			msiNP.BusUtil, msiNP.RelTime, illinoisNP.BusUtil, illinoisNP.RelTime)
+	}
+}
+
+func TestAblationPrefetchPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := ablSuite().AblationPrefetchPlacement("mp3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	np, cachePf, bufPf := rows[0], rows[1], rows[2]
+	// Cache prefetching must beat the non-snooping buffer on a workload
+	// dominated by shared data — the paper's §3.1 argument.
+	if cachePf.RelTime >= np.RelTime {
+		t.Errorf("cache prefetching did not help: %.3f", cachePf.RelTime)
+	}
+	if bufPf.RelTime <= cachePf.RelTime {
+		t.Errorf("buffer prefetching (%.3f) beat cache prefetching (%.3f) on shared-heavy mp3d",
+			bufPf.RelTime, cachePf.RelTime)
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	rows := []AblationRow{{Label: "x", RelTime: 1, CPUMR: 0.01}}
+	out := RenderAblation("Ablation: test", rows)
+	if !strings.Contains(out, "Ablation: test") || !strings.Contains(out, "0.0100") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestAblationDistance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := ablSuite().AblationDistance("mp3d", []int{25, 100, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows[0] is NP; distances follow. The paper: stretching the distance
+	// until all prefetches complete does not pay off — dist 800 must not
+	// beat dist 100 meaningfully.
+	d100, d800 := rows[2], rows[3]
+	if d800.RelTime < d100.RelTime-0.02 {
+		t.Errorf("dist 800 (%.3f) clearly beat dist 100 (%.3f) — the paper's §4.3 result inverted",
+			d800.RelTime, d100.RelTime)
+	}
+	// And every PREF variant should beat NP at this (8-cycle) architecture.
+	for _, r := range rows[1:] {
+		if r.RelTime >= 1.05 {
+			t.Errorf("%s: rel time %.3f far above NP", r.Label, r.RelTime)
+		}
+	}
+}
+
+func TestAblationMemLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	rows, err := ablSuite().AblationMemLatency("mp3d", []int{25, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With little latency to hide, prefetching gains collapse: the
+	// improvement at latency 25 must be smaller than at latency 200.
+	gain25 := 1 - rows[0].RelTime
+	gain200 := 1 - rows[1].RelTime
+	if gain25 >= gain200 {
+		t.Errorf("prefetching gained more at low latency (%.3f) than high (%.3f)", gain25, gain200)
+	}
+}

@@ -1,0 +1,270 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): workload characteristics (Table 1), miss rates under the
+// five prefetching strategies (Figure 1), bus utilizations (Table 2),
+// relative execution times across the memory-architecture sweep (Figure 2),
+// processor utilizations (§4.2), the CPU-miss component breakdown (Figure 3),
+// invalidation and false-sharing rates (Table 3), and the restructured-
+// program results (Tables 4 and 5).
+//
+// A Suite memoizes simulation results so experiments that share runs (for
+// example Figure 1, Table 2 and Figure 2 all need the strategy x transfer
+// grid) simulate each configuration once. Runs are independent and execute
+// in parallel across CPUs; results are deterministic regardless of
+// parallelism.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"busprefetch/internal/prefetch"
+	"busprefetch/internal/sim"
+	"busprefetch/internal/trace"
+	"busprefetch/internal/workload"
+)
+
+// Config scales and seeds the whole experiment suite.
+type Config struct {
+	// Scale multiplies trace lengths (1.0 = calibrated default).
+	Scale float64
+	// Seed seeds the workload generators.
+	Seed int64
+	// MemLatency is the total memory latency (paper: 100).
+	MemLatency int
+	// Transfers is the data-transfer sweep; nil selects the paper's
+	// {4, 8, 16, 24, 32}.
+	Transfers []int
+	// Parallelism bounds concurrent simulations; 0 selects GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultConfig returns the paper's sweep at full scale.
+func DefaultConfig() Config {
+	return Config{Scale: 1.0, Seed: 1, MemLatency: 100, Transfers: []int{4, 8, 16, 24, 32}}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MemLatency == 0 {
+		c.MemLatency = 100
+	}
+	if len(c.Transfers) == 0 {
+		c.Transfers = []int{4, 8, 16, 24, 32}
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Key identifies one simulation run.
+type Key struct {
+	Workload     string
+	Strategy     prefetch.Strategy
+	Transfer     int
+	Restructured bool
+}
+
+func (k Key) String() string {
+	r := ""
+	if k.Restructured {
+		r = " restructured"
+	}
+	return fmt.Sprintf("%s/%s/T=%d%s", k.Workload, k.Strategy, k.Transfer, r)
+}
+
+// Suite runs and memoizes simulations.
+type Suite struct {
+	cfg Config
+
+	mu      sync.Mutex
+	results map[Key]*sim.Result
+	infos   map[string]workload.Info
+	traces  map[traceKey]*trace.Trace
+}
+
+type traceKey struct {
+	workload     string
+	restructured bool
+}
+
+// NewSuite creates a suite with the given configuration.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{
+		cfg:     cfg.withDefaults(),
+		results: make(map[Key]*sim.Result),
+		infos:   make(map[string]workload.Info),
+		traces:  make(map[traceKey]*trace.Trace),
+	}
+}
+
+// Config returns the suite's effective configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Info returns the Table 1 metadata for a workload, generating its trace if
+// needed.
+func (s *Suite) Info(name string) (workload.Info, error) {
+	if _, err := s.baseTrace(name, false); err != nil {
+		return workload.Info{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infos[name], nil
+}
+
+// baseTrace returns (generating and caching on first use) the unannotated
+// trace for a workload variant.
+func (s *Suite) baseTrace(name string, restructured bool) (*trace.Trace, error) {
+	s.mu.Lock()
+	if t, ok := s.traces[traceKey{name, restructured}]; ok {
+		s.mu.Unlock()
+		return t, nil
+	}
+	s.mu.Unlock()
+
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	t, info, err := w.Generate(workload.Params{Scale: s.cfg.Scale, Seed: s.cfg.Seed, Restructured: restructured})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.traces[traceKey{name, restructured}]; ok {
+		return cached, nil
+	}
+	s.traces[traceKey{name, restructured}] = t
+	if !restructured {
+		s.infos[name] = info
+	}
+	return t, nil
+}
+
+// Result simulates (or returns the memoized result for) one configuration.
+func (s *Suite) Result(k Key) (*sim.Result, error) {
+	s.mu.Lock()
+	if r, ok := s.results[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	base, err := s.baseTrace(k.Workload, k.Restructured)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MemLatency = s.cfg.MemLatency
+	cfg.TransferCycles = k.Transfer
+	annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: k.Strategy, Geometry: cfg.Geometry})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: annotating %v: %w", k, err)
+	}
+	res, err := sim.Run(cfg, annotated)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: simulating %v: %w", k, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.results[k]; ok {
+		return cached, nil
+	}
+	s.results[k] = res
+	return res, nil
+}
+
+// Prewarm simulates the given keys in parallel, bounded by the configured
+// parallelism. The first error (in deterministic key order) is returned.
+func (s *Suite) Prewarm(keys []Key, progress func(done, total int)) error {
+	// Deduplicate and order deterministically so error reporting is stable.
+	seen := make(map[Key]bool, len(keys))
+	var todo []Key
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			todo = append(todo, k)
+		}
+	}
+	sort.Slice(todo, func(i, j int) bool { return todo[i].String() < todo[j].String() })
+
+	// Generate base traces serially first: concurrent generation of the
+	// same trace would waste work.
+	for _, k := range todo {
+		if _, err := s.baseTrace(k.Workload, k.Restructured); err != nil {
+			return err
+		}
+	}
+
+	sem := make(chan struct{}, s.cfg.Parallelism)
+	errs := make([]error, len(todo))
+	var wg sync.WaitGroup
+	var done int
+	var progressMu sync.Mutex
+	for i, k := range todo {
+		wg.Add(1)
+		go func(i int, k Key) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, errs[i] = s.Result(k)
+			if progress != nil {
+				progressMu.Lock()
+				done++
+				progress(done, len(todo))
+				progressMu.Unlock()
+			}
+		}(i, k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WorkloadNames returns the five paper workloads in presentation order.
+func WorkloadNames() []string {
+	var names []string
+	for _, w := range workload.All() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// GridKeys returns the (workload x strategy x transfer) grid used by
+// Figures 1-2 and Table 2.
+func (s *Suite) GridKeys() []Key {
+	var keys []Key
+	for _, wl := range WorkloadNames() {
+		for _, st := range prefetch.Strategies() {
+			for _, tr := range s.cfg.Transfers {
+				keys = append(keys, Key{Workload: wl, Strategy: st, Transfer: tr})
+			}
+		}
+	}
+	return keys
+}
+
+// RestructuredKeys returns the runs Tables 4 and 5 need.
+func (s *Suite) RestructuredKeys() []Key {
+	var keys []Key
+	for _, wl := range []string{"topopt", "pverify"} {
+		for _, st := range []prefetch.Strategy{prefetch.NP, prefetch.PREF, prefetch.PWS} {
+			for _, tr := range s.cfg.Transfers {
+				keys = append(keys, Key{Workload: wl, Strategy: st, Transfer: tr, Restructured: true})
+			}
+		}
+	}
+	return keys
+}

@@ -1,0 +1,492 @@
+package experiments
+
+import (
+	"fmt"
+
+	"busprefetch/internal/memory"
+	"busprefetch/internal/prefetch"
+	"busprefetch/internal/report"
+	"busprefetch/internal/sim"
+	"busprefetch/internal/trace"
+)
+
+// Table1Row describes one workload (paper Table 1).
+type Table1Row struct {
+	Workload    string
+	Description string
+	DataSetKB   float64
+	SharedKB    float64
+	Processes   int
+	RefsPerProc int
+}
+
+// Table1 reproduces the paper's workload-characteristics table.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, name := range WorkloadNames() {
+		info, err := s.Info(name)
+		if err != nil {
+			return nil, err
+		}
+		t, err := s.baseTrace(name, false)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Workload:    name,
+			Description: info.Description,
+			DataSetKB:   float64(info.DataSet) / 1024,
+			SharedKB:    float64(info.SharedData) / 1024,
+			Processes:   info.Procs,
+			RefsPerProc: t.DemandRefs() / t.Procs(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats Table 1.
+func RenderTable1(rows []Table1Row) string {
+	t := report.NewTable("Table 1: Workload used in experiments",
+		"Program", "Data Set (KB)", "Shared Data (KB)", "Processes", "Refs/Proc")
+	for _, r := range rows {
+		t.AddRow(r.Workload, fmt.Sprintf("%.0f", r.DataSetKB), fmt.Sprintf("%.0f", r.SharedKB),
+			r.Processes, r.RefsPerProc)
+	}
+	return t.String()
+}
+
+// Figure1Row holds the miss rates of one (workload, strategy) cell of the
+// paper's Figure 1 (measured at the 8-cycle transfer latency, as the paper
+// plots).
+type Figure1Row struct {
+	Workload string
+	Strategy prefetch.Strategy
+	TotalMR  float64
+	CPUMR    float64
+	AdjMR    float64
+}
+
+// Figure1 reproduces the total / CPU / adjusted-CPU miss-rate chart.
+func (s *Suite) Figure1() ([]Figure1Row, error) {
+	var rows []Figure1Row
+	for _, wl := range WorkloadNames() {
+		for _, st := range prefetch.Strategies() {
+			res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: 8})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Figure1Row{
+				Workload: wl,
+				Strategy: st,
+				TotalMR:  res.TotalMissRate(),
+				CPUMR:    res.CPUMissRate(),
+				AdjMR:    res.AdjustedCPUMissRate(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure1 formats Figure 1 as a table.
+func RenderFigure1(rows []Figure1Row) string {
+	t := report.NewTable("Figure 1: Total and CPU miss rates (8-cycle data transfer)",
+		"Workload", "Strategy", "Total MR", "CPU MR", "Adjusted CPU MR")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Strategy.String(),
+			fmt.Sprintf("%.4f", r.TotalMR), fmt.Sprintf("%.4f", r.CPUMR), fmt.Sprintf("%.4f", r.AdjMR))
+	}
+	return t.String()
+}
+
+// Table2Row is one bus-utilization cell.
+type Table2Row struct {
+	Workload string
+	Strategy prefetch.Strategy
+	Transfer int
+	BusUtil  float64
+}
+
+// Table2 reproduces the selected bus utilizations (the paper reports
+// transfers 4, 8, 16 and 32).
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, wl := range WorkloadNames() {
+		for _, st := range prefetch.Strategies() {
+			for _, tr := range []int{4, 8, 16, 32} {
+				res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: tr})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Table2Row{Workload: wl, Strategy: st, Transfer: tr, BusUtil: res.BusUtilization()})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats Table 2 with one row per (workload, strategy).
+func RenderTable2(rows []Table2Row) string {
+	t := report.NewTable("Table 2: Selected bus utilizations",
+		"Workload", "Strategy", "4 cycles", "8 cycles", "16 cycles", "32 cycles")
+	type key struct {
+		wl string
+		st prefetch.Strategy
+	}
+	cells := map[key]map[int]float64{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Workload, r.Strategy}
+		if cells[k] == nil {
+			cells[k] = map[int]float64{}
+			order = append(order, k)
+		}
+		cells[k][r.Transfer] = r.BusUtil
+	}
+	for _, k := range order {
+		t.AddRow(k.wl, k.st.String(),
+			fmt.Sprintf("%.2f", cells[k][4]), fmt.Sprintf("%.2f", cells[k][8]),
+			fmt.Sprintf("%.2f", cells[k][16]), fmt.Sprintf("%.2f", cells[k][32]))
+	}
+	return t.String()
+}
+
+// Figure2Row is one point of the execution-time chart: execution time of a
+// strategy relative to NP at the same transfer latency.
+type Figure2Row struct {
+	Workload string
+	Strategy prefetch.Strategy
+	Transfer int
+	RelTime  float64
+}
+
+// Figure2 reproduces the relative-execution-time curves for the four
+// prefetching strategies over the data-bus latency sweep.
+func (s *Suite) Figure2() ([]Figure2Row, error) {
+	var rows []Figure2Row
+	for _, wl := range WorkloadNames() {
+		np := make(map[int]uint64)
+		for _, tr := range s.cfg.Transfers {
+			res, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: tr})
+			if err != nil {
+				return nil, err
+			}
+			np[tr] = res.Cycles
+		}
+		for _, st := range prefetch.Strategies() {
+			if st == prefetch.NP {
+				continue
+			}
+			for _, tr := range s.cfg.Transfers {
+				res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: tr})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Figure2Row{
+					Workload: wl, Strategy: st, Transfer: tr,
+					RelTime: float64(res.Cycles) / float64(np[tr]),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure2 formats Figure 2 as one chart per workload.
+func RenderFigure2(rows []Figure2Row, transfers []int) string {
+	out := ""
+	for _, wl := range WorkloadNames() {
+		chart := &report.Chart{
+			Title:  fmt.Sprintf("Figure 2 (%s): execution time relative to NP vs data-bus latency", wl),
+			XLabel: "T cycles",
+		}
+		for _, tr := range transfers {
+			chart.XTicks = append(chart.XTicks, fmt.Sprintf("%d", tr))
+		}
+		for _, st := range prefetch.Strategies() {
+			if st == prefetch.NP {
+				continue
+			}
+			ser := report.Series{Name: st.String()}
+			for _, tr := range transfers {
+				for _, r := range rows {
+					if r.Workload == wl && r.Strategy == st && r.Transfer == tr {
+						ser.Points = append(ser.Points, r.RelTime)
+					}
+				}
+			}
+			chart.Series = append(chart.Series, ser)
+		}
+		out += chart.String() + "\n"
+	}
+	return out
+}
+
+// UtilizationRow reports a workload's NP processor utilization at the
+// fastest and slowest bus (paper §4.2).
+type UtilizationRow struct {
+	Workload string
+	FastBus  float64 // transfer = 4
+	SlowBus  float64 // transfer = 32
+	// MaxSpeedup is the bound 1/utilization at the fast bus — "the best any
+	// memory-latency hiding technique can do".
+	MaxSpeedup float64
+}
+
+// Utilization reproduces the processor-utilization discussion of §4.2.
+func (s *Suite) Utilization() ([]UtilizationRow, error) {
+	var rows []UtilizationRow
+	for _, wl := range WorkloadNames() {
+		fast, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: 4})
+		if err != nil {
+			return nil, err
+		}
+		slow, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: 32})
+		if err != nil {
+			return nil, err
+		}
+		u := fast.MeanProcUtilization()
+		max := 0.0
+		if u > 0 {
+			max = 1 / u
+		}
+		rows = append(rows, UtilizationRow{
+			Workload: wl, FastBus: u, SlowBus: slow.MeanProcUtilization(), MaxSpeedup: max,
+		})
+	}
+	return rows, nil
+}
+
+// RenderUtilization formats the §4.2 utilization summary.
+func RenderUtilization(rows []UtilizationRow) string {
+	t := report.NewTable("Processor utilization without prefetching (§4.2)",
+		"Workload", "Fast bus (T=4)", "Slow bus (T=32)", "Max possible speedup")
+	for _, r := range rows {
+		t.AddRow(r.Workload, fmt.Sprintf("%.2f", r.FastBus), fmt.Sprintf("%.2f", r.SlowBus),
+			fmt.Sprintf("%.1f", r.MaxSpeedup))
+	}
+	return t.String()
+}
+
+// Figure3Row is the CPU-miss component breakdown of one (workload, strategy)
+// bar of the paper's Figure 3.
+type Figure3Row struct {
+	Workload string
+	Strategy prefetch.Strategy
+	// Components holds per-class miss rates (misses per demand reference),
+	// indexed by sim.MissClass.
+	Components [sim.NumMissClasses]float64
+}
+
+// Figure3Workloads lists the workloads the paper breaks down in Figure 3.
+func Figure3Workloads() []string { return []string{"topopt", "pverify", "mp3d"} }
+
+// Figure3 reproduces the miss-component stacks at the 8-cycle transfer.
+func (s *Suite) Figure3() ([]Figure3Row, error) {
+	var rows []Figure3Row
+	for _, wl := range Figure3Workloads() {
+		for _, st := range prefetch.Strategies() {
+			res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: 8})
+			if err != nil {
+				return nil, err
+			}
+			row := Figure3Row{Workload: wl, Strategy: st}
+			for m := sim.MissClass(0); m < sim.NumMissClasses; m++ {
+				row.Components[m] = res.MissClassRate(m)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure3 formats Figure 3 as a table of stacked components.
+func RenderFigure3(rows []Figure3Row) string {
+	t := report.NewTable("Figure 3: Sources of CPU misses (8-cycle data transfer; rates per demand reference)",
+		"Workload", "Strategy",
+		"non-sharing !pf", "inval !pf", "non-sharing pf", "inval pf", "pf-in-progress", "total")
+	for _, r := range rows {
+		total := 0.0
+		for _, v := range r.Components {
+			total += v
+		}
+		t.AddRow(r.Workload, r.Strategy.String(),
+			fmt.Sprintf("%.4f", r.Components[sim.NonSharingNotPref]),
+			fmt.Sprintf("%.4f", r.Components[sim.InvalNotPref]),
+			fmt.Sprintf("%.4f", r.Components[sim.NonSharingPref]),
+			fmt.Sprintf("%.4f", r.Components[sim.InvalPref]),
+			fmt.Sprintf("%.4f", r.Components[sim.PrefetchInProgress]),
+			fmt.Sprintf("%.4f", total))
+	}
+	return t.String()
+}
+
+// Table3Row reports a workload's invalidation and false-sharing miss rates
+// without prefetching.
+type Table3Row struct {
+	Workload     string
+	InvalMR      float64
+	FalseShareMR float64
+	// FSShare is the fraction of invalidation misses that are false sharing.
+	FSShare float64
+}
+
+// Table3 reproduces the total invalidation and false-sharing miss rates.
+func (s *Suite) Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, wl := range WorkloadNames() {
+		res, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: 8})
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Workload:     wl,
+			InvalMR:      res.InvalidationMissRate(),
+			FalseShareMR: res.FalseSharingMissRate(),
+		}
+		if row.InvalMR > 0 {
+			row.FSShare = row.FalseShareMR / row.InvalMR
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable3 formats Table 3.
+func RenderTable3(rows []Table3Row) string {
+	t := report.NewTable("Table 3: Total invalidation and false sharing miss rates (NP, 8-cycle transfer)",
+		"Workload", "Total Invalidation MR", "Total False Sharing MR", "FS share of inval")
+	for _, r := range rows {
+		t.AddRow(r.Workload, fmt.Sprintf("%.4f", r.InvalMR), fmt.Sprintf("%.4f", r.FalseShareMR),
+			fmt.Sprintf("%.0f%%", 100*r.FSShare))
+	}
+	return t.String()
+}
+
+// Table4Row reports miss rates for a restructured program under one
+// prefetch discipline at the 8-cycle transfer.
+type Table4Row struct {
+	Workload     string
+	Strategy     prefetch.Strategy
+	Restructured bool
+	CPUMR        float64
+	TotalMR      float64
+	InvalMR      float64
+	FalseShareMR float64
+}
+
+// Table4 reproduces the restructured-program miss rates, with the original
+// layouts included for comparison.
+func (s *Suite) Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, wl := range []string{"topopt", "pverify"} {
+		for _, restr := range []bool{false, true} {
+			for _, st := range []prefetch.Strategy{prefetch.NP, prefetch.PREF, prefetch.PWS} {
+				res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: 8, Restructured: restr})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Table4Row{
+					Workload: wl, Strategy: st, Restructured: restr,
+					CPUMR:        res.CPUMissRate(),
+					TotalMR:      res.TotalMissRate(),
+					InvalMR:      res.InvalidationMissRate(),
+					FalseShareMR: res.FalseSharingMissRate(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable4 formats Table 4.
+func RenderTable4(rows []Table4Row) string {
+	t := report.NewTable("Table 4: Miss rates for restructured programs (8-cycle transfer)",
+		"Workload", "Layout", "Strategy", "CPU MR", "Total MR", "Total Inval MR", "Total FS MR")
+	for _, r := range rows {
+		layout := "original"
+		if r.Restructured {
+			layout = "restructured"
+		}
+		t.AddRow(r.Workload, layout, r.Strategy.String(),
+			fmt.Sprintf("%.4f", r.CPUMR), fmt.Sprintf("%.4f", r.TotalMR),
+			fmt.Sprintf("%.4f", r.InvalMR), fmt.Sprintf("%.4f", r.FalseShareMR))
+	}
+	return t.String()
+}
+
+// Table5Row reports a restructured program's execution time relative to its
+// own NP run at the same transfer latency.
+type Table5Row struct {
+	Workload string
+	Strategy prefetch.Strategy
+	Transfer int
+	RelTime  float64
+}
+
+// Table5 reproduces the relative execution times for the restructured
+// programs over the transfer sweep.
+func (s *Suite) Table5() ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, wl := range []string{"topopt", "pverify"} {
+		np := map[int]uint64{}
+		for _, tr := range s.cfg.Transfers {
+			res, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: tr, Restructured: true})
+			if err != nil {
+				return nil, err
+			}
+			np[tr] = res.Cycles
+		}
+		for _, st := range []prefetch.Strategy{prefetch.PREF, prefetch.PWS} {
+			for _, tr := range s.cfg.Transfers {
+				res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: tr, Restructured: true})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, Table5Row{Workload: wl, Strategy: st, Transfer: tr,
+					RelTime: float64(res.Cycles) / float64(np[tr])})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable5 formats Table 5.
+func RenderTable5(rows []Table5Row, transfers []int) string {
+	headers := []string{"Workload", "Strategy"}
+	for _, tr := range transfers {
+		headers = append(headers, fmt.Sprintf("T=%d", tr))
+	}
+	t := report.NewTable("Table 5: Relative execution times for restructured programs", headers...)
+	type key struct {
+		wl string
+		st prefetch.Strategy
+	}
+	cells := map[key]map[int]float64{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Workload, r.Strategy}
+		if cells[k] == nil {
+			cells[k] = map[int]float64{}
+			order = append(order, k)
+		}
+		cells[k][r.Transfer] = r.RelTime
+	}
+	for _, k := range order {
+		row := []interface{}{k.wl, k.st.String()}
+		for _, tr := range transfers {
+			row = append(row, fmt.Sprintf("%.3f", cells[k][tr]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// SharingSummary summarizes a workload's sharing profile (supporting data
+// for Table 1 and DESIGN.md).
+func (s *Suite) SharingSummary(name string) (trace.Stats, error) {
+	t, err := s.baseTrace(name, false)
+	if err != nil {
+		return trace.Stats{}, err
+	}
+	return trace.Summarize(t, memory.DefaultGeometry()), nil
+}

@@ -1,0 +1,89 @@
+// Package filter implements the offline cache filters the paper's prefetch
+// insertion uses.
+//
+// The baseline ("oracle") prefetcher identifies candidates by running each
+// processor's address stream through a uniprocessor cache filter of the same
+// geometry as the simulated cache and marking the data misses (paper §3.1).
+// Because the filter sees only one processor's stream, it predicts
+// non-sharing misses — first uses, capacity and conflict misses — perfectly,
+// and invalidation misses not at all, which is exactly the oracle the paper
+// studies.
+//
+// The PWS strategy additionally runs the write-shared references through a
+// small (16-line) fully-associative filter as "a first-order approximation of
+// temporal locality": the longer a shared line has not been touched, the more
+// likely it has been invalidated, so accesses that miss in the small filter
+// become extra prefetch candidates (paper §4.1).
+package filter
+
+import (
+	"busprefetch/internal/cache"
+	"busprefetch/internal/memory"
+	"busprefetch/internal/trace"
+)
+
+// Cache is a uniprocessor cache filter: it reports, for a sequence of
+// accesses, which would miss. It has no coherence; every fill installs the
+// line valid.
+type Cache struct {
+	c *cache.Cache
+}
+
+// NewCache returns an empty filter with the given geometry.
+func NewCache(geom memory.Geometry) *Cache {
+	return &Cache{c: cache.New(geom)}
+}
+
+// Access touches a and reports whether it missed (and filled).
+func (f *Cache) Access(a memory.Addr) (miss bool) {
+	if _, hit := f.c.Probe(a); hit {
+		return false
+	}
+	line, _ := f.c.Allocate(a)
+	line.State = cache.Exclusive
+	return true
+}
+
+// Holds reports whether the filter currently holds a's line.
+func (f *Cache) Holds(a memory.Addr) bool { return f.c.HoldsValid(a) }
+
+// MarkMisses runs a processor's stream through a uniprocessor filter with
+// geometry geom and returns a bitmap, indexed by event position, marking the
+// demand accesses that miss. Lock and unlock accesses update the filter
+// state (they occupy cache space) but are never marked: synchronization
+// variables are not prefetch candidates.
+func MarkMisses(s trace.Stream, geom memory.Geometry) []bool {
+	f := NewCache(geom)
+	miss := make([]bool, len(s))
+	for i, e := range s {
+		switch e.Kind {
+		case trace.Read, trace.Write:
+			miss[i] = f.Access(e.Addr)
+		case trace.Lock, trace.Unlock:
+			f.Access(e.Addr)
+		}
+	}
+	return miss
+}
+
+// PWSGeometry returns the paper's 16-line fully-associative temporal-
+// locality filter for the given line size.
+func PWSGeometry(lineSize int) memory.Geometry {
+	return memory.Geometry{CacheSize: 16 * lineSize, LineSize: lineSize, Assoc: 0}
+}
+
+// MarkWriteSharedMisses runs only the stream's references to write-shared
+// lines (per isWS) through the 16-line associative filter and marks the
+// misses — the redundant prefetch candidates of the PWS strategy. Lock and
+// unlock events are excluded: prefetching a mutex is never useful.
+func MarkWriteSharedMisses(s trace.Stream, geom memory.Geometry, isWS func(memory.Addr) bool) []bool {
+	f := NewCache(PWSGeometry(geom.LineSize))
+	miss := make([]bool, len(s))
+	for i, e := range s {
+		if !e.Kind.IsDemand() || !isWS(e.Addr) {
+			continue
+		}
+		miss[i] = f.Access(e.Addr)
+	}
+	return miss
+}

@@ -1,0 +1,109 @@
+package memory
+
+import "fmt"
+
+// Region is a named, contiguous range of the simulated address space claimed
+// by a workload data structure (a particle array, a cost grid, a lock table,
+// and so on). Regions exist so trace generators can lay out their data
+// structures explicitly and so tests can assert which structure an address
+// belongs to.
+type Region struct {
+	Name string
+	Base Addr
+	Size int
+	// Shared records whether the workload intends the region to be accessed
+	// by more than one processor. It is advisory metadata used by reports;
+	// the simulator derives actual sharing from the trace itself.
+	Shared bool
+}
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a Addr) bool {
+	return a >= r.Base && a < r.Base+Addr(r.Size)
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Layout allocates regions sequentially in the simulated address space.
+// Allocation is deterministic: the same sequence of Alloc calls always yields
+// the same addresses, which keeps workload traces reproducible.
+type Layout struct {
+	next    Addr
+	line    int
+	regions []Region
+}
+
+// NewLayout returns a Layout that allocates line-aligned regions starting at
+// base. lineSize is used for alignment decisions (AllocLines, pad).
+func NewLayout(base Addr, lineSize int) *Layout {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("memory: bad line size %d", lineSize))
+	}
+	return &Layout{next: align(base, Addr(lineSize)), line: lineSize}
+}
+
+func align(a, to Addr) Addr { return (a + to - 1) &^ (to - 1) }
+
+// Alloc claims size bytes for a region named name, aligned to the word size.
+func (l *Layout) Alloc(name string, size int, shared bool) Region {
+	l.next = align(l.next, WordSize)
+	r := Region{Name: name, Base: l.next, Size: size, Shared: shared}
+	l.regions = append(l.regions, r)
+	l.next += Addr(size)
+	return r
+}
+
+// AllocLines claims size bytes starting on a fresh cache line, so the region
+// cannot falsely share its first line with the previous region.
+func (l *Layout) AllocLines(name string, size int, shared bool) Region {
+	l.next = align(l.next, Addr(l.line))
+	r := Region{Name: name, Base: l.next, Size: size, Shared: shared}
+	l.regions = append(l.regions, r)
+	l.next += align(Addr(size), Addr(l.line))
+	return r
+}
+
+// Record registers a region that was laid out externally (for example by a
+// restructure.Mapper) without moving the cursor. Callers pair it with Skip.
+func (l *Layout) Record(name string, base Addr, size int, shared bool) Region {
+	r := Region{Name: name, Base: base, Size: size, Shared: shared}
+	l.regions = append(l.regions, r)
+	return r
+}
+
+// Skip advances the allocation cursor by size bytes without recording a
+// region. Workloads use it to force particular cache-mapping conflicts (for
+// example, Topopt places two private arrays exactly one cache-size apart so
+// they collide in a direct-mapped cache, as the real program's arrays did).
+func (l *Layout) Skip(size int) { l.next += Addr(size) }
+
+// AlignTo rounds the cursor up so the next allocation starts at an address
+// congruent to offset modulo modulus. It panics on a non-power-of-two modulus.
+func (l *Layout) AlignTo(modulus int, offset int) {
+	m := Addr(modulus)
+	if m == 0 || m&(m-1) != 0 {
+		panic(fmt.Sprintf("memory: bad modulus %d", modulus))
+	}
+	want := Addr(offset) & (m - 1)
+	cur := l.next & (m - 1)
+	if cur != want {
+		l.next += (want - cur) & (m - 1)
+	}
+}
+
+// Regions returns all allocated regions in allocation order.
+func (l *Layout) Regions() []Region { return l.regions }
+
+// Find returns the region containing a, if any.
+func (l *Layout) Find(a Addr) (Region, bool) {
+	for _, r := range l.regions {
+		if r.Contains(a) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Top returns the first unallocated address.
+func (l *Layout) Top() Addr { return l.next }

@@ -1,0 +1,166 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	if g.CacheSize != 32*1024 || g.LineSize != 32 || g.Assoc != 1 {
+		t.Fatalf("unexpected default geometry %+v", g)
+	}
+	if g.Lines() != 1024 {
+		t.Errorf("Lines() = %d, want 1024", g.Lines())
+	}
+	if g.Sets() != 1024 {
+		t.Errorf("Sets() = %d, want 1024 for direct mapped", g.Sets())
+	}
+	if g.WordsPerLine() != 8 {
+		t.Errorf("WordsPerLine() = %d, want 8", g.WordsPerLine())
+	}
+}
+
+func TestGeometryValidateRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Geometry
+	}{
+		{"zero line", Geometry{CacheSize: 1024, LineSize: 0, Assoc: 1}},
+		{"non-power-of-two line", Geometry{CacheSize: 1024, LineSize: 24, Assoc: 1}},
+		{"line smaller than word multiple", Geometry{CacheSize: 1024, LineSize: 2, Assoc: 1}},
+		{"cache not multiple of line", Geometry{CacheSize: 1000, LineSize: 32, Assoc: 1}},
+		{"negative assoc", Geometry{CacheSize: 1024, LineSize: 32, Assoc: -1}},
+		{"lines not divisible by assoc", Geometry{CacheSize: 3 * 32, LineSize: 32, Assoc: 2}},
+		{"sets not power of two", Geometry{CacheSize: 96, LineSize: 32, Assoc: 1}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.g)
+		}
+	}
+}
+
+func TestFullyAssociativeGeometry(t *testing.T) {
+	g := Geometry{CacheSize: 16 * 32, LineSize: 32, Assoc: 0}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("fully associative geometry invalid: %v", err)
+	}
+	if g.Sets() != 1 {
+		t.Errorf("Sets() = %d, want 1", g.Sets())
+	}
+	if g.Ways() != 16 {
+		t.Errorf("Ways() = %d, want 16", g.Ways())
+	}
+}
+
+func TestAddressArithmetic(t *testing.T) {
+	g := DefaultGeometry()
+	a := Addr(0x1234_5678)
+	if got := g.LineAddr(a); got != 0x1234_5660 {
+		t.Errorf("LineAddr = %#x, want 0x12345660", uint64(got))
+	}
+	if got := g.WordIndex(a); got != 6 {
+		t.Errorf("WordIndex = %d, want 6 (offset 0x18/4)", got)
+	}
+	if got := g.WordMask(a); got != 1<<6 {
+		t.Errorf("WordMask = %#x, want 1<<6", got)
+	}
+	if got := g.SetIndex(a); got != int((0x12345678/32)%1024) {
+		t.Errorf("SetIndex = %d", got)
+	}
+}
+
+func TestAddressArithmeticProperties(t *testing.T) {
+	g := DefaultGeometry()
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		la := g.LineAddr(a)
+		return la <= a &&
+			a-la < Addr(g.LineSize) &&
+			g.WordIndex(a) < g.WordsPerLine() &&
+			g.SetIndex(a) < g.Sets() &&
+			g.LineAddr(la) == la &&
+			g.SetIndex(a) == g.SetIndex(la)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameLineSameSet(t *testing.T) {
+	g := DefaultGeometry()
+	f := func(raw uint64, off uint8) bool {
+		a := Addr(raw)
+		b := g.LineAddr(a) + Addr(int(off)%g.LineSize)
+		return g.LineNumber(a) == g.LineNumber(b) && g.SetIndex(a) == g.SetIndex(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutSequentialAllocation(t *testing.T) {
+	l := NewLayout(0x1000, 32)
+	r1 := l.Alloc("a", 100, false)
+	r2 := l.Alloc("b", 10, true)
+	if r1.Base != 0x1000 {
+		t.Errorf("first region at %#x, want 0x1000", uint64(r1.Base))
+	}
+	if r2.Base < r1.End() {
+		t.Errorf("regions overlap: %#x < %#x", uint64(r2.Base), uint64(r1.End()))
+	}
+	if r2.Base%WordSize != 0 {
+		t.Errorf("region not word aligned: %#x", uint64(r2.Base))
+	}
+	if !r1.Contains(r1.Base) || r1.Contains(r1.End()) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+}
+
+func TestLayoutAllocLinesAlignment(t *testing.T) {
+	l := NewLayout(0x1000, 32)
+	l.Alloc("odd", 7, false)
+	r := l.AllocLines("aligned", 100, false)
+	if r.Base%32 != 0 {
+		t.Errorf("AllocLines region not line aligned: %#x", uint64(r.Base))
+	}
+	next := l.Alloc("next", 4, false)
+	if next.Base < r.Base+Addr(128) { // 100 rounded up to 128
+		t.Errorf("AllocLines did not round region size to lines: next at %#x", uint64(next.Base))
+	}
+}
+
+func TestLayoutAlignTo(t *testing.T) {
+	l := NewLayout(0, 32)
+	l.Alloc("pad", 100, false)
+	l.AlignTo(32*1024, 512)
+	r := l.Alloc("x", 4, false)
+	if got := uint64(r.Base) % (32 * 1024); got != 512 {
+		t.Errorf("AlignTo: base %% cacheSize = %d, want 512", got)
+	}
+	// Aligning when already aligned must not move the cursor.
+	l2 := NewLayout(0x8000, 32)
+	l2.AlignTo(0x8000, 0)
+	if l2.Top() != 0x8000 {
+		t.Errorf("AlignTo moved an already-aligned cursor to %#x", uint64(l2.Top()))
+	}
+}
+
+func TestLayoutFind(t *testing.T) {
+	l := NewLayout(0x1000, 32)
+	a := l.Alloc("a", 64, false)
+	b := l.Alloc("b", 64, true)
+	if r, ok := l.Find(a.Base + 10); !ok || r.Name != "a" {
+		t.Errorf("Find(a+10) = %v, %v", r, ok)
+	}
+	if r, ok := l.Find(b.Base); !ok || r.Name != "b" {
+		t.Errorf("Find(b) = %v, %v", r, ok)
+	}
+	if _, ok := l.Find(0); ok {
+		t.Error("Find(0) found a region before the base")
+	}
+}

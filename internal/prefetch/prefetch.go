@@ -1,0 +1,269 @@
+// Package prefetch implements the paper's offline prefetch insertion: the
+// "ideal for current compiler-directed prefetching technology", an oracle
+// that perfectly predicts non-sharing misses and places a prefetch
+// instruction a fixed number of estimated CPU cycles ahead of each predicted
+// miss (paper §3.1).
+//
+// The five disciplines of §4.1 are reproduced exactly:
+//
+//	NP    no prefetching (the annotation is the identity).
+//	PREF  prefetch every access the uniprocessor cache filter predicts to
+//	      miss, 100 cycles ahead, in shared mode.
+//	EXCL  as PREF, but predicted write misses prefetch in exclusive mode.
+//	LPD   as PREF with a 400-cycle prefetch distance.
+//	PWS   as PREF, plus redundant prefetches of write-shared lines chosen
+//	      by a 16-line associative temporal-locality filter.
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+
+	"busprefetch/internal/filter"
+	"busprefetch/internal/memory"
+	"busprefetch/internal/trace"
+)
+
+// Strategy selects a prefetching discipline.
+type Strategy int
+
+const (
+	// NP performs no prefetching.
+	NP Strategy = iota
+	// PREF is the baseline oracle prefetcher.
+	PREF
+	// EXCL prefetches predicted write misses in exclusive mode.
+	EXCL
+	// LPD uses a 400-cycle prefetch distance instead of 100.
+	LPD
+	// PWS adds aggressive prefetching of write-shared data.
+	PWS
+	// NumStrategies is the number of disciplines.
+	NumStrategies
+)
+
+var strategyNames = [NumStrategies]string{"NP", "PREF", "EXCL", "LPD", "PWS"}
+
+func (s Strategy) String() string {
+	if s >= 0 && int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Strategies lists all disciplines in the paper's presentation order.
+func Strategies() []Strategy { return []Strategy{NP, PREF, EXCL, LPD, PWS} }
+
+// ParseStrategy converts a name ("PREF", "pws", ...) to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for s, n := range strategyNames {
+		if equalFold(name, n) {
+			return Strategy(s), nil
+		}
+	}
+	return NP, fmt.Errorf("prefetch: unknown strategy %q", name)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Options configures insertion.
+type Options struct {
+	// Strategy is the discipline to apply.
+	Strategy Strategy
+	// Geometry is the cache shape used by the oracle filter; it should
+	// match the simulated cache ("the filter cache (of the same size as the
+	// actual cache)").
+	Geometry memory.Geometry
+	// Distance overrides the strategy's prefetch distance in estimated CPU
+	// cycles. Zero selects the paper's value: 100, or 400 for LPD.
+	Distance int
+	// ExcludeWriteShared suppresses prefetches of write-shared lines. It is
+	// required when simulating with sim.PrefetchToBuffer: the paper's
+	// prefetch buffers do not snoop, so "no shared data can be prefetched,
+	// unless it can be guaranteed not to be written during the interval"
+	// (§3.1). Not meaningful together with PWS, whose whole point is
+	// prefetching write-shared data.
+	ExcludeWriteShared bool
+}
+
+// DefaultDistance is the paper's prefetch distance for PREF, EXCL and PWS.
+const DefaultDistance = 100
+
+// LongDistance is the paper's prefetch distance for LPD.
+const LongDistance = 400
+
+func (o Options) distance() uint64 {
+	if o.Distance > 0 {
+		return uint64(o.Distance)
+	}
+	if o.Strategy == LPD {
+		return LongDistance
+	}
+	return DefaultDistance
+}
+
+// Annotate returns a copy of t with prefetch instructions inserted according
+// to the options. With Strategy NP the trace is cloned unchanged (so callers
+// can uniformly mutate the result).
+func Annotate(t *trace.Trace, opt Options) (*trace.Trace, error) {
+	if err := opt.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Strategy < NP || opt.Strategy >= NumStrategies {
+		return nil, fmt.Errorf("prefetch: bad strategy %d", int(opt.Strategy))
+	}
+	if opt.Strategy == NP {
+		return t.Clone(), nil
+	}
+	out := &trace.Trace{Name: t.Name, Streams: make([]trace.Stream, t.Procs())}
+
+	if opt.ExcludeWriteShared && opt.Strategy == PWS {
+		return nil, fmt.Errorf("prefetch: ExcludeWriteShared contradicts PWS")
+	}
+
+	// PWS needs the global write-shared line set, which only the whole
+	// trace reveals — the stand-in for the compiler's knowledge of which
+	// data structures are write-shared. ExcludeWriteShared needs the same
+	// set to suppress those lines instead.
+	var isWS func(memory.Addr) bool
+	if opt.Strategy == PWS || opt.ExcludeWriteShared {
+		prof := trace.AnalyzeSharing(t, opt.Geometry)
+		isWS = prof.WriteShared
+	}
+
+	for p, s := range t.Streams {
+		out.Streams[p] = annotateStream(s, opt, isWS)
+	}
+	return out, nil
+}
+
+// insertion is one prefetch to place immediately before event index at.
+type insertion struct {
+	at  int
+	ev  trace.Event
+	seq int
+}
+
+func annotateStream(s trace.Stream, opt Options, isWS func(memory.Addr) bool) trace.Stream {
+	miss := filter.MarkMisses(s, opt.Geometry)
+	var wsMiss []bool
+	if isWS != nil && opt.Strategy == PWS {
+		wsMiss = filter.MarkWriteSharedMisses(s, opt.Geometry, isWS)
+	}
+
+	// start[i] is the estimated CPU cycle at which event i begins, assuming
+	// every access hits: Gap instruction cycles precede it, and each prior
+	// event costs Gap+1.
+	start := make([]uint64, len(s)+1)
+	var clock uint64
+	for i, e := range s {
+		start[i] = clock + uint64(e.Gap)
+		clock += uint64(e.Gap) + 1
+	}
+	start[len(s)] = clock
+
+	dist := opt.distance()
+	var ins []insertion
+	for i, e := range s {
+		wantPref := miss[i] || (wsMiss != nil && wsMiss[i])
+		if !wantPref || !e.Kind.IsDemand() {
+			continue
+		}
+		if opt.ExcludeWriteShared && isWS != nil && isWS(e.Addr) {
+			continue
+		}
+		kind := trace.Prefetch
+		if opt.Strategy == EXCL && e.Kind == trace.Write && miss[i] {
+			kind = trace.PrefetchExcl
+		}
+		at := placeBefore(start, i, dist)
+		ins = append(ins, insertion{at: at, ev: trace.Event{Kind: kind, Addr: e.Addr}, seq: len(ins)})
+	}
+	if len(ins) == 0 {
+		return append(trace.Stream(nil), s...)
+	}
+	// Keep insertions ordered by position, then by the order of their
+	// target accesses, so earlier-needed data is requested first.
+	sort.Slice(ins, func(a, b int) bool {
+		if ins[a].at != ins[b].at {
+			return ins[a].at < ins[b].at
+		}
+		return ins[a].seq < ins[b].seq
+	})
+
+	outLen := len(s) + len(ins)
+	out := make(trace.Stream, 0, outLen)
+	k := 0
+	for i, e := range s {
+		for k < len(ins) && ins[k].at == i {
+			out = append(out, ins[k].ev)
+			k++
+		}
+		out = append(out, e)
+	}
+	for k < len(ins) {
+		out = append(out, ins[k].ev)
+		k++
+	}
+	return out
+}
+
+// placeBefore returns the largest event index j <= i such that the estimated
+// cycles between the start of event j and the start of event i are at least
+// dist — the latest insertion point that still hides dist cycles. It returns
+// 0 when the stream's beginning is closer than dist.
+func placeBefore(start []uint64, i int, dist uint64) int {
+	target := start[i]
+	if target <= dist {
+		return 0
+	}
+	want := target - dist
+	// Binary search for the last j with start[j] <= want.
+	lo, hi := 0, i
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if start[mid] <= want {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Overhead reports the instruction overhead the annotation added: the number
+// of prefetch events per demand reference.
+func Overhead(annotated *trace.Trace) float64 {
+	var pref, demand int
+	for _, s := range annotated.Streams {
+		for _, e := range s {
+			switch {
+			case e.Kind.IsPrefetch():
+				pref++
+			case e.Kind.IsDemand():
+				demand++
+			}
+		}
+	}
+	if demand == 0 {
+		return 0
+	}
+	return float64(pref) / float64(demand)
+}

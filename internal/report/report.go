@@ -1,0 +1,190 @@
+// Package report renders experiment results as fixed-width text tables and
+// simple ASCII charts, the formats cmd/mkfigures and the examples print.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 3 decimal
+// places.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, width[i]))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.headers); err != nil {
+		return err
+	}
+	var sep []string
+	for _, wd := range width {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b) // strings.Builder never errors
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Chart renders small multi-series data as an ASCII line chart: one row per
+// series, one column block per x value, values printed numerically with a
+// bar. It favors readability over fidelity — the numeric table is the
+// authoritative output.
+type Chart struct {
+	Title  string
+	XLabel string
+	XTicks []string
+	Series []Series
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+		return err
+	}
+	lo, hi := c.bounds()
+	if hi <= lo {
+		hi = lo + 1
+	}
+	nameW := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for _, s := range c.Series {
+		if _, err := fmt.Fprintf(w, "  %s ", pad(s.Name, nameW)); err != nil {
+			return err
+		}
+		for _, v := range s.Points {
+			bar := int(20 * (v - lo) / (hi - lo))
+			if bar < 0 {
+				bar = 0
+			}
+			if bar > 20 {
+				bar = 20
+			}
+			if _, err := fmt.Fprintf(w, "%6.3f|%-6s", v, strings.Repeat("#", bar/3)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if len(c.XTicks) > 0 {
+		if _, err := fmt.Fprintf(w, "  %s ", pad(c.XLabel, nameW)); err != nil {
+			return err
+		}
+		for _, t := range c.XTicks {
+			if _, err := fmt.Fprintf(w, "%6s|%-6s", t, ""); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Chart) bounds() (lo, hi float64) {
+	first := true
+	for _, s := range c.Series {
+		for _, v := range s.Points {
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	_ = c.Render(&b) // strings.Builder never errors
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("My Table", "name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("b", "raw")
+	tbl.AddRow("gamma-long-name", 42)
+	out := tbl.String()
+	if !strings.Contains(out, "My Table") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + separator + 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(lines[3], "1.500") {
+		t.Errorf("float not formatted: %q", lines[3])
+	}
+	// All value columns start at the same offset.
+	col := strings.Index(lines[3], "1.500")
+	if strings.Index(lines[4], "raw") != col {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("x")
+	out := tbl.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title produced a blank line")
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{
+		Title:  "exec time",
+		XLabel: "T",
+		XTicks: []string{"4", "8"},
+		Series: []Series{
+			{Name: "PREF", Points: []float64{0.9, 1.0}},
+			{Name: "PWS", Points: []float64{0.8, 0.95}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "exec time") || !strings.Contains(out, "PREF") || !strings.Contains(out, "PWS") {
+		t.Errorf("chart missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "0.900") || !strings.Contains(out, "0.950") {
+		t.Errorf("chart missing values:\n%s", out)
+	}
+	if !strings.Contains(out, "T") || !strings.Contains(out, "4") {
+		t.Errorf("chart missing x axis:\n%s", out)
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	c := &Chart{Title: "flat", Series: []Series{{Name: "s", Points: []float64{1, 1, 1}}}}
+	out := c.String() // must not divide by zero
+	if !strings.Contains(out, "1.000") {
+		t.Errorf("flat chart broken:\n%s", out)
+	}
+}

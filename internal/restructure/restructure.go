@@ -1,0 +1,154 @@
+// Package restructure implements the shared-data layout transformations the
+// paper applies to Topopt and Pverify (§4.4, Tables 4 and 5), following
+// Jeremiassen & Eggers' restructuring algorithm: false sharing is removed by
+// (a) padding records so independently-written records never share a cache
+// line, and (b) grouping data by the processor that writes it so each
+// processor's data occupies its own lines.
+//
+// Workload generators describe their arrays through Mapper so the same
+// kernel can run with the original (false-sharing-prone) layout or the
+// restructured one; the choice is the only difference between the paper's
+// "before" and "after" programs.
+package restructure
+
+import (
+	"fmt"
+
+	"busprefetch/internal/memory"
+)
+
+// Mapper lays out an array of fixed-size records and answers where each
+// record (and each word within it) lives.
+type Mapper struct {
+	base     memory.Addr
+	recSize  int
+	count    int
+	lineSize int
+	// perm[i] is the record slot index where logical record i is stored
+	// (nil means identity).
+	perm []int
+	// slotStride is the distance between consecutive slots; >= recSize.
+	slotStride int
+	size       int
+}
+
+// Packed lays records out contiguously — the original layout, in which
+// records smaller than a line share lines and writes by different processors
+// to neighbouring records falsely share.
+func Packed(base memory.Addr, recSize, count int) *Mapper {
+	if recSize <= 0 || count < 0 {
+		panic(fmt.Sprintf("restructure: bad record size %d or count %d", recSize, count))
+	}
+	return &Mapper{
+		base:       base,
+		recSize:    recSize,
+		count:      count,
+		slotStride: recSize,
+		size:       recSize * count,
+	}
+}
+
+// Padded lays each record on its own cache line (or a multiple, for records
+// bigger than a line). No two records ever share a line, so writes to one
+// record can never falsely invalidate another.
+func Padded(base memory.Addr, recSize, count, lineSize int) *Mapper {
+	if lineSize <= 0 {
+		panic(fmt.Sprintf("restructure: bad line size %d", lineSize))
+	}
+	stride := ((recSize + lineSize - 1) / lineSize) * lineSize
+	return &Mapper{
+		base:       base,
+		recSize:    recSize,
+		count:      count,
+		lineSize:   lineSize,
+		slotStride: stride,
+		size:       stride * count,
+	}
+}
+
+// BlockedByOwner groups records by owning processor: each processor's
+// records are stored contiguously, and each group starts on a fresh cache
+// line. Records of different owners never share a line, which removes false
+// sharing between owners while keeping each owner's records dense (good
+// spatial locality for the owner, unlike Padded). owner must return a value
+// in [0, procs).
+func BlockedByOwner(base memory.Addr, recSize, count, lineSize, procs int, owner func(i int) int) *Mapper {
+	if procs <= 0 || lineSize <= 0 {
+		panic(fmt.Sprintf("restructure: bad procs %d or line size %d", procs, lineSize))
+	}
+	// Count each owner's records, lay groups out line-aligned, then assign
+	// slot indices in logical order within each group.
+	counts := make([]int, procs)
+	for i := 0; i < count; i++ {
+		o := owner(i)
+		if o < 0 || o >= procs {
+			panic(fmt.Sprintf("restructure: owner(%d) = %d outside [0, %d)", i, o, procs))
+		}
+		counts[o]++
+	}
+	recsPerLine := lineSize / recSize
+	if recsPerLine == 0 {
+		recsPerLine = 1
+	}
+	groupStart := make([]int, procs) // in record slots
+	slots := 0
+	for o := 0; o < procs; o++ {
+		groupStart[o] = slots
+		// Round each group up to a whole number of lines worth of slots.
+		g := counts[o]
+		rounded := ((g + recsPerLine - 1) / recsPerLine) * recsPerLine
+		slots += rounded
+	}
+	next := append([]int(nil), groupStart...)
+	perm := make([]int, count)
+	for i := 0; i < count; i++ {
+		o := owner(i)
+		perm[i] = next[o]
+		next[o]++
+	}
+	stride := recSize
+	size := slots * stride
+	// Groups were rounded to line multiples only if recSize divides the
+	// line evenly; otherwise pad the whole array to be safe.
+	if lineSize%recSize != 0 {
+		return Padded(base, recSize, count, lineSize)
+	}
+	return &Mapper{
+		base:       base,
+		recSize:    recSize,
+		count:      count,
+		lineSize:   lineSize,
+		perm:       perm,
+		slotStride: stride,
+		size:       size,
+	}
+}
+
+// Elem returns the address of record i's first byte.
+func (m *Mapper) Elem(i int) memory.Addr {
+	if i < 0 || i >= m.count {
+		panic(fmt.Sprintf("restructure: record %d outside [0, %d)", i, m.count))
+	}
+	slot := i
+	if m.perm != nil {
+		slot = m.perm[i]
+	}
+	return m.base + memory.Addr(slot*m.slotStride)
+}
+
+// Word returns the address of word w (0-based) within record i.
+func (m *Mapper) Word(i, w int) memory.Addr {
+	if w < 0 || (w+1)*memory.WordSize > m.recSize {
+		panic(fmt.Sprintf("restructure: word %d outside record of %d bytes", w, m.recSize))
+	}
+	return m.Elem(i) + memory.Addr(w*memory.WordSize)
+}
+
+// Size returns the array's total footprint in bytes.
+func (m *Mapper) Size() int { return m.size }
+
+// Count returns the number of records.
+func (m *Mapper) Count() int { return m.count }
+
+// RecordSize returns the record size in bytes.
+func (m *Mapper) RecordSize() int { return m.recSize }

@@ -1,0 +1,142 @@
+package restructure
+
+import (
+	"testing"
+	"testing/quick"
+
+	"busprefetch/internal/memory"
+)
+
+const lineSize = 32
+
+func lineOf(a memory.Addr) uint64 { return uint64(a) / lineSize }
+
+func TestPackedLayout(t *testing.T) {
+	m := Packed(0x1000, 8, 16)
+	if m.Size() != 128 {
+		t.Errorf("Size = %d, want 128", m.Size())
+	}
+	if m.Elem(0) != 0x1000 || m.Elem(1) != 0x1008 {
+		t.Error("packed elements not contiguous")
+	}
+	// Four 8-byte records per 32-byte line: records 0-3 share a line.
+	if lineOf(m.Elem(0)) != lineOf(m.Elem(3)) {
+		t.Error("packed records 0 and 3 should share a line")
+	}
+	if lineOf(m.Elem(0)) == lineOf(m.Elem(4)) {
+		t.Error("packed records 0 and 4 should not share a line")
+	}
+}
+
+func TestPaddedLayoutIsolatesRecords(t *testing.T) {
+	m := Padded(0x1000, 8, 16, lineSize)
+	seen := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		l := lineOf(m.Elem(i))
+		if seen[l] {
+			t.Fatalf("padded records share line %d", l)
+		}
+		seen[l] = true
+	}
+	if m.Size() != 16*lineSize {
+		t.Errorf("Size = %d, want %d", m.Size(), 16*lineSize)
+	}
+}
+
+func TestPaddedLargeRecords(t *testing.T) {
+	m := Padded(0, 40, 4, lineSize) // 40-byte records need 2 lines each
+	if m.Size() != 4*64 {
+		t.Errorf("Size = %d, want 256", m.Size())
+	}
+	if m.Elem(1)-m.Elem(0) != 64 {
+		t.Error("large records not padded to line multiples")
+	}
+}
+
+func TestBlockedByOwnerSeparatesOwners(t *testing.T) {
+	procs := 4
+	owner := func(i int) int { return i % procs }
+	m := BlockedByOwner(0x1000, 8, 64, lineSize, procs, owner)
+	// Build line -> set of owners; no line may host two owners.
+	owners := map[uint64]map[int]bool{}
+	for i := 0; i < 64; i++ {
+		l := lineOf(m.Elem(i))
+		if owners[l] == nil {
+			owners[l] = map[int]bool{}
+		}
+		owners[l][owner(i)] = true
+	}
+	for l, os := range owners {
+		if len(os) > 1 {
+			t.Errorf("line %d hosts %d owners", l, len(os))
+		}
+	}
+}
+
+func TestBlockedByOwnerKeepsOwnersDense(t *testing.T) {
+	procs := 4
+	owner := func(i int) int { return i % procs }
+	m := BlockedByOwner(0, 8, 64, lineSize, procs, owner)
+	// Each owner's 16 records must fit in 16*8 = 128 bytes = 4 lines.
+	lines := map[int]map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		o := owner(i)
+		if lines[o] == nil {
+			lines[o] = map[uint64]bool{}
+		}
+		lines[o][lineOf(m.Elem(i))] = true
+	}
+	for o, ls := range lines {
+		if len(ls) > 4 {
+			t.Errorf("owner %d spread over %d lines, want <= 4", o, len(ls))
+		}
+	}
+}
+
+func TestBlockedByOwnerNoAddressCollisions(t *testing.T) {
+	f := func(seed int64) bool {
+		procs := 3 + int(uint64(seed)%5)
+		count := 50
+		off := int(uint64(seed) % 97)
+		owner := func(i int) int { return (i*7 + off) % procs }
+		m := BlockedByOwner(0x2000, 8, count, lineSize, procs, owner)
+		seen := map[memory.Addr]bool{}
+		for i := 0; i < count; i++ {
+			a := m.Elem(i)
+			if seen[a] {
+				return false
+			}
+			seen[a] = true
+			if a < 0x2000 || a >= 0x2000+memory.Addr(m.Size()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordAddressing(t *testing.T) {
+	m := Packed(0x1000, 12, 4)
+	if m.Word(1, 0) != 0x100c || m.Word(1, 2) != 0x1014 {
+		t.Error("Word addressing wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-record word did not panic")
+		}
+	}()
+	m.Word(0, 3) // 12-byte record has words 0..2
+}
+
+func TestElemBoundsPanic(t *testing.T) {
+	m := Packed(0, 8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Elem did not panic")
+		}
+	}()
+	m.Elem(4)
+}

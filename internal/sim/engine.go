@@ -1,0 +1,55 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback on the simulation's time line.
+type event struct {
+	t   uint64
+	seq uint64
+	fn  func(now uint64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// engine is a deterministic discrete-event scheduler. Same-time events run in
+// scheduling order, which makes whole simulations reproducible bit for bit.
+type engine struct {
+	h   eventHeap
+	now uint64
+	seq uint64
+}
+
+// At implements bus.Scheduler.
+func (e *engine) At(t uint64, fn func(now uint64)) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.h, event{t: t, seq: e.seq, fn: fn})
+}
+
+// run drains the event queue.
+func (e *engine) run() {
+	for e.h.Len() > 0 {
+		ev := heap.Pop(&e.h).(event)
+		e.now = ev.t
+		ev.fn(ev.t)
+	}
+}

@@ -1,0 +1,542 @@
+package sim
+
+import (
+	"busprefetch/internal/bus"
+	"busprefetch/internal/cache"
+	"busprefetch/internal/memory"
+	"busprefetch/internal/trace"
+)
+
+// yieldQuantum bounds how far a processor's local clock may run ahead of the
+// global event clock before it yields back to the scheduler. Processors
+// execute runs of hits without touching the bus; yielding keeps remote
+// invalidations from being observed more than ~yieldQuantum cycles late,
+// comfortably inside the 100-cycle memory latency.
+const yieldQuantum = 64
+
+// inflight is an outstanding fetch (demand or prefetch) for one line.
+type inflight struct {
+	la         memory.Addr
+	excl       bool
+	isPrefetch bool
+	req        *bus.Request
+	// cpuWaiting is true when the CPU is blocked on this fetch: always for
+	// demand fetches, and for prefetches a demand access has merged into.
+	cpuWaiting bool
+	// sharers records, at the bus grant (the coherence point), whether any
+	// other cache held the line; it picks Shared vs Exclusive on fill.
+	sharers bool
+}
+
+// proc replays one processor's event stream.
+type proc struct {
+	s      *simulator
+	id     int
+	stream trace.Stream
+	cache  *cache.Cache
+	pc     int
+	clock  uint64
+	stats  ProcStats
+
+	inflight            map[memory.Addr]*inflight
+	outstandingPrefetch int
+	waitingForSlot      bool
+	// victim is the optional fully-associative victim cache.
+	victim *cache.Cache
+	// streamBuf is the FIFO prefetch buffer of PrefetchToBuffer mode:
+	// buffered line addresses in arrival order. It does not snoop; entries
+	// are dropped when a remote processor writes them.
+	streamBuf []memory.Addr
+	// wasted records line addresses whose prefetched-but-unused copy was
+	// displaced, so the eventual demand miss is classified "prefetched".
+	wasted map[memory.Addr]bool
+
+	// Per-event progress flags; reset when pc advances. They make event
+	// handlers idempotent across block/resume cycles.
+	gapDone     bool
+	refCounted  bool
+	missCounted bool
+	atBarrier   bool
+
+	waitStart uint64
+	finished  bool
+}
+
+func newProc(s *simulator, id int, stream trace.Stream) *proc {
+	p := &proc{
+		s:        s,
+		id:       id,
+		stream:   stream,
+		cache:    cache.New(s.cfg.Geometry),
+		inflight: make(map[memory.Addr]*inflight),
+		wasted:   make(map[memory.Addr]bool),
+	}
+	if n := s.cfg.VictimCacheLines; n > 0 {
+		p.victim = cache.New(memory.Geometry{
+			CacheSize: n * s.cfg.Geometry.LineSize,
+			LineSize:  s.cfg.Geometry.LineSize,
+			Assoc:     0,
+		})
+	}
+	return p
+}
+
+// dropBuffered removes la from the non-snooping prefetch buffer; a remote
+// write means the buffered copy can no longer be trusted.
+func (p *proc) dropBuffered(la memory.Addr) {
+	for i, a := range p.streamBuf {
+		if a == la {
+			p.streamBuf = append(p.streamBuf[:i], p.streamBuf[i+1:]...)
+			p.s.c.StreamBufferDrops++
+			return
+		}
+	}
+}
+
+// bufferIndex returns la's position in the prefetch buffer, or -1.
+func (p *proc) bufferIndex(la memory.Addr) int {
+	for i, a := range p.streamBuf {
+		if a == la {
+			return i
+		}
+	}
+	return -1
+}
+
+// run executes events until the processor blocks, yields, or finishes. It is
+// both the initial entry point and the continuation invoked after every wait.
+func (p *proc) run(now uint64) {
+	if now > p.clock {
+		p.clock = now
+	}
+	entry := p.clock
+	for {
+		if p.pc >= len(p.stream) {
+			if !p.finished {
+				p.finished = true
+				p.stats.FinishTime = p.clock
+			}
+			return
+		}
+		e := p.stream[p.pc]
+		if !p.gapDone {
+			p.clock += uint64(e.Gap)
+			p.stats.BusyCycles += uint64(e.Gap)
+			p.gapDone = true
+			// A long instruction gap can carry the local clock far past the
+			// global clock; yield before touching memory so remote coherence
+			// actions scheduled in the meantime are visible to this access.
+			if p.clock >= entry+yieldQuantum {
+				p.s.eng.At(p.clock, p.run)
+				return
+			}
+		}
+		var blocked bool
+		switch e.Kind {
+		case trace.Read:
+			blocked = p.demandAccess(e.Addr, false, false)
+		case trace.Write:
+			blocked = p.demandAccess(e.Addr, true, false)
+		case trace.Prefetch:
+			blocked = p.prefetchOp(e.Addr, false)
+		case trace.PrefetchExcl:
+			blocked = p.prefetchOp(e.Addr, true)
+		case trace.Lock:
+			blocked = p.lockOp(e.Addr)
+		case trace.Unlock:
+			blocked = p.unlockOp(e.Addr)
+		case trace.Barrier:
+			blocked = p.barrierOp(e.Addr)
+		}
+		if blocked {
+			return
+		}
+		p.pc++
+		p.gapDone, p.refCounted, p.missCounted, p.atBarrier = false, false, false, false
+		if p.clock >= entry+yieldQuantum {
+			p.s.eng.At(p.clock, p.run)
+			return
+		}
+	}
+}
+
+// demandAccess performs a demand read or write. It returns true when the CPU
+// must block (miss, upgrade, or merge with an in-flight prefetch); the
+// continuation re-enters through run and retries the access, which then hits.
+func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) {
+	if !p.refCounted {
+		p.refCounted = true
+		if isWrite {
+			p.s.c.Writes++
+		} else {
+			p.s.c.Reads++
+		}
+		if isSync {
+			p.s.c.SyncRefs++
+		}
+	}
+	la := p.s.geom.LineAddr(a)
+	if inf := p.inflight[la]; inf != nil {
+		// A prefetch for this line is still in flight: merge with it and
+		// stall until it completes. The transaction keeps its prefetch
+		// arbitration class — the paper's round-robin arbiter prioritizes
+		// by request type, so a prefetch the CPU has since blocked on
+		// still yields to demand fetches, which is what makes
+		// prefetch-in-progress misses grow costly as the bus loads up.
+		if !p.missCounted {
+			p.missCounted = true
+			p.s.c.CPUMisses[PrefetchInProgress]++
+			p.s.attributeMiss(la, PrefetchInProgress, false)
+		}
+		inf.cpuWaiting = true
+		p.waitStart = p.clock
+		return true
+	}
+	line, hit := p.cache.Probe(a)
+	if hit {
+		if isWrite && line.State == cache.Shared {
+			p.startUpgrade(a, la)
+			return true
+		}
+		p.finishHit(line, a, isWrite)
+		return false
+	}
+	// A victim-cache hit swaps the line back into the data cache: one
+	// extra cycle, no bus operation, and no CPU miss.
+	if p.victim != nil {
+		if vl := p.victim.Lookup(la); vl != nil && vl.State.Valid() {
+			st := vl.State
+			p.victim.SnoopInvalidate(la, cache.NoInvalidatingWord)
+			nl, ev := p.cache.Allocate(la)
+			nl.State = st
+			p.handleEviction(ev, p.clock)
+			p.s.c.VictimHits++
+			p.clock++ // the swap penalty
+			p.stats.BusyCycles++
+			p.finishHit(nl, a, isWrite)
+			return false
+		}
+	}
+	// A prefetch-buffer hit moves the buffered line into the cache. The
+	// buffer holds only unshared data (shared lines are never buffered and
+	// remote writes drop entries), so the line enters privately.
+	if idx := p.bufferIndex(la); idx >= 0 {
+		p.streamBuf = append(p.streamBuf[:idx], p.streamBuf[idx+1:]...)
+		nl, ev := p.cache.Allocate(la)
+		if p.s.cfg.Protocol == MSI {
+			nl.State = cache.Shared
+		} else {
+			nl.State = cache.Exclusive
+		}
+		p.handleEviction(ev, p.clock)
+		p.s.c.StreamBufferHits++
+		p.clock++ // the move penalty
+		p.stats.BusyCycles++
+		p.finishHit(nl, a, isWrite)
+		if isWrite && nl.State == cache.Shared {
+			// Under MSI the write still needs its upgrade.
+			p.startUpgrade(a, la)
+			return true
+		}
+		return false
+	}
+	p.classifyMiss(line, la)
+	p.startFetch(la, isWrite, p.s.geom.WordIndex(a), false, bus.Demand)
+	p.waitStart = p.clock
+	return true
+}
+
+// finishHit completes a hitting access: one cycle, word-use bookkeeping, and
+// the silent Exclusive-to-Modified transition the Illinois protocol allows.
+func (p *proc) finishHit(line *cache.Line, a memory.Addr, isWrite bool) {
+	p.clock++
+	p.stats.BusyCycles++
+	line.WordsAccessed |= p.s.geom.WordMask(a)
+	line.PrefetchedUnused = false
+	if isWrite && line.State == cache.Exclusive {
+		line.State = cache.Modified
+	}
+}
+
+// classifyMiss records the CPU miss in the paper's Figure 3 taxonomy.
+func (p *proc) classifyMiss(line *cache.Line, la memory.Addr) {
+	if p.missCounted {
+		return
+	}
+	p.missCounted = true
+	inval := line != nil && line.HasTag() && !line.State.Valid()
+	var prefd, falseSharing bool
+	if inval {
+		prefd = line.PrefetchedUnused
+		if w := line.InvalidatingWord; w != cache.NoInvalidatingWord && line.WordsAccessed&(1<<uint(w)) == 0 {
+			p.s.c.FalseSharing++
+			falseSharing = true
+		}
+	} else {
+		prefd = p.wasted[la]
+	}
+	delete(p.wasted, la)
+	var class MissClass
+	switch {
+	case inval && prefd:
+		class = InvalPref
+	case inval:
+		class = InvalNotPref
+	case prefd:
+		class = NonSharingPref
+	default:
+		class = NonSharingNotPref
+	}
+	p.s.c.CPUMisses[class]++
+	p.s.attributeMiss(la, class, falseSharing)
+}
+
+// startFetch launches a line fetch on the bus. The transaction's uncontended
+// phase (address + memory lookup) takes MemLatency-TransferCycles cycles;
+// the contended data transfer then occupies the bus for TransferCycles.
+func (p *proc) startFetch(la memory.Addr, excl bool, word int, isPrefetch bool, class bus.Class) {
+	inf := &inflight{la: la, excl: excl, isPrefetch: isPrefetch, cpuWaiting: !isPrefetch}
+	req := &bus.Request{
+		Ready:     p.clock + p.s.uncont,
+		Occupancy: uint64(p.s.cfg.TransferCycles),
+		Class:     class,
+		Op:        bus.OpFill,
+		Proc:      p.id,
+		OnGrant: func(g uint64) {
+			inf.sharers = p.s.snoopFetch(p.id, la, excl, word)
+		},
+		OnComplete: func(t uint64) { p.completeFetch(inf, t) },
+	}
+	inf.req = req
+	p.inflight[la] = inf
+	if isPrefetch {
+		p.s.c.PrefetchFetches++
+		p.outstandingPrefetch++
+	}
+	p.s.bus.Submit(p.clock, req)
+}
+
+// completeFetch installs a fetched line and resumes whoever was waiting.
+func (p *proc) completeFetch(inf *inflight, t uint64) {
+	delete(p.inflight, inf.la)
+	if inf.isPrefetch && !inf.cpuWaiting && p.s.cfg.PrefetchTarget == PrefetchToBuffer {
+		// Buffer-mode prefetch: the line lands in the FIFO prefetch buffer,
+		// not the cache. The buffer never holds coherence state; remote
+		// writes drop entries.
+		p.outstandingPrefetch--
+		cap := p.s.cfg.StreamBufferLines
+		if cap == 0 {
+			cap = 16
+		}
+		if p.bufferIndex(inf.la) < 0 {
+			if len(p.streamBuf) >= cap {
+				p.streamBuf = p.streamBuf[1:] // FIFO eviction
+			}
+			p.streamBuf = append(p.streamBuf, inf.la)
+		}
+		if p.waitingForSlot {
+			p.waitingForSlot = false
+			p.stats.BufferWait += t - p.waitStart
+			p.run(t)
+		}
+		return
+	}
+	line, ev := p.cache.Allocate(inf.la)
+	p.handleEviction(ev, t)
+	msi := p.s.cfg.Protocol == MSI
+	switch {
+	case inf.isPrefetch && inf.excl:
+		// Exclusive prefetch: ownership without data modification. MSI has
+		// no private-clean state, so ownership there means Modified.
+		if msi {
+			line.State = cache.Modified
+		} else {
+			line.State = cache.Exclusive
+		}
+	case inf.isPrefetch || !inf.excl:
+		// Read fill. Illinois enters private-clean when no other cache
+		// holds the line; MSI always fills Shared.
+		if inf.sharers || msi {
+			line.State = cache.Shared
+		} else {
+			line.State = cache.Exclusive
+		}
+	default:
+		// Demand write fill (read-for-ownership): the write completes on
+		// resume, so the line is dirty.
+		line.State = cache.Modified
+	}
+	if inf.isPrefetch {
+		line.PrefetchedUnused = true
+		p.outstandingPrefetch--
+	}
+	if p.s.cfg.CheckInvariants {
+		p.s.checkLine(inf.la)
+	}
+	switch {
+	case inf.cpuWaiting:
+		p.stats.MemWait += t - p.waitStart
+		p.run(t)
+	case inf.isPrefetch && p.waitingForSlot:
+		p.waitingForSlot = false
+		p.stats.BufferWait += t - p.waitStart
+		p.run(t)
+	}
+}
+
+// handleEviction accounts for a displaced line: dirty victims owe a
+// writeback bus operation, and displaced prefetched-but-unused lines are
+// remembered so their future miss is classified "prefetched".
+func (p *proc) handleEviction(ev cache.Eviction, t uint64) {
+	if !ev.HadTag {
+		return
+	}
+	if ev.PrefetchedUnused {
+		p.wasted[ev.LineAddr] = true
+	}
+	// With a victim cache, valid victims move there instead of leaving the
+	// chip; only a dirty line falling out of the victim cache itself is
+	// written back.
+	if p.victim != nil && ev.State.Valid() {
+		vl, vev := p.victim.Allocate(ev.LineAddr)
+		vl.State = ev.State
+		if vev.HadTag && vev.State == cache.Modified {
+			p.writeback(t)
+		}
+		return
+	}
+	if ev.State == cache.Modified {
+		p.writeback(t)
+	}
+}
+
+// writeback posts a dirty-line writeback bus operation.
+func (p *proc) writeback(t uint64) {
+	p.s.bus.Submit(t, &bus.Request{
+		Ready:     t,
+		Occupancy: uint64(p.s.cfg.TransferCycles),
+		Class:     bus.Writeback,
+		Op:        bus.OpWriteback,
+		Proc:      p.id,
+	})
+}
+
+// startUpgrade posts the invalidation bus operation for a write hitting a
+// Shared line. The grant is the coherence point: if a remote write won the
+// race and invalidated the line first, the upgrade converts to a miss on
+// resume.
+func (p *proc) startUpgrade(a, la memory.Addr) {
+	word := p.s.geom.WordIndex(a)
+	var failed bool
+	req := &bus.Request{
+		Ready:     p.clock,
+		Occupancy: uint64(p.s.cfg.InvalidateCycles),
+		Class:     bus.Demand,
+		Op:        bus.OpInvalidate,
+		Proc:      p.id,
+		OnGrant: func(g uint64) {
+			l := p.cache.Lookup(la)
+			if l == nil || !l.State.Valid() {
+				failed = true
+				return
+			}
+			p.s.snoopInvalidate(p.id, la, word)
+			l.State = cache.Modified
+			if p.s.cfg.CheckInvariants {
+				p.s.checkLine(la)
+			}
+		},
+		OnComplete: func(t uint64) {
+			p.stats.MemWait += t - p.waitStart
+			if failed {
+				p.s.c.UpgradeRetries++
+			}
+			p.run(t)
+		},
+	}
+	p.waitStart = p.clock
+	p.s.bus.Submit(p.clock, req)
+}
+
+// prefetchOp executes a prefetch instruction. Prefetches are non-blocking
+// unless the 16-deep issue buffer is full.
+func (p *proc) prefetchOp(a memory.Addr, excl bool) (blocked bool) {
+	if !p.refCounted {
+		p.refCounted = true
+		p.s.c.PrefetchesIssued++
+		p.clock++ // the prefetch instruction itself
+		p.stats.BusyCycles++
+	}
+	la := p.s.geom.LineAddr(a)
+	if p.inflight[la] != nil {
+		p.s.c.PrefetchMerged++
+		return false
+	}
+	if l := p.cache.Lookup(la); l != nil && l.State.Valid() {
+		// Hit: no bus operation, even for an exclusive prefetch of a
+		// Shared line (paper §4.1, EXCL).
+		p.s.c.PrefetchCacheHits++
+		return false
+	}
+	if p.victim != nil {
+		if vl := p.victim.Lookup(la); vl != nil && vl.State.Valid() {
+			p.s.c.PrefetchCacheHits++
+			return false
+		}
+	}
+	if p.bufferIndex(la) >= 0 {
+		p.s.c.PrefetchCacheHits++
+		return false
+	}
+	if p.outstandingPrefetch >= p.s.cfg.PrefetchBufferDepth {
+		p.waitingForSlot = true
+		p.waitStart = p.clock
+		return true
+	}
+	delete(p.wasted, la) // a fresh prefetch supersedes the wasted record
+	p.startFetch(la, excl, p.s.geom.WordIndex(a), true, bus.Prefetch)
+	return false
+}
+
+// lockOp acquires the FCFS lock at a, performing the acquire's exclusive
+// read-modify-write access to the lock's cache line.
+func (p *proc) lockOp(a memory.Addr) (blocked bool) {
+	ls := p.s.locks[a]
+	if ls == nil {
+		ls = &lockState{holder: -1}
+		p.s.locks[a] = ls
+	}
+	switch ls.holder {
+	case p.id:
+		// Granted while waiting (or re-entry after the access blocked).
+		return p.demandAccess(a, true, true)
+	case -1:
+		ls.holder = p.id
+		return p.demandAccess(a, true, true)
+	default:
+		ls.queue = append(ls.queue, p.id)
+		p.waitStart = p.clock
+		return true
+	}
+}
+
+// unlockOp performs the releasing store and hands the lock to the next
+// waiter once the store completes.
+func (p *proc) unlockOp(a memory.Addr) (blocked bool) {
+	if p.demandAccess(a, true, true) {
+		return true
+	}
+	p.s.releaseLock(a, p.clock)
+	return false
+}
+
+// barrierOp blocks until every processor reaches the barrier. All
+// participants resume at the latest arrival time.
+func (p *proc) barrierOp(id memory.Addr) (blocked bool) {
+	if p.atBarrier {
+		return false
+	}
+	p.atBarrier = true
+	p.waitStart = p.clock
+	return p.s.arriveBarrier(id, p, p.clock)
+}

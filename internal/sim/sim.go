@@ -1,0 +1,667 @@
+// Package sim is this repository's analogue of Charlie, the multiprocessor
+// cache simulator used in the paper (§3.3). It replays a multiprocessor
+// address trace through per-processor Illinois-protocol caches connected by
+// the contended memory resource of internal/bus, while enforcing a legal
+// interleaving of lock and barrier synchronization.
+//
+// Modeled behaviour, following the paper:
+//
+//   - CPUs execute one cycle per instruction plus one cycle per data access
+//     that hits; demand misses block the CPU (blocking loads).
+//   - Caches are lockup-free for prefetches: a 16-deep prefetch issue buffer
+//     lets the CPU continue past outstanding prefetches, stalling only when
+//     the buffer is full.
+//   - The 100-cycle memory latency splits into an uncontended portion and a
+//     contended data-transfer portion of 4-32 cycles; bus arbitration is
+//     round-robin and favors blocking loads over prefetches.
+//   - A demand access to a line whose prefetch is still in flight merges with
+//     it and stalls for the residual latency (a prefetch-in-progress miss).
+//   - Every CPU miss is classified for the paper's Figure 3 taxonomy:
+//     {non-sharing, invalidation} x {prefetched, not prefetched} plus
+//     prefetch-in-progress, with invalidation misses further tested for
+//     false sharing.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"busprefetch/internal/bus"
+	"busprefetch/internal/cache"
+	"busprefetch/internal/memory"
+	"busprefetch/internal/trace"
+)
+
+// Protocol selects the write-invalidate coherence protocol.
+type Protocol int
+
+const (
+	// Illinois is the paper's protocol (Papamarcos & Patel): a read fill
+	// with no other sharers enters the private-clean (Exclusive) state, so
+	// a subsequent write needs no bus operation — "its most important
+	// feature for our purposes" (§3.3), and what gives exclusive prefetches
+	// their meaning.
+	Illinois Protocol = iota
+	// MSI is the ablation protocol without the private-clean state: every
+	// read fills Shared, so every first write to a line costs an
+	// invalidation bus operation. Comparing MSI against Illinois isolates
+	// how much the private-clean state matters on this machine.
+	MSI
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Illinois:
+		return "Illinois"
+	case MSI:
+		return "MSI"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// PrefetchTarget selects where prefetched lines land.
+type PrefetchTarget int
+
+const (
+	// PrefetchToCache is the paper's choice: prefetches fill the data cache
+	// itself, where they stay coherent (the cache snoops) but compete with
+	// the current working set.
+	PrefetchToCache PrefetchTarget = iota
+	// PrefetchToBuffer models the alternative the paper rejects for
+	// bus-based machines (§3.1): a separate FIFO prefetch buffer. It
+	// eliminates conflicts with the working set, but the buffer does not
+	// snoop, so shared data must not be prefetched into it — use
+	// prefetch.Options.ExcludeWriteShared when annotating for this mode.
+	// The simulator conservatively drops any buffered line whose address a
+	// remote processor writes, modeling the guarantee the paper demands
+	// ("unless it can be guaranteed not to be written during the interval").
+	PrefetchToBuffer
+)
+
+func (p PrefetchTarget) String() string {
+	switch p {
+	case PrefetchToCache:
+		return "cache"
+	case PrefetchToBuffer:
+		return "buffer"
+	}
+	return fmt.Sprintf("PrefetchTarget(%d)", int(p))
+}
+
+// Config sets the simulated machine's parameters. The zero value is not
+// valid; use DefaultConfig.
+type Config struct {
+	// Geometry is the per-processor data cache shape.
+	Geometry memory.Geometry
+	// MemLatency is the total uncontended memory access latency in cycles
+	// (the paper uses 100).
+	MemLatency int
+	// TransferCycles is the contended data-transfer portion of MemLatency
+	// (the paper sweeps 4-32). Must be <= MemLatency.
+	TransferCycles int
+	// InvalidateCycles is the bus occupancy of an address-only invalidation
+	// operation (a write upgrading a Shared line).
+	InvalidateCycles int
+	// PrefetchBufferDepth is the number of outstanding prefetches a
+	// processor may have (the paper uses 16).
+	PrefetchBufferDepth int
+	// Protocol selects Illinois (default) or the MSI ablation.
+	Protocol Protocol
+	// VictimCacheLines, when non-zero, adds a small fully-associative
+	// victim cache (Jouppi) behind each data cache — the fix the paper
+	// suggests for the conflict misses prefetching introduces (§4.3).
+	// Victim hits cost one extra cycle and no bus operation.
+	VictimCacheLines int
+	// PrefetchTarget selects cache prefetching (default) or the separate
+	// non-snooping prefetch buffer of §3.1.
+	PrefetchTarget PrefetchTarget
+	// StreamBufferLines sizes the FIFO prefetch buffer when PrefetchTarget
+	// is PrefetchToBuffer; zero selects 16 lines.
+	StreamBufferLines int
+	// Regions, when non-nil, attributes every CPU miss to the named data
+	// structure containing its address (workload.Info.Regions supplies
+	// them). Results appear in Result.RegionMisses, keyed by region name;
+	// misses outside every region land under "(unattributed)".
+	Regions []memory.Region
+	// CheckInvariants enables per-transaction MESI invariant verification.
+	// Slow; intended for tests.
+	CheckInvariants bool
+}
+
+// DefaultConfig returns the paper's machine: 32 KB direct-mapped caches with
+// 32-byte lines, 100-cycle memory latency with an 8-cycle data transfer, a
+// 2-cycle invalidation operation and a 16-deep prefetch buffer.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:            memory.DefaultGeometry(),
+		MemLatency:          100,
+		TransferCycles:      8,
+		InvalidateCycles:    2,
+		PrefetchBufferDepth: 16,
+	}
+}
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.MemLatency <= 0:
+		return fmt.Errorf("sim: memory latency %d", c.MemLatency)
+	case c.TransferCycles <= 0 || c.TransferCycles > c.MemLatency:
+		return fmt.Errorf("sim: transfer cycles %d outside (0, %d]", c.TransferCycles, c.MemLatency)
+	case c.InvalidateCycles <= 0:
+		return fmt.Errorf("sim: invalidate cycles %d", c.InvalidateCycles)
+	case c.PrefetchBufferDepth <= 0:
+		return fmt.Errorf("sim: prefetch buffer depth %d", c.PrefetchBufferDepth)
+	case c.Geometry.WordsPerLine() > 64:
+		return fmt.Errorf("sim: %d words per line exceeds the 64-word tracking limit", c.Geometry.WordsPerLine())
+	case c.VictimCacheLines < 0:
+		return fmt.Errorf("sim: negative victim cache size %d", c.VictimCacheLines)
+	case c.StreamBufferLines < 0:
+		return fmt.Errorf("sim: negative stream buffer size %d", c.StreamBufferLines)
+	case c.Protocol != Illinois && c.Protocol != MSI:
+		return fmt.Errorf("sim: unknown protocol %d", int(c.Protocol))
+	case c.PrefetchTarget != PrefetchToCache && c.PrefetchTarget != PrefetchToBuffer:
+		return fmt.Errorf("sim: unknown prefetch target %d", int(c.PrefetchTarget))
+	}
+	return nil
+}
+
+// MissClass is a CPU-miss category of the paper's Figure 3.
+type MissClass int
+
+const (
+	// NonSharingNotPref: first use, or replaced, and no prefetch covered it.
+	NonSharingNotPref MissClass = iota
+	// NonSharingPref: prefetched, but replaced before use.
+	NonSharingPref
+	// InvalNotPref: invalidated by another processor; not prefetched.
+	InvalNotPref
+	// InvalPref: prefetched, then invalidated before use.
+	InvalPref
+	// PrefetchInProgress: the prefetch reached the bus but had not completed
+	// when the CPU asked for the data.
+	PrefetchInProgress
+	// NumMissClasses is the number of categories.
+	NumMissClasses
+)
+
+var missClassNames = [NumMissClasses]string{
+	"non-sharing, not pref'd",
+	"non-sharing, pref'd",
+	"invalidation, not pref'd",
+	"invalidation, pref'd",
+	"prefetch in progress",
+}
+
+func (m MissClass) String() string {
+	if int(m) < len(missClassNames) {
+		return missClassNames[m]
+	}
+	return fmt.Sprintf("MissClass(%d)", int(m))
+}
+
+// Counters aggregates whole-run event counts.
+type Counters struct {
+	// Reads and Writes are demand references, including the exclusive
+	// accesses performed by lock acquire/release.
+	Reads, Writes uint64
+	// SyncRefs is the subset of Writes issued by lock operations.
+	SyncRefs uint64
+	// CPUMisses is the per-class demand-miss count.
+	CPUMisses [NumMissClasses]uint64
+	// FalseSharing counts invalidation misses whose invalidating write
+	// touched a word the local processor had not accessed.
+	FalseSharing uint64
+	// PrefetchesIssued counts executed prefetch instructions.
+	PrefetchesIssued uint64
+	// PrefetchCacheHits counts prefetches that found the line already valid
+	// (no bus operation, per the paper's EXCL description).
+	PrefetchCacheHits uint64
+	// PrefetchMerged counts prefetches dropped because the line was already
+	// being fetched.
+	PrefetchMerged uint64
+	// PrefetchFetches counts prefetches that initiated a bus fetch.
+	PrefetchFetches uint64
+	// UpgradeRetries counts write upgrades that lost a coherence race and
+	// re-executed as misses.
+	UpgradeRetries uint64
+	// VictimHits counts demand misses satisfied by the victim cache
+	// (one-cycle penalty, no bus operation).
+	VictimHits uint64
+	// StreamBufferHits counts demand misses satisfied by the prefetch
+	// buffer in PrefetchToBuffer mode.
+	StreamBufferHits uint64
+	// StreamBufferDrops counts buffered lines discarded because a remote
+	// processor wrote them (the non-snooping buffer's correctness guard).
+	StreamBufferDrops uint64
+}
+
+// DemandRefs returns the demand-reference count (the miss-rate denominator).
+func (c *Counters) DemandRefs() uint64 { return c.Reads + c.Writes }
+
+// TotalCPUMisses returns all demand misses including prefetch-in-progress.
+func (c *Counters) TotalCPUMisses() uint64 {
+	var n uint64
+	for _, v := range c.CPUMisses {
+		n += v
+	}
+	return n
+}
+
+// AdjustedCPUMisses returns demand misses excluding prefetch-in-progress
+// (the paper's adjusted CPU miss rate).
+func (c *Counters) AdjustedCPUMisses() uint64 {
+	return c.TotalCPUMisses() - c.CPUMisses[PrefetchInProgress]
+}
+
+// InvalidationMisses returns demand misses caused by invalidation.
+func (c *Counters) InvalidationMisses() uint64 {
+	return c.CPUMisses[InvalNotPref] + c.CPUMisses[InvalPref]
+}
+
+// TotalMisses returns all accesses (demand and prefetch) that initiated a
+// memory fetch — the paper's total-miss metric, "indicative of the demand at
+// the bottleneck component of the machine". Prefetch-in-progress misses do
+// not initiate a second fetch and are excluded.
+func (c *Counters) TotalMisses() uint64 {
+	return c.AdjustedCPUMisses() + c.PrefetchFetches
+}
+
+// ProcStats reports one processor's time breakdown.
+type ProcStats struct {
+	// BusyCycles counts instruction cycles plus completed access cycles.
+	BusyCycles uint64
+	// MemWait, LockWait, BarrierWait and BufferWait are stall cycles by
+	// cause. MemWait includes demand misses, upgrades and prefetch-in-
+	// progress stalls.
+	MemWait, LockWait, BarrierWait, BufferWait uint64
+	// FinishTime is when the processor retired its last event.
+	FinishTime uint64
+}
+
+// Utilization returns the processor's busy fraction of the full run.
+func (p ProcStats) Utilization(total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(p.BusyCycles) / float64(total)
+}
+
+// RegionMisses attributes one data structure's share of the CPU misses.
+type RegionMisses struct {
+	// CPUMisses counts all demand misses inside the region, by class.
+	CPUMisses [NumMissClasses]uint64
+	// FalseSharing counts the false-sharing subset.
+	FalseSharing uint64
+}
+
+// Total returns all CPU misses attributed to the region.
+func (r RegionMisses) Total() uint64 {
+	var n uint64
+	for _, v := range r.CPUMisses {
+		n += v
+	}
+	return n
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Config Config
+	// Cycles is the parallel execution time: the latest processor finish.
+	Cycles uint64
+	// Counters aggregates event counts across processors.
+	Counters Counters
+	// Bus is the contended-resource traffic summary.
+	Bus bus.Stats
+	// Procs is the per-processor breakdown.
+	Procs []ProcStats
+	// RegionMisses attributes CPU misses to data structures when
+	// Config.Regions was supplied (nil otherwise).
+	RegionMisses map[string]RegionMisses
+}
+
+// CPUMissRate returns CPU misses (including prefetch-in-progress) per demand
+// reference.
+func (r *Result) CPUMissRate() float64 {
+	return rate(r.Counters.TotalCPUMisses(), r.Counters.DemandRefs())
+}
+
+// AdjustedCPUMissRate excludes prefetch-in-progress misses.
+func (r *Result) AdjustedCPUMissRate() float64 {
+	return rate(r.Counters.AdjustedCPUMisses(), r.Counters.DemandRefs())
+}
+
+// TotalMissRate returns all memory fetches per demand reference.
+func (r *Result) TotalMissRate() float64 {
+	return rate(r.Counters.TotalMisses(), r.Counters.DemandRefs())
+}
+
+// InvalidationMissRate returns invalidation misses per demand reference.
+func (r *Result) InvalidationMissRate() float64 {
+	return rate(r.Counters.InvalidationMisses(), r.Counters.DemandRefs())
+}
+
+// FalseSharingMissRate returns false-sharing misses per demand reference.
+func (r *Result) FalseSharingMissRate() float64 {
+	return rate(r.Counters.FalseSharing, r.Counters.DemandRefs())
+}
+
+// MissClassRate returns the given class's misses per demand reference.
+func (r *Result) MissClassRate(m MissClass) float64 {
+	return rate(r.Counters.CPUMisses[m], r.Counters.DemandRefs())
+}
+
+// BusUtilization returns the fraction of the run the contended resource was
+// in use.
+func (r *Result) BusUtilization() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	u := float64(r.Bus.BusyCycles) / float64(r.Cycles)
+	if u > 1 {
+		u = 1 // rounding guard: the bus can be busy through the final cycle
+	}
+	return u
+}
+
+// WaitBreakdown sums each stall cause across processors and returns the
+// fractions of total processor-cycles (Cycles * procs) spent busy, waiting
+// on memory, waiting on locks, waiting at barriers, and waiting for a
+// prefetch-buffer slot.
+func (r *Result) WaitBreakdown() (busy, mem, lock, barrier, buffer float64) {
+	if r.Cycles == 0 || len(r.Procs) == 0 {
+		return
+	}
+	total := float64(r.Cycles) * float64(len(r.Procs))
+	var b, m, l, ba, bu uint64
+	for _, p := range r.Procs {
+		b += p.BusyCycles
+		m += p.MemWait
+		l += p.LockWait
+		ba += p.BarrierWait
+		bu += p.BufferWait
+	}
+	return float64(b) / total, float64(m) / total, float64(l) / total, float64(ba) / total, float64(bu) / total
+}
+
+// MeanProcUtilization returns the average processor busy fraction.
+func (r *Result) MeanProcUtilization() float64 {
+	if len(r.Procs) == 0 || r.Cycles == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range r.Procs {
+		s += p.Utilization(r.Cycles)
+	}
+	return s / float64(len(r.Procs))
+}
+
+func rate(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// Run simulates the trace on the configured machine and returns the result.
+// The trace must validate (see trace.Validate); Run checks it and reports a
+// deadlocked or hung replay as an error.
+func Run(cfg Config, t *trace.Trace) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Procs() == 0 {
+		return nil, fmt.Errorf("sim: trace has no processors")
+	}
+	if t.Procs() > 64 {
+		return nil, fmt.Errorf("sim: %d processors exceeds the 64-processor limit", t.Procs())
+	}
+	s := newSimulator(cfg, t)
+	return s.run()
+}
+
+// simulator owns the machine state for one run.
+type simulator struct {
+	cfg    Config
+	eng    *engine
+	bus    *bus.Bus
+	procs  []*proc
+	locks  map[memory.Addr]*lockState
+	barrs  map[memory.Addr]*barrierState
+	c      Counters
+	geom   memory.Geometry
+	uncont uint64 // MemLatency - TransferCycles
+
+	// regions, sorted by base address, attributes misses to data
+	// structures; regionMisses accumulates by region name.
+	regions      []memory.Region
+	regionMisses map[string]*RegionMisses
+}
+
+// regionName returns the name of the region containing a, or
+// "(unattributed)". Regions are sorted by base; binary search.
+func (s *simulator) regionName(a memory.Addr) string {
+	lo, hi := 0, len(s.regions)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		r := s.regions[mid]
+		switch {
+		case a < r.Base:
+			hi = mid - 1
+		case a >= r.End():
+			lo = mid + 1
+		default:
+			return r.Name
+		}
+	}
+	return "(unattributed)"
+}
+
+// attributeMiss records a classified CPU miss against its data structure.
+func (s *simulator) attributeMiss(a memory.Addr, class MissClass, falseSharing bool) {
+	if s.regionMisses == nil {
+		return
+	}
+	name := s.regionName(a)
+	rm := s.regionMisses[name]
+	if rm == nil {
+		rm = &RegionMisses{}
+		s.regionMisses[name] = rm
+	}
+	rm.CPUMisses[class]++
+	if falseSharing {
+		rm.FalseSharing++
+	}
+}
+
+type lockState struct {
+	holder int // processor id, or -1
+	queue  []int
+}
+
+type barrierState struct {
+	arrived    int
+	maxArrival uint64
+	waiting    []int
+}
+
+func newSimulator(cfg Config, t *trace.Trace) *simulator {
+	s := &simulator{
+		cfg:    cfg,
+		eng:    &engine{},
+		locks:  make(map[memory.Addr]*lockState),
+		barrs:  make(map[memory.Addr]*barrierState),
+		geom:   cfg.Geometry,
+		uncont: uint64(cfg.MemLatency - cfg.TransferCycles),
+	}
+	if len(cfg.Regions) > 0 {
+		s.regions = append([]memory.Region(nil), cfg.Regions...)
+		sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
+		s.regionMisses = make(map[string]*RegionMisses)
+	}
+	s.bus = bus.New(s.eng, t.Procs())
+	s.procs = make([]*proc, t.Procs())
+	for i := range s.procs {
+		s.procs[i] = newProc(s, i, t.Streams[i])
+	}
+	return s
+}
+
+func (s *simulator) run() (*Result, error) {
+	for _, p := range s.procs {
+		p := p
+		s.eng.At(0, p.run)
+	}
+	s.eng.run()
+	res := &Result{Config: s.cfg, Counters: s.c, Bus: s.bus.Stats(), Procs: make([]ProcStats, len(s.procs))}
+	if s.regionMisses != nil {
+		res.RegionMisses = make(map[string]RegionMisses, len(s.regionMisses))
+		for name, rm := range s.regionMisses {
+			res.RegionMisses[name] = *rm
+		}
+	}
+	for i, p := range s.procs {
+		if !p.finished {
+			return nil, fmt.Errorf("sim: processor %d stalled at event %d/%d (deadlock or inconsistent trace)", i, p.pc, len(p.stream))
+		}
+		res.Procs[i] = p.stats
+		if p.stats.FinishTime > res.Cycles {
+			res.Cycles = p.stats.FinishTime
+		}
+	}
+	return res, nil
+}
+
+// snoopFetch performs the coherence actions of a fetch at its bus grant time
+// and reports whether any other cache held a valid copy (which decides the
+// Illinois Shared-versus-Exclusive fill state). For exclusive fetches the
+// other copies are invalidated, recording word for false-sharing analysis.
+func (s *simulator) snoopFetch(requester int, la memory.Addr, excl bool, word int) (sharers bool) {
+	for _, p := range s.procs {
+		if p.id == requester {
+			continue
+		}
+		if excl {
+			if p.cache.SnoopInvalidate(la, word) != cache.Invalid {
+				sharers = true
+			}
+			if p.victim != nil && p.victim.SnoopInvalidate(la, word) != cache.Invalid {
+				sharers = true
+			}
+			p.dropBuffered(la)
+		} else {
+			if p.cache.SnoopRead(la) != cache.Invalid {
+				sharers = true
+			}
+			if p.victim != nil && p.victim.SnoopRead(la) != cache.Invalid {
+				sharers = true
+			}
+		}
+	}
+	return sharers
+}
+
+// snoopInvalidate broadcasts an upgrade's invalidation.
+func (s *simulator) snoopInvalidate(requester int, la memory.Addr, word int) {
+	for _, p := range s.procs {
+		if p.id != requester {
+			p.cache.SnoopInvalidate(la, word)
+			if p.victim != nil {
+				p.victim.SnoopInvalidate(la, word)
+			}
+			p.dropBuffered(la)
+		}
+	}
+}
+
+// releaseLock hands the lock to the next FCFS waiter, if any, at time now.
+func (s *simulator) releaseLock(a memory.Addr, now uint64) {
+	ls := s.locks[a]
+	if ls == nil || len(ls.queue) == 0 {
+		if ls != nil {
+			ls.holder = -1
+		}
+		return
+	}
+	next := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	ls.holder = next
+	p := s.procs[next]
+	p.stats.LockWait += now - p.waitStart
+	s.eng.At(now, p.run)
+}
+
+// arriveBarrier registers proc p at barrier id. Every participant — the last
+// arrival included — resumes at the latest arrival time, since processor
+// clocks advance asynchronously. It always blocks the caller; the release
+// event re-enters the processor past the barrier.
+func (s *simulator) arriveBarrier(id memory.Addr, p *proc, now uint64) (blocked bool) {
+	bs := s.barrs[id]
+	if bs == nil {
+		bs = &barrierState{}
+		s.barrs[id] = bs
+	}
+	bs.arrived++
+	if now > bs.maxArrival {
+		bs.maxArrival = now
+	}
+	if bs.arrived < len(s.procs) {
+		bs.waiting = append(bs.waiting, p.id)
+		return true
+	}
+	release := bs.maxArrival
+	for _, wid := range bs.waiting {
+		w := s.procs[wid]
+		w.stats.BarrierWait += release - w.waitStart
+		s.eng.At(release, w.run)
+	}
+	bs.arrived = 0
+	bs.maxArrival = 0
+	bs.waiting = bs.waiting[:0]
+	p.stats.BarrierWait += release - now
+	s.eng.At(release, p.run)
+	return true
+}
+
+// checkLine verifies the MESI single-owner invariant for one line across all
+// caches. Enabled by Config.CheckInvariants; a violation is a simulator bug,
+// so it panics.
+func (s *simulator) checkLine(la memory.Addr) {
+	owners, sharers := 0, 0
+	for _, p := range s.procs {
+		switch p.cache.StateOf(la) {
+		case cache.Modified, cache.Exclusive:
+			owners++
+		case cache.Shared:
+			sharers++
+		}
+		if p.victim != nil {
+			switch p.victim.StateOf(la) {
+			case cache.Modified, cache.Exclusive:
+				owners++
+			case cache.Shared:
+				sharers++
+			}
+		}
+	}
+	if owners > 1 || (owners == 1 && sharers > 0) {
+		detail := ""
+		for _, p := range s.procs {
+			if st := p.cache.StateOf(la); st != cache.Invalid {
+				inf := ""
+				if p.inflight[la] != nil {
+					inf = fmt.Sprintf(" inflight(excl=%v,pf=%v)", p.inflight[la].excl, p.inflight[la].isPrefetch)
+				}
+				detail += fmt.Sprintf(" proc%d=%v%s", p.id, st, inf)
+			}
+		}
+		panic(fmt.Sprintf("sim: coherence invariant violated for line 0x%x: %d owners, %d sharers:%s",
+			uint64(la), owners, sharers, detail))
+	}
+}

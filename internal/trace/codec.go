@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"busprefetch/internal/memory"
+)
+
+// The binary trace format is a small, self-describing container so generated
+// traces can be saved and replayed without regenerating the workload:
+//
+//	magic "BPTR" | version u8 | name len uvarint | name bytes
+//	proc count uvarint
+//	per stream: event count uvarint, then per event:
+//	  kind u8 | gap uvarint | addr delta zigzag-varint (delta from previous
+//	  addr in the stream, which compresses the strided accesses workloads
+//	  produce)
+//
+// All integers are unsigned varints except the address delta, which is
+// zigzag-encoded because strides run both directions.
+
+const (
+	codecMagic   = "BPTR"
+	codecVersion = 1
+)
+
+// Encode writes the trace to w in the binary trace format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(t.Name)))
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(t.Streams)))
+	for _, s := range t.Streams {
+		writeUvarint(bw, uint64(len(s)))
+		prev := uint64(0)
+		for _, e := range s {
+			if err := bw.WriteByte(byte(e.Kind)); err != nil {
+				return err
+			}
+			writeUvarint(bw, uint64(e.Gap))
+			delta := int64(uint64(e.Addr) - prev)
+			writeVarint(bw, delta)
+			prev = uint64(e.Addr)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace previously written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	procs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if procs > 64 {
+		return nil, fmt.Errorf("trace: %d processors exceeds the 64-processor limit", procs)
+	}
+	t := &Trace{Name: string(name), Streams: make([]Stream, procs)}
+	for p := range t.Streams {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		s := make(Stream, 0, n)
+		prev := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			kb, err := br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("trace: proc %d event %d: %w", p, i, err)
+			}
+			if Kind(kb) >= numKinds {
+				return nil, fmt.Errorf("trace: proc %d event %d: unknown kind %d", p, i, kb)
+			}
+			gap, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if gap > 1<<32-1 {
+				return nil, fmt.Errorf("trace: proc %d event %d: gap %d overflows", p, i, gap)
+			}
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			prev += uint64(delta)
+			s = append(s, Event{Kind: Kind(kb), Gap: uint32(gap), Addr: memory.Addr(prev)})
+		}
+		t.Streams[p] = s
+	}
+	return t, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // flush reports the error
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // flush reports the error
+}

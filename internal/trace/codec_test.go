@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"busprefetch/internal/memory"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "roundtrip", Streams: []Stream{
+		{
+			{Kind: Read, Addr: 0x1000, Gap: 3},
+			{Kind: Write, Addr: 0x1004},
+			{Kind: Prefetch, Addr: 0x8000_0000_0000, Gap: 1000000},
+			{Kind: PrefetchExcl, Addr: 0x20},
+			{Kind: Lock, Addr: 0x40},
+			{Kind: Unlock, Addr: 0x40},
+			{Kind: Barrier, Addr: 7},
+		},
+		{}, // empty stream survives
+		{{Kind: Read, Addr: 0}},
+	}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := &Trace{Name: "q", Streams: []Stream{make(Stream, 0, n)}}
+		prev := memory.Addr(r.Uint64() % (1 << 40))
+		for i := 0; i < int(n); i++ {
+			// Random walk so deltas are signed.
+			prev = memory.Addr(uint64(prev) + uint64(int64(r.Intn(4096)-2048)))
+			tr.Streams[0] = append(tr.Streams[0], Event{
+				Kind: Kind(r.Intn(int(numKinds))),
+				Gap:  uint32(r.Intn(1 << 20)),
+				Addr: prev,
+			})
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x01\x00\x00"),
+		"bad version": []byte("BPTR\x63\x00\x00"),
+		"truncated":   []byte("BPTR\x01"),
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Decode accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	tr := &Trace{Name: "k", Streams: []Stream{{{Kind: Read, Addr: 4}}}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The event's kind byte is right after magic(4)+ver(1)+namelen(1)+name(1)+procs(1)+evcount(1).
+	raw[9] = 0xEE
+	if _, err := Decode(bytes.NewReader(raw)); err == nil {
+		t.Error("Decode accepted an unknown event kind")
+	}
+}
+
+func TestDecodeRejectsTooManyProcs(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("BPTR\x01")
+	buf.WriteByte(0)  // empty name
+	buf.WriteByte(65) // 65 processors
+	if _, err := Decode(&buf); err == nil {
+		t.Error("Decode accepted 65 processors")
+	}
+}
+
+func TestCodecCompressesStrides(t *testing.T) {
+	// Sequential word accesses should cost only a few bytes per event.
+	tr := &Trace{Name: "s", Streams: []Stream{make(Stream, 0, 10000)}}
+	for i := 0; i < 10000; i++ {
+		tr.Streams[0] = append(tr.Streams[0], Event{Kind: Read, Gap: 3, Addr: memory.Addr(0x10000 + 4*i)})
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()) / 10000
+	if perEvent > 4 {
+		t.Errorf("stride encoding too fat: %.1f bytes/event", perEvent)
+	}
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"busprefetch/internal/memory"
+	"busprefetch/internal/trace"
+)
+
+// rng is a splitmix64 generator: tiny, fast, and deterministic across
+// platforms, which keeps traces reproducible without pulling in math/rand's
+// global state.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64, stream uint64) *rng {
+	return &rng{state: uint64(seed)*0x9e3779b97f4a7c15 + stream*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn on non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Float returns a uniform float64 in [0, 1).
+func (r *rng) Float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Chance reports true with probability p.
+func (r *rng) Chance(p float64) bool { return r.Float() < p }
+
+// builder accumulates one processor's event stream. Instruction work between
+// memory references is recorded as the next event's Gap.
+type builder struct {
+	events trace.Stream
+	gap    uint32
+}
+
+// Instr records n instruction cycles of non-memory work.
+func (b *builder) Instr(n int) { b.gap += uint32(n) }
+
+func (b *builder) emit(k trace.Kind, a memory.Addr) {
+	b.events = append(b.events, trace.Event{Kind: k, Addr: a, Gap: b.gap})
+	b.gap = 0
+}
+
+// Read records a demand load of address a.
+func (b *builder) Read(a memory.Addr) { b.emit(trace.Read, a) }
+
+// Write records a demand store to address a.
+func (b *builder) Write(a memory.Addr) { b.emit(trace.Write, a) }
+
+// Lock records acquisition of the mutex at a.
+func (b *builder) Lock(a memory.Addr) { b.emit(trace.Lock, a) }
+
+// Unlock records release of the mutex at a.
+func (b *builder) Unlock(a memory.Addr) { b.emit(trace.Unlock, a) }
+
+// Barrier records arrival at barrier id.
+func (b *builder) Barrier(id uint64) { b.emit(trace.Barrier, memory.Addr(id)) }
+
+// Refs returns the number of demand references recorded so far.
+func (b *builder) Refs() int {
+	n := 0
+	for _, e := range b.events {
+		if e.Kind.IsDemand() {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadRun reads words stride apart starting at a, touching n words.
+func (b *builder) ReadRun(a memory.Addr, n int, stride int, instrBetween int) {
+	for i := 0; i < n; i++ {
+		b.Read(a + memory.Addr(i*stride))
+		if instrBetween > 0 {
+			b.Instr(instrBetween)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"busprefetch/internal/memory"
+	"busprefetch/internal/restructure"
+	"busprefetch/internal/trace"
+)
+
+// Pverify models the paper's Pverify: parallel boolean-circuit equivalence
+// checking (Ma et al.). Its traced behaviour: a high miss rate (NP processor
+// utilization .18-.41, bus saturation at slow transfers), dominated by
+// invalidation misses with a very large false-sharing component — gate
+// values are one word each and written by whichever processor evaluates the
+// gate, so a cache line's eight values are written by many processors. The
+// paper restructures Pverify: blocking the value array by evaluating
+// processor removed almost all false sharing (invalidation miss rate down
+// about 4x) while slightly increasing non-sharing misses.
+//
+// The kernel: a levelized circuit. Gates are distributed round-robin;
+// evaluating a gate reads its fanin values (scattered — capacity and true
+// sharing misses), does private truth-table work, and writes the gate's
+// value. A lock-protected shared counter hands out work batches; a barrier
+// separates levels.
+const (
+	pverifyGates    = 8192 // gates in the circuit (32 KB of values)
+	pverifyLevels   = 8    // circuit depth (work proceeds level by level)
+	pverifyFanin    = 3    // fanin values read per gate
+	pverifyHotSpan  = 48   // hot fanins: just-evaluated gates
+	pverifyFanSpan  = 512  // later fanins: wider span, poor temporal locality
+	pverifyPrivate  = 30   // private compute references per gate
+	pverifyBatch    = 128  // gates claimed per queue lock
+	pverifyGap      = 4    // instruction cycles between references
+	pverifyRefsPerK = 110  // thousand demand refs per processor at scale 1
+)
+
+// Pverify returns the Pverify workload.
+func Pverify() *Workload {
+	return &Workload{
+		Name:         "pverify",
+		Description:  "boolean circuit equivalence checking",
+		DefaultProcs: 16,
+		generate:     genPverify,
+	}
+}
+
+func pverifyOwner(gate, procs int) int { return gate % procs }
+
+func genPverify(p Params) (*trace.Trace, Info) {
+	ls := p.Geometry.LineSize
+	lay := memory.NewLayout(0x4000_0000, ls)
+
+	// Gate value array: one word per gate. The original layout packs the
+	// values, interleaving writers within every line; the restructured
+	// program groups each processor's gates together.
+	valuesBase := lay.AllocLines("values", 0, true).Base
+	var values *restructure.Mapper
+	if p.Restructured {
+		values = restructure.BlockedByOwner(valuesBase, memory.WordSize, pverifyGates, ls, p.Procs,
+			func(i int) int { return pverifyOwner(i, p.Procs) })
+	} else {
+		values = restructure.Packed(valuesBase, memory.WordSize, pverifyGates)
+	}
+	lay.Record("values", valuesBase, values.Size(), true)
+	lay.Skip(values.Size())
+
+	// The per-level output tally: one heavily contended line every
+	// processor updates as it retires gates. Touched constantly (stays in
+	// the PWS filter) but stolen between touches — the uncoverable misses.
+	tally := lay.AllocLines("level-tally", pverifyLevels*ls, true)
+	queueLock := lay.AllocLines("queue-lock", ls, true)
+	queueCtr := lay.AllocLines("queue-counter", ls, true)
+	tables := make([]memory.Addr, p.Procs)
+	for i := 0; i < p.Procs; i++ {
+		tables[i] = lay.AllocLines("truth-tables", 4096, false).Base
+	}
+
+	gatesPerLevel := pverifyGates / pverifyLevels
+	refsPerGate := 2*pverifyFanin + 1 + pverifyPrivate
+	ownPerLevel := gatesPerLevel / p.Procs
+	refsNeeded := int(float64(pverifyRefsPerK*1000) * p.Scale)
+	passes := refsNeeded / (pverifyLevels * ownPerLevel * refsPerGate)
+	if passes < 1 {
+		passes = 1
+	}
+
+	t := &trace.Trace{Streams: make([]trace.Stream, p.Procs)}
+	for proc := 0; proc < p.Procs; proc++ {
+		r := newRNG(p.Seed, uint64(proc)+301)
+		b := &builder{}
+		tableWords := 4096 / memory.WordSize
+		tw := 0
+		bar := uint64(0)
+		for pass := 0; pass < passes; pass++ {
+			for level := 0; level < pverifyLevels; level++ {
+				levelBase := level * gatesPerLevel
+				// Claim work in batches through the shared queue.
+				for batch := 0; batch < ownPerLevel; batch += pverifyBatch {
+					b.Instr(pverifyGap)
+					b.Lock(queueLock.Base)
+					b.Instr(2)
+					b.Read(queueCtr.Base)
+					b.Instr(1)
+					b.Write(queueCtr.Base)
+					b.Unlock(queueLock.Base)
+					n := pverifyBatch
+					if batch+n > ownPerLevel {
+						n = ownPerLevel - batch
+					}
+					for g := 0; g < n; g++ {
+						// The gate this processor evaluates: round-robin
+						// within the level, so adjacent gates (adjacent
+						// value words) belong to different processors.
+						gate := levelBase + (batch+g)*p.Procs + proc
+						if gate >= levelBase+gatesPerLevel {
+							gate = levelBase + (gate % gatesPerLevel)
+						}
+						// Read fanins from the preceding gates. Levelized
+						// circuits connect mostly to nearby levels, so one
+						// fanin comes from the immediately preceding gates —
+						// values other processors are writing *right now*,
+						// with good temporal locality (the PWS filter skips
+						// them, leaving their invalidation misses uncovered)
+						// — and the rest from a wider span with poor
+						// temporal locality (PWS prefetches those).
+						for f := 0; f < pverifyFanin; f++ {
+							span := pverifyHotSpan
+							if f == pverifyFanin-1 {
+								span = pverifyFanSpan
+							}
+							if span > pverifyGates {
+								span = pverifyGates
+							}
+							src := gate - 2 - r.Intn(span)
+							if src < 0 {
+								src += pverifyGates
+							}
+							// Multi-bit signals: read the gate's value and
+							// its owner's next value — adjacent within an
+							// owner's block after restructuring, two lines
+							// apart in the original interleaved layout.
+							b.Instr(pverifyGap)
+							b.Read(values.Elem(src))
+							b.Instr(pverifyGap)
+							b.Read(values.Elem((src + p.Procs) % pverifyGates))
+						}
+						// Private truth-table evaluation.
+						for k := 0; k < pverifyPrivate; k++ {
+							tw = (tw + 7) % tableWords
+							a := tables[proc] + memory.Addr(tw*memory.WordSize)
+							b.Instr(pverifyGap)
+							if k%5 == 4 {
+								b.Write(a)
+							} else {
+								b.Read(a)
+							}
+						}
+						b.Instr(pverifyGap)
+						b.Write(values.Elem(gate))
+						// Retire the gate into the level tally.
+						if g%2 == 0 {
+							ta := tally.Base + memory.Addr(level*ls)
+							b.Instr(pverifyGap)
+							b.Write(ta) // atomic add: one read-for-ownership
+						}
+					}
+				}
+			}
+			// One barrier per verification pass; within a pass the work
+			// queue, not barriers, orders the computation.
+			b.Barrier(bar)
+			bar++
+		}
+		t.Streams[proc] = b.events
+	}
+
+	info := Info{
+		Description: "levelized gate evaluation with a shared work queue",
+		DataSet:     int(lay.Top() - 0x4000_0000),
+		SharedData:  values.Size() + 2*ls,
+		Regions:     lay.Regions(),
+	}
+	return t, info
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"busprefetch/internal/memory"
+	"busprefetch/internal/restructure"
+	"busprefetch/internal/trace"
+)
+
+// Topopt models the paper's Topopt: topological optimization of VLSI
+// circuits by parallel simulated annealing (Devadas & Newton). Its traced
+// behaviour (paper §3.2, §4.3-4.4): a *small* shared data set with a high
+// degree of fine-grain write sharing (packed two-word cell records share
+// cache lines, so most invalidation misses are false sharing), a large
+// number of conflict misses even though the data is small (the real
+// program's private tables collide in the direct-mapped cache), and
+// lock-based synchronization around moves.
+//
+// The kernel: processors repeatedly pick two random cells, lock their
+// regions in address order, read both cells and a few topological
+// neighbours, evaluate the move against two private cost tables that map to
+// the same cache sets (the conflict-miss source — and, with prefetching, the
+// source of prefetches that evict each other, the paper's Topopt
+// pathology), and accept the move with fixed probability, writing both
+// cells back.
+//
+// Restructuring (paper Tables 4-5) pads each cell onto its own line,
+// eliminating the false sharing, and offsets the second private table by a
+// line, removing the set collision — reproducing the paper's observation
+// that restructured Topopt lost most invalidation misses *and* half its
+// non-sharing misses.
+const (
+	topoptCells      = 2048 // shared cell records
+	topoptCellRec    = 8    // bytes per cell (2 words): 4 cells per line
+	topoptLocks      = 64   // region locks
+	topoptHomePct    = 70   // chance the move's first cell is in the home region
+	topoptScratch    = 140  // private compute references per move
+	topoptAcceptPct  = 30   // move acceptance probability (percent)
+	topoptGap        = 5    // instruction cycles between references
+	topoptRefsPerK   = 110  // thousand demand refs per processor at scale 1
+	topoptTableWords = 2048 // entries in each conflicting private table
+)
+
+// Topopt returns the Topopt workload.
+func Topopt() *Workload {
+	return &Workload{
+		Name:         "topopt",
+		Description:  "VLSI topological optimization via parallel simulated annealing",
+		DefaultProcs: 10,
+		generate:     genTopopt,
+	}
+}
+
+func genTopopt(p Params) (*trace.Trace, Info) {
+	ls := p.Geometry.LineSize
+	lay := memory.NewLayout(0x1000_0000, ls)
+
+	// Shared cell array. Cells are "owned" (mostly optimized) by processor
+	// cell%procs. In the original program cells were laid out in discovery
+	// order, interleaving owners within every cache line — each 32-byte
+	// line holds four two-word cells of four different processors, the
+	// false-sharing layout. The restructured program (Jeremiassen & Eggers)
+	// groups each processor's cells contiguously, which both removes the
+	// false sharing and improves locality, with no growth in footprint.
+	var cells *restructure.Mapper
+	// The cell array occupies the upper half of the cache's set space so it
+	// does not collide with the (lower-set) private tables.
+	lay.AlignTo(p.Geometry.CacheSize, p.Geometry.CacheSize/2)
+	cellsBase := lay.AllocLines("cells", 0, true).Base
+	if p.Restructured {
+		cells = restructure.BlockedByOwner(cellsBase, topoptCellRec, topoptCells, ls, p.Procs,
+			func(i int) int { return i % p.Procs })
+	} else {
+		cells = restructure.Packed(cellsBase, topoptCellRec, topoptCells)
+	}
+	lay.Record("cells", cellsBase, cells.Size(), true)
+	lay.Skip(cells.Size())
+
+	lay.AlignTo(p.Geometry.CacheSize, 192*ls)              // locks: sets 192-255
+	locks := lay.AllocLines("locks", topoptLocks*ls, true) // one lock per line
+	// The annealing temperature / global cost accumulator: one line all
+	// processors read every move and write on acceptance. It is accessed
+	// far too often to leave the PWS temporal-locality filter, so its
+	// (frequent) invalidation misses are the component no prefetching
+	// strategy covers.
+	lay.AlignTo(p.Geometry.CacheSize, 448*ls) // cost: set 448
+	cost := lay.AllocLines("global-cost", ls, true)
+
+	// Per-processor private cost tables. In the original layout the two
+	// tables sit exactly one cache size apart, so table A entry i and table
+	// B entry i map to the same set of the direct-mapped cache and evict
+	// each other — the conflict misses the paper attributes to Topopt. The
+	// restructured program offsets table B by one line, removing the
+	// pathological mapping (the locality improvement the paper observed).
+	tableBytes := topoptTableWords * memory.WordSize
+	tablesA := make([]memory.Addr, p.Procs)
+	tablesB := make([]memory.Addr, p.Procs)
+	for i := 0; i < p.Procs; i++ {
+		lay.AlignTo(p.Geometry.CacheSize, 0)
+		a := lay.Alloc("tableA", tableBytes, false)
+		if !p.Restructured {
+			// Original program: table B lands exactly one cache size after
+			// table A, so A[j] and B[j] collide in the direct-mapped cache.
+			lay.AlignTo(p.Geometry.CacheSize, 0)
+		}
+		b := lay.Alloc("tableB", tableBytes, false)
+		tablesA[i], tablesB[i] = a.Base, b.Base
+	}
+	scratch := make([]memory.Addr, p.Procs)
+	for i := 0; i < p.Procs; i++ {
+		lay.AlignTo(p.Geometry.CacheSize, 128*ls) // scratch: sets 128-191
+		scratch[i] = lay.AllocLines("scratch", 2048, false).Base
+	}
+
+	moves := int(float64(topoptRefsPerK*1000) * p.Scale / 152.0) // ~152 refs per move
+	if moves < 1 {
+		moves = 1
+	}
+
+	t := &trace.Trace{Streams: make([]trace.Stream, p.Procs)}
+	for proc := 0; proc < p.Procs; proc++ {
+		r := newRNG(p.Seed, uint64(proc)+1)
+		b := &builder{}
+		readCell := func(c int) {
+			b.Instr(topoptGap)
+			b.Read(cells.Word(c, 0))
+			b.Instr(topoptGap)
+			b.Read(cells.Word(c, 1))
+		}
+		// Moves are biased: a processor mostly optimizes its own cells (so
+		// its cells and region locks stay resident and owned), but swap
+		// partners come from anywhere — the cross-processor write sharing.
+		ownCount := topoptCells / p.Procs
+		for m := 0; m < moves; m++ {
+			var c1 int
+			if r.Intn(100) < topoptHomePct {
+				c1 = proc + p.Procs*r.Intn(ownCount)
+			} else {
+				c1 = r.Intn(topoptCells)
+			}
+			var c2 int
+			if r.Intn(100) < topoptHomePct {
+				c2 = proc + p.Procs*r.Intn(ownCount)
+			} else {
+				c2 = r.Intn(topoptCells)
+			}
+			region := c1 % topoptLocks
+			b.Instr(topoptGap)
+			b.Lock(locks.Base + memory.Addr(region*ls))
+			checkCost := m%4 == 3
+			if checkCost {
+				b.Instr(topoptGap)
+				b.Read(cost.Base) // current global cost
+			}
+			readCell(c1)
+			readCell(c2)
+			// One topological neighbour per endpoint — circuit neighbours
+			// belong to the same partition, i.e. the same owner.
+			b.Instr(topoptGap)
+			b.Read(cells.Word((c1+p.Procs*(1+r.Intn(5)))%topoptCells, 0))
+			b.Instr(topoptGap)
+			b.Read(cells.Word((c2+p.Procs*(1+r.Intn(5)))%topoptCells, 0))
+			// Cost evaluation: one colliding pair of table lookups plus
+			// private scratch work.
+			// Table lookups cycle through a small hot window, so they stay
+			// resident — except that in the original layout A[j] and B[j]
+			// share a cache set and evict each other on every move.
+			j := (m * 7) % 512
+			b.Instr(topoptGap)
+			b.Read(tablesA[proc] + memory.Addr(j*memory.WordSize))
+			b.Instr(topoptGap)
+			b.Read(tablesB[proc] + memory.Addr(j*memory.WordSize))
+			for k := 0; k < topoptScratch; k++ {
+				a := scratch[proc] + memory.Addr((k%(2048/memory.WordSize))*memory.WordSize)
+				b.Instr(topoptGap)
+				if k%4 == 3 {
+					b.Write(a)
+				} else {
+					b.Read(a)
+				}
+			}
+			if r.Intn(100) < topoptAcceptPct {
+				// Accept: swap the two cells' placements.
+				b.Instr(topoptGap)
+				b.Write(cells.Word(c1, 0))
+				b.Instr(topoptGap)
+				b.Write(cells.Word(c1, 1))
+				b.Instr(topoptGap)
+				b.Write(cells.Word(c2, 0))
+				b.Instr(topoptGap)
+				b.Write(cells.Word(c2, 1))
+				if checkCost {
+					b.Instr(topoptGap)
+					b.Write(cost.Base) // publish the new global cost
+				}
+			}
+			b.Unlock(locks.Base + memory.Addr(region*ls))
+		}
+		t.Streams[proc] = b.events
+	}
+
+	info := Info{
+		Description: "parallel simulated annealing on a VLSI circuit",
+		DataSet:     int(lay.Top() - 0x1000_0000),
+		SharedData:  cells.Size() + locks.Size + cost.Size,
+		Regions:     lay.Regions(),
+	}
+	return t, info
+}

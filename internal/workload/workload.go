@@ -1,0 +1,143 @@
+// Package workload generates the multiprocessor address traces that stand in
+// for the paper's MPTrace traces of five parallel C programs on a Sequent
+// Symmetry (paper §3.2, Table 1).
+//
+// The original traces are not obtainable, so each program is replaced by a
+// small deterministic kernel that executes the same *kind* of computation
+// and reproduces the memory behaviour the paper reports for it: the ratio of
+// data-set to cache size, the amount and granularity of write sharing, the
+// false-sharing layout, the temporal locality, the synchronization style,
+// and — after calibration — the resulting miss rates, processor utilizations
+// and bus utilizations. The simulator consumes only the address streams, so
+// matching those statistics is what preserves the paper's phenomena.
+//
+// All generators are deterministic in (Params.Seed, Params.Procs,
+// Params.Scale): the same parameters always produce the identical trace.
+package workload
+
+import (
+	"fmt"
+
+	"busprefetch/internal/memory"
+	"busprefetch/internal/trace"
+)
+
+// Params configures trace generation.
+type Params struct {
+	// Procs is the number of processors; 0 selects the workload default.
+	Procs int
+	// Scale multiplies the trace length; 1.0 is the calibrated default
+	// (roughly 10^5 references per processor). Must be > 0; values below
+	// about 0.1 leave too few references for stable statistics.
+	Scale float64
+	// Seed perturbs the deterministic generators.
+	Seed int64
+	// Restructured applies the false-sharing-removing layout transformation
+	// of internal/restructure (meaningful for Topopt and Pverify, the two
+	// programs the paper restructures; other workloads ignore it).
+	Restructured bool
+	// Geometry supplies the line size used for layout decisions; the zero
+	// value selects memory.DefaultGeometry().
+	Geometry memory.Geometry
+}
+
+func (p Params) withDefaults(defProcs int) Params {
+	if p.Procs == 0 {
+		p.Procs = defProcs
+	}
+	if p.Scale == 0 {
+		p.Scale = 1.0
+	}
+	if p.Geometry == (memory.Geometry{}) {
+		p.Geometry = memory.DefaultGeometry()
+	}
+	return p
+}
+
+// DefaultProcs is the processor count used for all workloads, standing in
+// for the paper's per-program process counts (unreadable in the source
+// text); twelve processors is in the range contemporaneous Symmetry studies
+// used and reproduces the paper's bus-utilization levels.
+const DefaultProcs = 12
+
+// Info describes a workload for reports (the paper's Table 1).
+type Info struct {
+	Name        string
+	Description string
+	// DataSet is the total bytes of workload data structures.
+	DataSet int
+	// SharedData is the bytes of intentionally shared structures.
+	SharedData int
+	Procs      int
+	// Regions lists the workload's named data structures (several entries
+	// may share a name, e.g. one scratch region per processor); pass them
+	// to sim.Config.Regions to attribute misses to data structures.
+	Regions []memory.Region
+}
+
+// Workload is a named trace generator.
+type Workload struct {
+	// Name is the canonical lower-case name (e.g. "mp3d").
+	Name string
+	// Description is a one-line summary echoing the paper's Table 1.
+	Description string
+	// DefaultProcs is the processor count used when Params.Procs is zero.
+	DefaultProcs int
+	generate     func(p Params) (*trace.Trace, Info)
+}
+
+// Generate builds the trace (and its Info) for the given parameters.
+func (w *Workload) Generate(p Params) (*trace.Trace, Info, error) {
+	p = p.withDefaults(w.DefaultProcs)
+	if p.Scale <= 0 {
+		return nil, Info{}, fmt.Errorf("workload %s: scale %v must be positive", w.Name, p.Scale)
+	}
+	if p.Procs < 2 || p.Procs > 64 {
+		return nil, Info{}, fmt.Errorf("workload %s: procs %d outside [2, 64]", w.Name, p.Procs)
+	}
+	if err := p.Geometry.Validate(); err != nil {
+		return nil, Info{}, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	t, info := w.generate(p)
+	t.Name = w.Name
+	info.Name = w.Name
+	info.Procs = p.Procs
+	if err := t.Validate(); err != nil {
+		return nil, Info{}, fmt.Errorf("workload %s: generated invalid trace: %w", w.Name, err)
+	}
+	return t, info, nil
+}
+
+// All returns the five workloads in the paper's presentation order.
+func All() []*Workload {
+	return []*Workload{Topopt(), Mp3d(), LocusRoute(), Pverify(), Water()}
+}
+
+// ByName returns the named workload (case-insensitive).
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if equalFold(w.Name, name) {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"busprefetch/internal/memory"
+	"busprefetch/internal/trace"
+)
+
+func TestAllWorkloadsListed(t *testing.T) {
+	names := []string{}
+	for _, w := range All() {
+		names = append(names, w.Name)
+	}
+	want := []string{"topopt", "mp3d", "locus", "pverify", "water"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("All() = %v, want %v", names, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("MP3D")
+	if err != nil || w.Name != "mp3d" {
+		t.Errorf("ByName(MP3D) = %v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestGeneratedTracesValidate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			tr, info, err := w.Generate(Params{Scale: 0.05, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Procs() != w.DefaultProcs {
+				t.Errorf("procs = %d, want %d", tr.Procs(), w.DefaultProcs)
+			}
+			if info.DataSet <= 0 || info.SharedData <= 0 {
+				t.Errorf("info missing sizes: %+v", info)
+			}
+			if tr.DemandRefs() == 0 {
+				t.Error("no demand references")
+			}
+		})
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a, _, err := w.Generate(Params{Scale: 0.03, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := w.Generate(Params{Scale: 0.03, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different traces", w.Name)
+		}
+	}
+}
+
+func TestSeedChangesTrace(t *testing.T) {
+	w := Mp3d()
+	a, _, err := w.Generate(Params{Scale: 0.03, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := w.Generate(Params{Scale: 0.03, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestScaleControlsLength(t *testing.T) {
+	w := Water()
+	small, _, err := w.Generate(Params{Scale: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _, err := w.Generate(Params{Scale: 1.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lengths are quantized to whole steps, so demand a loose factor.
+	if big.DemandRefs() < 3*small.DemandRefs() {
+		t.Errorf("scale 1.0 trace (%d refs) not much larger than scale 0.1 (%d refs)",
+			big.DemandRefs(), small.DemandRefs())
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	w := Water()
+	if _, _, err := w.Generate(Params{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, _, err := w.Generate(Params{Procs: 1, Scale: 0.1}); err == nil {
+		t.Error("single processor accepted (needs >= 2 for sharing)")
+	}
+	if _, _, err := w.Generate(Params{Procs: 100, Scale: 0.1}); err == nil {
+		t.Error("100 processors accepted (limit is 64)")
+	}
+}
+
+func TestProcsOverride(t *testing.T) {
+	w := Mp3d()
+	tr, info, err := w.Generate(Params{Procs: 6, Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Procs() != 6 || info.Procs != 6 {
+		t.Errorf("procs = %d/%d, want 6", tr.Procs(), info.Procs)
+	}
+}
+
+func TestWorkloadsExhibitWriteSharing(t *testing.T) {
+	g := memory.DefaultGeometry()
+	for _, w := range All() {
+		tr, _, err := w.Generate(Params{Scale: 0.05, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := trace.AnalyzeSharing(tr, g)
+		_, _, ws := prof.Counts()
+		if ws == 0 {
+			t.Errorf("%s: no write-shared lines — the paper's whole topic", w.Name)
+		}
+	}
+}
+
+// TestRestructuredLayoutsReduceLineSharing verifies the §4.4 transformation
+// at the trace level: the restructured variants of Topopt and Pverify have
+// far fewer write-shared lines whose writers differ from their readers.
+func TestRestructuredChangesLayoutOnly(t *testing.T) {
+	for _, name := range []string{"topopt", "pverify"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, _, err := w.Generate(Params{Scale: 0.05, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		restr, _, err := w.Generate(Params{Scale: 0.05, Seed: 1, Restructured: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// The computation is unchanged: same reference counts per processor.
+		if orig.DemandRefs() != restr.DemandRefs() {
+			t.Errorf("%s: restructuring changed the demand reference count (%d vs %d)",
+				name, orig.DemandRefs(), restr.DemandRefs())
+		}
+	}
+}
+
+func TestTable1Characteristics(t *testing.T) {
+	// The calibrated workload characteristics the rest of the suite relies
+	// on: shared data sizes and per-workload process counts.
+	expected := map[string]int{"topopt": 10, "mp3d": 12, "locus": 10, "pverify": 16, "water": 10}
+	for _, w := range All() {
+		if expected[w.Name] != w.DefaultProcs {
+			t.Errorf("%s: DefaultProcs = %d, want %d", w.Name, w.DefaultProcs, expected[w.Name])
+		}
+	}
+}
+
+func TestBuilderGapAccumulation(t *testing.T) {
+	b := &builder{}
+	b.Instr(3)
+	b.Instr(2)
+	b.Read(0x100)
+	b.Write(0x104)
+	if len(b.events) != 2 {
+		t.Fatalf("events = %d", len(b.events))
+	}
+	if b.events[0].Gap != 5 {
+		t.Errorf("gap = %d, want 5", b.events[0].Gap)
+	}
+	if b.events[1].Gap != 0 {
+		t.Errorf("second gap = %d, want 0", b.events[1].Gap)
+	}
+	if b.Refs() != 2 {
+		t.Errorf("Refs = %d", b.Refs())
+	}
+}
+
+func TestRNGDeterminismAndRange(t *testing.T) {
+	a := newRNG(1, 2)
+	b := newRNG(1, 2)
+	for i := 0; i < 100; i++ {
+		x, y := a.Intn(1000), b.Intn(1000)
+		if x != y {
+			t.Fatal("rng not deterministic")
+		}
+		if x < 0 || x >= 1000 {
+			t.Fatalf("Intn out of range: %d", x)
+		}
+	}
+	c := newRNG(1, 3)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.next() != c.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different streams produced identical sequences")
+	}
+}
