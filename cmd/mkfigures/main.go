@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,7 +54,13 @@ func main() {
 		}
 	}
 	if err := suite.Prewarm(keys, progress); err != nil {
-		fatal(err)
+		// Individual failed cells are annotated in the tables; the rest of
+		// the report still renders. Anything else is fatal.
+		var cells *experiments.CellErrors
+		if !errors.As(err, &cells) {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "mkfigures: warning:", err)
 	}
 
 	var sections []string

@@ -14,8 +14,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"busprefetch/internal/prefetch"
@@ -25,21 +27,85 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// workloadNames returns the valid -workload values.
+func workloadNames() string {
+	var names []string
+	for _, w := range workload.All() {
+		names = append(names, w.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// strategyNames returns the valid -strategy values.
+func strategyNames() string {
+	var names []string
+	for _, s := range prefetch.Strategies() {
+		names = append(names, s.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// run is the whole command: every failure — an unknown workload, a bad flag
+// combination, a corrupt trace file, a simulation fault — comes back as an
+// error and turns into one diagnostic line and a non-zero exit, never a panic.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("prefetchsim", flag.ContinueOnError)
 	var (
-		wlName       = flag.String("workload", "mp3d", "workload: topopt, mp3d, locus, pverify, water")
-		stratName    = flag.String("strategy", "NP", "prefetch strategy: NP, PREF, EXCL, LPD, PWS")
-		all          = flag.Bool("all", false, "run all five strategies and compare")
-		transfer     = flag.Int("transfer", 8, "contended data-transfer latency in cycles (paper: 4-32)")
-		latency      = flag.Int("latency", 100, "total memory latency in cycles")
-		procs        = flag.Int("procs", 0, "processor count (0 = workload default)")
-		scale        = flag.Float64("scale", 1.0, "trace length multiplier")
-		seed         = flag.Int64("seed", 1, "workload generator seed")
-		restructured = flag.Bool("restructured", false, "use the false-sharing-restructured layout")
-		distance     = flag.Int("distance", 0, "prefetch distance in cycles (0 = strategy default)")
-		regions      = flag.Bool("regions", false, "attribute CPU misses to workload data structures")
-		tracePath    = flag.String("trace", "", "replay a saved binary trace instead of generating a workload")
+		wlName       = fs.String("workload", "mp3d", "workload: "+workloadNames())
+		stratName    = fs.String("strategy", "NP", "prefetch strategy: "+strategyNames())
+		all          = fs.Bool("all", false, "run all five strategies and compare")
+		transfer     = fs.Int("transfer", 8, "contended data-transfer latency in cycles (paper: 4-32)")
+		latency      = fs.Int("latency", 100, "total memory latency in cycles")
+		procs        = fs.Int("procs", 0, "processor count (0 = workload default)")
+		scale        = fs.Float64("scale", 1.0, "trace length multiplier")
+		seed         = fs.Int64("seed", 1, "workload generator seed")
+		restructured = fs.Bool("restructured", false, "use the false-sharing-restructured layout")
+		distance     = fs.Int("distance", 0, "prefetch distance in cycles (0 = strategy default)")
+		regions      = fs.Bool("regions", false, "attribute CPU misses to workload data structures")
+		tracePath    = fs.String("trace", "", "replay a saved binary trace instead of generating a workload")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
+	if *tracePath != "" {
+		// Generation flags are meaningless when replaying a saved trace;
+		// silently ignoring them would hide a typo'd invocation.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workload", "procs", "scale", "seed", "restructured":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("%s cannot be combined with -trace (the trace is already generated)",
+				strings.Join(conflict, ", "))
+		}
+	}
+
+	// Resolve the strategy before the (possibly expensive) trace generation
+	// so a typo'd -strategy fails in milliseconds.
+	var strategies []prefetch.Strategy
+	if *all {
+		strategies = prefetch.Strategies()
+	} else {
+		s, err := prefetch.ParseStrategy(*stratName)
+		if err != nil {
+			return fmt.Errorf("unknown strategy %q (valid: %s)", *stratName, strategyNames())
+		}
+		strategies = append(strategies, s)
+	}
 
 	var (
 		base *trace.Trace
@@ -48,25 +114,25 @@ func main() {
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		base, err = trace.Decode(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		info = workload.Info{Name: base.Name, Description: "replayed from " + *tracePath}
 	} else {
 		w, err := workload.ByName(*wlName)
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("unknown workload %q (valid: %s)", *wlName, workloadNames())
 		}
 		params := workload.Params{Procs: *procs, Scale: *scale, Seed: *seed, Restructured: *restructured}
 		base, info, err = w.Generate(params)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -76,35 +142,27 @@ func main() {
 	if *regions {
 		cfg.Regions = info.Regions
 	}
-
-	st := trace.Summarize(base, cfg.Geometry)
-	fmt.Printf("workload %s: %d procs, %d demand refs (%d reads, %d writes), %d locks, %d barriers\n",
-		info.Name, st.Procs, st.DemandRefs, st.Reads, st.Writes, st.Locks, st.Barriers)
-	fmt.Printf("data touched %d KB, shared %d KB, write-shared %d KB; transfer latency %d/%d cycles\n\n",
-		st.TouchedData/1024, st.SharedData/1024, st.WriteShared/1024, *transfer, *latency)
-
-	strategies := []prefetch.Strategy{}
-	if *all {
-		strategies = prefetch.Strategies()
-	} else {
-		s, err := prefetch.ParseStrategy(*stratName)
-		if err != nil {
-			fatal(err)
-		}
-		strategies = append(strategies, s)
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 
+	st := trace.Summarize(base, cfg.Geometry)
+	fmt.Fprintf(stdout, "workload %s: %d procs, %d demand refs (%d reads, %d writes), %d locks, %d barriers\n",
+		info.Name, st.Procs, st.DemandRefs, st.Reads, st.Writes, st.Locks, st.Barriers)
+	fmt.Fprintf(stdout, "data touched %d KB, shared %d KB, write-shared %d KB; transfer latency %d/%d cycles\n\n",
+		st.TouchedData/1024, st.SharedData/1024, st.WriteShared/1024, *transfer, *latency)
+
 	var npCycles uint64
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "strategy\tcycles\trel.time\tCPU MR\tadj MR\ttotal MR\tinval MR\tFS MR\tbus util\tproc util\tprefetches\tpf-hits")
 	for _, s := range strategies {
 		annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		res, err := sim.Run(cfg, annotated)
 		if err != nil {
-			fatal(fmt.Errorf("strategy %s: %w", s, err))
+			return fmt.Errorf("strategy %s: %w", s, err)
 		}
 		if s == prefetch.NP {
 			npCycles = res.Cycles
@@ -120,18 +178,19 @@ func main() {
 			res.BusUtilization(), res.MeanProcUtilization(),
 			res.Counters.PrefetchesIssued, res.Counters.PrefetchCacheHits)
 		if err := tw.Flush(); err != nil {
-			fatal(err)
+			return err
 		}
-		printComponents(res)
+		printComponents(stdout, res)
 		if *regions {
-			printRegions(res)
+			printRegions(stdout, res)
 		}
 	}
+	return nil
 }
 
 // printRegions shows which data structures the CPU misses came from,
 // largest contributor first.
-func printRegions(res *sim.Result) {
+func printRegions(w io.Writer, res *sim.Result) {
 	type row struct {
 		name string
 		rm   sim.RegionMisses
@@ -147,32 +206,32 @@ func printRegions(res *sim.Result) {
 		return rows[i].name < rows[j].name
 	})
 	total := res.Counters.TotalCPUMisses()
-	fmt.Printf("    misses by data structure:\n")
+	fmt.Fprintf(w, "    misses by data structure:\n")
 	for _, r := range rows {
 		if r.rm.Total() == 0 {
 			continue
 		}
 		inval := r.rm.CPUMisses[sim.InvalNotPref] + r.rm.CPUMisses[sim.InvalPref]
-		fmt.Printf("      %-18s %6.1f%%  (inval %.0f%%, false sharing %.0f%%)\n",
+		fmt.Fprintf(w, "      %-18s %6.1f%%  (inval %.0f%%, false sharing %.0f%%)\n",
 			r.name, 100*float64(r.rm.Total())/float64(total),
 			100*float64(inval)/float64(r.rm.Total()),
 			100*float64(r.rm.FalseSharing)/float64(r.rm.Total()))
 	}
 }
 
-func printComponents(res *sim.Result) {
+func printComponents(w io.Writer, res *sim.Result) {
 	c := &res.Counters
 	total := c.TotalCPUMisses()
 	if total == 0 {
 		return
 	}
-	fmt.Printf("    miss components:")
+	fmt.Fprintf(w, "    miss components:")
 	for m := sim.MissClass(0); m < sim.NumMissClasses; m++ {
-		fmt.Printf("  %s %.1f%%", m, 100*float64(c.CPUMisses[m])/float64(total))
+		fmt.Fprintf(w, "  %s %.1f%%", m, 100*float64(c.CPUMisses[m])/float64(total))
 	}
-	fmt.Printf("  | false sharing %.1f%% of inval\n", pct(c.FalseSharing, c.InvalidationMisses()))
+	fmt.Fprintf(w, "  | false sharing %.1f%% of inval\n", pct(c.FalseSharing, c.InvalidationMisses()))
 	busy, mem, lock, barrier, buffer := res.WaitBreakdown()
-	fmt.Printf("    time: busy %.2f mem %.2f lock %.2f barrier %.2f buffer %.2f\n",
+	fmt.Fprintf(w, "    time: busy %.2f mem %.2f lock %.2f barrier %.2f buffer %.2f\n",
 		busy, mem, lock, barrier, buffer)
 }
 
@@ -181,9 +240,4 @@ func pct(n, d uint64) float64 {
 		return 0
 	}
 	return 100 * float64(n) / float64(d)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "prefetchsim:", err)
-	os.Exit(1)
 }

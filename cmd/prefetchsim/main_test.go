@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"busprefetch/internal/check"
+	"busprefetch/internal/trace"
+)
+
+func TestRunHappyPath(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "water", "-strategy", "PREF", "-scale", "0.05"}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"workload water", "strategy", "PREF", "bus util"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "nosuch"}, &out)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nosuch") || !strings.Contains(msg, "mp3d") || !strings.Contains(msg, "water") {
+		t.Errorf("error %q does not list the valid workloads", msg)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Errorf("error is not one line: %q", msg)
+	}
+}
+
+func TestRunUnknownStrategy(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "water", "-strategy", "nosuch", "-scale", "0.05"}, &out)
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "nosuch") || !strings.Contains(msg, "PREF") || !strings.Contains(msg, "PWS") {
+		t.Errorf("error %q does not list the valid strategies", msg)
+	}
+}
+
+func TestRunBadFlagCombos(t *testing.T) {
+	cases := [][]string{
+		{"-trace", "x.bptr", "-workload", "mp3d"},
+		{"-trace", "x.bptr", "-restructured"},
+		{"-workload", "water", "-scale", "-1"},
+		{"-workload", "water", "-transfer", "0", "-scale", "0.05"},
+		{"-workload", "water", "-transfer", "999", "-scale", "0.05"},
+		{"stray-arg"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunCorruptTraceRejected(t *testing.T) {
+	// Encode a tiny valid trace, flip one bit, and replay it: the CRC footer
+	// must reject the file with an error, not a panic or a bogus simulation.
+	tr := &trace.Trace{Name: "t", Streams: []trace.Stream{
+		{{Kind: trace.Read, Addr: 0x1000}},
+		{{Kind: trace.Read, Addr: 0x2000, Gap: 3}},
+	}}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	corrupt, _ := check.NewInjector(3).FlipBit(buf.Bytes(), 100)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corrupt.bptr")
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-trace", path}, &out)
+	if err == nil {
+		t.Fatal("corrupt trace accepted")
+	}
+	if !strings.Contains(err.Error(), "trace:") {
+		t.Errorf("error %q does not come from the trace codec", err)
+	}
+
+	// The pristine file replays fine.
+	good := filepath.Join(dir, "good.bptr")
+	if err := os.WriteFile(good, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-trace", good}, &out); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}

@@ -143,11 +143,14 @@ type Bus struct {
 const noAttempt = ^uint64(0)
 
 // New creates a bus for nproc processors using sched for future events.
-func New(sched Scheduler, nproc int) *Bus {
-	if nproc <= 0 {
-		panic(fmt.Sprintf("bus: nproc %d", nproc))
+func New(sched Scheduler, nproc int) (*Bus, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("bus: nil scheduler")
 	}
-	return &Bus{sched: sched, nproc: nproc, lastWin: nproc - 1, attemptAt: noAttempt, completionDone: true}
+	if nproc <= 0 {
+		return nil, fmt.Errorf("bus: processor count %d must be positive", nproc)
+	}
+	return &Bus{sched: sched, nproc: nproc, lastWin: nproc - 1, attemptAt: noAttempt, completionDone: true}, nil
 }
 
 // Stats returns the traffic counters accumulated so far.
@@ -160,10 +163,19 @@ func (b *Bus) Pending() int { return len(b.pending) }
 func (b *Bus) FreeAt() uint64 { return b.freeAt }
 
 // Submit queues a request. now is the current simulation time; the request's
-// Ready must be >= now.
-func (b *Bus) Submit(now uint64, r *Request) {
+// Ready is clamped up to now. A nil, re-submitted, or zero-occupancy fill
+// request is rejected with an error — the request is not queued and the bus
+// state is unchanged, so the caller can fail its run with context instead of
+// crashing the process.
+func (b *Bus) Submit(now uint64, r *Request) error {
+	if r == nil {
+		return fmt.Errorf("bus: nil request at cycle %d", now)
+	}
 	if r.pending || r.granted {
-		panic("bus: request submitted twice")
+		return fmt.Errorf("bus: %v %v request from proc %d submitted twice at cycle %d", r.Class, r.Op, r.Proc, now)
+	}
+	if r.Proc < 0 || r.Proc >= b.nproc {
+		return fmt.Errorf("bus: request from proc %d outside [0, %d) at cycle %d", r.Proc, b.nproc, now)
 	}
 	if r.Ready < now {
 		r.Ready = now
@@ -173,6 +185,7 @@ func (b *Bus) Submit(now uint64, r *Request) {
 	r.pending = true
 	b.pending = append(b.pending, r)
 	b.scheduleAttempt(now, maxU64(r.Ready, b.freeAt))
+	return nil
 }
 
 // Promote raises a still-pending request to Demand class (a CPU is now

@@ -53,6 +53,15 @@ func (s *testSched) run() {
 	}
 }
 
+func mustNew(t *testing.T, s Scheduler, nproc int) *Bus {
+	t.Helper()
+	b, err := New(s, nproc)
+	if err != nil {
+		t.Fatalf("New(%d): %v", nproc, err)
+	}
+	return b
+}
+
 func mkReq(ready, occ uint64, class Class, proc int, grants *[]grantRecord, name string) *Request {
 	r := &Request{Ready: ready, Occupancy: occ, Class: class, Op: OpFill, Proc: proc}
 	r.OnGrant = func(g uint64) {
@@ -68,7 +77,7 @@ type grantRecord struct {
 
 func TestSingleRequestGrantedAtReady(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 4)
+	b := mustNew(t, s, 4)
 	var grants []grantRecord
 	var completeAt uint64
 	r := mkReq(100, 8, Demand, 0, &grants, "r")
@@ -88,7 +97,7 @@ func TestSingleRequestGrantedAtReady(t *testing.T) {
 
 func TestSerialization(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 4)
+	b := mustNew(t, s, 4)
 	var grants []grantRecord
 	b.Submit(0, mkReq(10, 8, Demand, 0, &grants, "a"))
 	b.Submit(0, mkReq(10, 8, Demand, 1, &grants, "b"))
@@ -103,7 +112,7 @@ func TestSerialization(t *testing.T) {
 
 func TestDemandBeatsPrefetch(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 4)
+	b := mustNew(t, s, 4)
 	var grants []grantRecord
 	// Both ready at 10; prefetch submitted first but demand must win.
 	b.Submit(0, mkReq(10, 8, Prefetch, 0, &grants, "pf"))
@@ -116,7 +125,7 @@ func TestDemandBeatsPrefetch(t *testing.T) {
 
 func TestWritebackLosesToBoth(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 4)
+	b := mustNew(t, s, 4)
 	var grants []grantRecord
 	b.Submit(0, mkReq(5, 4, Writeback, 0, &grants, "wb"))
 	b.Submit(0, mkReq(5, 4, Prefetch, 1, &grants, "pf"))
@@ -132,7 +141,7 @@ func TestWritebackLosesToBoth(t *testing.T) {
 
 func TestRoundRobinAmongSameClass(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 4)
+	b := mustNew(t, s, 4)
 	var grants []grantRecord
 	// lastWin starts at proc 3, so round-robin order is 0,1,2,3.
 	b.Submit(0, mkReq(0, 2, Demand, 2, &grants, "p2"))
@@ -150,7 +159,7 @@ func TestRoundRobinAmongSameClass(t *testing.T) {
 
 func TestRoundRobinRotates(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 2)
+	b := mustNew(t, s, 2)
 	var grants []grantRecord
 	// After proc 0 wins, proc 1 must come before proc 0 again.
 	b.Submit(0, mkReq(0, 2, Demand, 0, &grants, "a0"))
@@ -165,7 +174,7 @@ func TestRoundRobinRotates(t *testing.T) {
 
 func TestPromote(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 4)
+	b := mustNew(t, s, 4)
 	var grants []grantRecord
 	pf := mkReq(10, 8, Prefetch, 0, &grants, "pf")
 	b.Submit(0, pf)
@@ -182,7 +191,7 @@ func TestPromote(t *testing.T) {
 
 func TestCancel(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 4)
+	b := mustNew(t, s, 4)
 	var grants []grantRecord
 	r := mkReq(10, 8, Prefetch, 0, &grants, "r")
 	b.Submit(0, r)
@@ -200,7 +209,7 @@ func TestCancel(t *testing.T) {
 
 func TestStatsByOp(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 2)
+	b := mustNew(t, s, 2)
 	var grants []grantRecord
 	inv := mkReq(0, 2, Demand, 0, &grants, "inv")
 	inv.Op = OpInvalidate
@@ -227,7 +236,7 @@ func TestStatsByOp(t *testing.T) {
 
 func TestCompletionRunsBeforeNextGrant(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 2)
+	b := mustNew(t, s, 2)
 	var order []string
 	a := &Request{Ready: 0, Occupancy: 4, Class: Demand, Proc: 0,
 		OnComplete: func(uint64) { order = append(order, "a-complete") }}
@@ -241,22 +250,99 @@ func TestCompletionRunsBeforeNextGrant(t *testing.T) {
 	}
 }
 
-func TestDoubleSubmitPanics(t *testing.T) {
+func TestDoubleSubmitRejected(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 2)
+	b := mustNew(t, s, 2)
 	r := &Request{Ready: 0, Occupancy: 1, Proc: 0}
-	b.Submit(0, r)
-	defer func() {
-		if recover() == nil {
-			t.Error("double submit did not panic")
+	if err := b.Submit(0, r); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if err := b.Submit(0, r); err == nil {
+		t.Error("double submit accepted; want error")
+	}
+	if got := b.Pending(); got != 1 {
+		t.Errorf("pending after rejected resubmit = %d, want 1", got)
+	}
+	s.run()
+	// A granted request must also be rejected on resubmission.
+	if err := b.Submit(s.now, r); err == nil {
+		t.Error("resubmit of granted request accepted; want error")
+	}
+}
+
+func TestSubmitRejectsBadRequest(t *testing.T) {
+	s := &testSched{}
+	b := mustNew(t, s, 2)
+	if err := b.Submit(0, nil); err == nil {
+		t.Error("nil request accepted; want error")
+	}
+	if err := b.Submit(0, &Request{Ready: 0, Occupancy: 1, Proc: 7}); err == nil {
+		t.Error("out-of-range proc accepted; want error")
+	}
+	if err := b.Submit(0, &Request{Ready: 0, Occupancy: 1, Proc: -1}); err == nil {
+		t.Error("negative proc accepted; want error")
+	}
+	if got := b.Pending(); got != 0 {
+		t.Errorf("rejected submissions left %d pending requests", got)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(&testSched{}, 0); err == nil {
+		t.Error("New accepted zero processors")
+	}
+	if _, err := New(&testSched{}, -3); err == nil {
+		t.Error("New accepted negative processors")
+	}
+	if _, err := New(nil, 4); err == nil {
+		t.Error("New accepted nil scheduler")
+	}
+}
+
+// TestRoundRobinFairnessUnderSaturation keeps four processors' demand
+// streams saturating the bus — each processor resubmits a fresh request the
+// moment its previous one completes — and verifies the round-robin arbiter
+// shares grants evenly (no processor is starved or favored).
+func TestRoundRobinFairnessUnderSaturation(t *testing.T) {
+	s := &testSched{}
+	const nproc = 4
+	const perProc = 64
+	b := mustNew(t, s, nproc)
+	counts := make([]int, nproc)
+	var submit func(proc, remaining int)
+	submit = func(proc, remaining int) {
+		r := &Request{Ready: s.now, Occupancy: 4, Class: Demand, Op: OpFill, Proc: proc}
+		r.OnGrant = func(uint64) { counts[proc]++ }
+		r.OnComplete = func(uint64) {
+			if remaining > 1 {
+				submit(proc, remaining-1)
+			}
 		}
-	}()
-	b.Submit(0, r)
+		if err := b.Submit(s.now, r); err != nil {
+			t.Fatalf("submit proc %d: %v", proc, err)
+		}
+	}
+	for p := 0; p < nproc; p++ {
+		submit(p, perProc)
+	}
+	s.run()
+	for p, c := range counts {
+		if c != perProc {
+			t.Errorf("proc %d got %d grants, want %d", p, c, perProc)
+		}
+	}
+	// Under permanent saturation the arbiter must also interleave, not run
+	// one processor to completion: the bus can never be idle between the
+	// first submission and the last completion.
+	st := b.Stats()
+	if st.BusyCycles != nproc*perProc*4 {
+		t.Errorf("busy cycles %d, want %d (no idle gaps under saturation)", st.BusyCycles, nproc*perProc*4)
+	}
 }
 
 func TestLateReadyRequestWaits(t *testing.T) {
 	s := &testSched{}
-	b := New(s, 2)
+	b := mustNew(t, s, 2)
 	var grants []grantRecord
 	b.Submit(0, mkReq(50, 4, Demand, 0, &grants, "late"))
 	b.Submit(0, mkReq(0, 4, Prefetch, 1, &grants, "early-pf"))

@@ -1,0 +1,161 @@
+// Package check is the simulator's always-on validation and fault-injection
+// subsystem. The paper's results depend on Charlie replaying *legal*
+// interleavings through a correct Illinois protocol; this package supplies
+// the machinery that turns a protocol bug, a corrupted trace, or a hung
+// replay into a structured, diagnosable error instead of a panic:
+//
+//   - Coherence verifies the Illinois single-owner / no-M-sharer invariants
+//     for one line across all caches, returning a *Violation with the cycle,
+//     the line, and every cache's view of it.
+//   - PrefetchAccounting verifies a processor's prefetch issue-buffer
+//     bookkeeping (the 16-deep lockup-free buffer of paper §3.3).
+//   - StallError (watchdog.go) reports a deadlocked or livelocked replay,
+//     naming the blocked processors and the synchronization object each one
+//     waits on.
+//   - Plan and Injector (inject.go) inject faults — dropped lock releases,
+//     flipped cache states, corrupted or truncated trace records, flipped
+//     bits in encoded traces — so tests can prove the checker, the watchdog
+//     and the trace codec actually catch each failure class.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"busprefetch/internal/cache"
+	"busprefetch/internal/memory"
+)
+
+// ProcLineState is one processor's view of a cache line at a check point:
+// the data-cache state, the victim-cache state (Invalid when there is no
+// victim cache or it does not hold the line), and whether the processor has
+// a fetch of the line in flight.
+type ProcLineState struct {
+	Proc        int
+	State       cache.State
+	VictimState cache.State
+	// Inflight is true when the processor has an outstanding fetch of the
+	// line; Excl and IsPrefetch describe that fetch.
+	Inflight   bool
+	Excl       bool
+	IsPrefetch bool
+}
+
+func (p ProcLineState) String() string {
+	s := fmt.Sprintf("proc%d=%v", p.Proc, p.State)
+	if p.VictimState.Valid() {
+		s += fmt.Sprintf("(victim %v)", p.VictimState)
+	}
+	if p.Inflight {
+		s += fmt.Sprintf(" inflight(excl=%v,pf=%v)", p.Excl, p.IsPrefetch)
+	}
+	return s
+}
+
+// Violation is a detected invariant violation. It is an error; the simulator
+// aborts the run and returns it, so one corrupted run fails with a diagnosis
+// instead of taking the whole experiment suite down.
+type Violation struct {
+	// Cycle is the simulation time at which the violation was detected.
+	Cycle uint64
+	// Line is the cache-line address the violation concerns (zero for
+	// per-processor accounting violations).
+	Line memory.Addr
+	// Rule names the broken invariant ("multiple-owner", "owner-with-sharers",
+	// "prefetch-accounting").
+	Rule string
+	// Detail is a human-readable elaboration.
+	Detail string
+	// States is every cache's view of the line at detection time (nil for
+	// accounting violations).
+	States []ProcLineState
+}
+
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %s violated at cycle %d", v.Rule, v.Cycle)
+	if v.Line != 0 {
+		fmt.Fprintf(&b, " for line 0x%x", uint64(v.Line))
+	}
+	if v.Detail != "" {
+		fmt.Fprintf(&b, ": %s", v.Detail)
+	}
+	if len(v.States) > 0 {
+		b.WriteString(" [")
+		first := true
+		for _, s := range v.States {
+			if s.State == cache.Invalid && !s.VictimState.Valid() && !s.Inflight {
+				continue
+			}
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.WriteString(s.String())
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// Coherence verifies the Illinois invariants for one line given every
+// cache's view of it: at most one owner (Modified or Exclusive, in the data
+// cache or the victim cache), and no Shared copies anywhere while an owner
+// exists. It returns nil when the states are legal.
+//
+// Callers check at a bus transaction's serialization point (the grant),
+// before snooping repairs remote copies — a corrupted state is caught there
+// before the protocol's normal actions can mask it — and again after a fill
+// installs its line.
+func Coherence(cycle uint64, line memory.Addr, states []ProcLineState) *Violation {
+	owners, sharers := 0, 0
+	for _, s := range states {
+		switch s.State {
+		case cache.Modified, cache.Exclusive:
+			owners++
+		case cache.Shared:
+			sharers++
+		}
+		switch s.VictimState {
+		case cache.Modified, cache.Exclusive:
+			owners++
+		case cache.Shared:
+			sharers++
+		}
+	}
+	switch {
+	case owners > 1:
+		return &Violation{
+			Cycle:  cycle,
+			Line:   line,
+			Rule:   "multiple-owner",
+			Detail: fmt.Sprintf("%d caches own the line", owners),
+			States: append([]ProcLineState(nil), states...),
+		}
+	case owners == 1 && sharers > 0:
+		return &Violation{
+			Cycle:  cycle,
+			Line:   line,
+			Rule:   "owner-with-sharers",
+			Detail: fmt.Sprintf("1 owner coexists with %d shared copies", sharers),
+			States: append([]ProcLineState(nil), states...),
+		}
+	}
+	return nil
+}
+
+// PrefetchAccounting verifies a processor's prefetch issue-buffer counters:
+// the outstanding count must equal the number of in-flight prefetch
+// transactions and stay within [0, depth]. A mismatch means the simulator
+// leaked or double-freed an issue-buffer slot.
+func PrefetchAccounting(cycle uint64, proc, outstanding, inflightPrefetches, depth int) *Violation {
+	if outstanding == inflightPrefetches && outstanding >= 0 && outstanding <= depth {
+		return nil
+	}
+	return &Violation{
+		Cycle: cycle,
+		Rule:  "prefetch-accounting",
+		Detail: fmt.Sprintf("proc %d: %d outstanding prefetches, %d in flight, depth %d",
+			proc, outstanding, inflightPrefetches, depth),
+	}
+}

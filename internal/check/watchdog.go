@@ -1,0 +1,98 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"busprefetch/internal/memory"
+)
+
+// WaitKind classifies what a stalled processor is blocked on.
+type WaitKind int
+
+const (
+	// WaitUnknown: the processor is unfinished but not blocked on any known
+	// object (it may simply never have been resumed).
+	WaitUnknown WaitKind = iota
+	// WaitMemory: blocked on an outstanding line fetch.
+	WaitMemory
+	// WaitLock: queued on a mutex another processor holds.
+	WaitLock
+	// WaitBarrier: waiting for the remaining processors to arrive.
+	WaitBarrier
+	// WaitBufferSlot: waiting for a prefetch issue-buffer slot.
+	WaitBufferSlot
+)
+
+func (k WaitKind) String() string {
+	switch k {
+	case WaitMemory:
+		return "memory"
+	case WaitLock:
+		return "lock"
+	case WaitBarrier:
+		return "barrier"
+	case WaitBufferSlot:
+		return "prefetch-buffer slot"
+	}
+	return "unknown"
+}
+
+// ProcStall describes one blocked processor in a stall report.
+type ProcStall struct {
+	// Proc is the processor id.
+	Proc int
+	// Event and Events locate the stalled event within the stream.
+	Event, Events int
+	// Wait says what the processor is blocked on.
+	Wait WaitKind
+	// Object is the synchronization object or line address waited on,
+	// meaningful when HasObject (a barrier's Object is its identifier, not a
+	// memory location).
+	Object    memory.Addr
+	HasObject bool
+	// Holder is the processor holding the contended lock (WaitLock only);
+	// -1 when unknown or not applicable.
+	Holder int
+}
+
+func (p ProcStall) String() string {
+	s := fmt.Sprintf("proc %d at event %d/%d waiting on %v", p.Proc, p.Event, p.Events, p.Wait)
+	if p.HasObject {
+		s += fmt.Sprintf(" 0x%x", uint64(p.Object))
+	}
+	if p.Wait == WaitLock && p.Holder >= 0 {
+		s += fmt.Sprintf(" held by proc %d", p.Holder)
+	}
+	return s
+}
+
+// StallError is the progress watchdog's report: the replay stopped making
+// progress (deadlock) or stopped retiring events while still processing
+// them (livelock). It names every blocked processor and the object it waits
+// on, so one hung run fails with a diagnosis instead of spinning forever or
+// crashing the suite.
+type StallError struct {
+	// Cycle is the simulation time at which the stall was detected.
+	Cycle uint64
+	// Reason says how the watchdog tripped ("event queue drained with
+	// unfinished processors", "no progress for N cycles", ...).
+	Reason string
+	// Stalls lists the blocked processors.
+	Stalls []ProcStall
+}
+
+func (e *StallError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: progress watchdog at cycle %d: %s", e.Cycle, e.Reason)
+	if len(e.Stalls) > 0 {
+		fmt.Fprintf(&b, ": %d stalled:", len(e.Stalls))
+		for i, s := range e.Stalls {
+			if i > 0 {
+				b.WriteString(";")
+			}
+			b.WriteString(" " + s.String())
+		}
+	}
+	return b.String()
+}

@@ -38,6 +38,12 @@ type Config struct {
 	Transfers []int
 	// Parallelism bounds concurrent simulations; 0 selects GOMAXPROCS.
 	Parallelism int
+	// PerRun, when non-nil, adjusts one run's simulator configuration just
+	// before it executes (after the suite's own fields are applied). Tests
+	// use it to enable invariant checking or to poison a single cell with
+	// injected faults (sim.Config.Faults) and prove the rest of the suite
+	// still renders.
+	PerRun func(k Key, cfg *sim.Config)
 }
 
 // DefaultConfig returns the paper's sweep at full scale.
@@ -86,8 +92,12 @@ type Suite struct {
 
 	mu      sync.Mutex
 	results map[Key]*sim.Result
-	infos   map[string]workload.Info
-	traces  map[traceKey]*trace.Trace
+	// errs memoizes failed runs: a poisoned or broken configuration fails
+	// once and every table that needs the cell gets the same error without
+	// re-simulating.
+	errs   map[Key]error
+	infos  map[string]workload.Info
+	traces map[traceKey]*trace.Trace
 }
 
 type traceKey struct {
@@ -100,6 +110,7 @@ func NewSuite(cfg Config) *Suite {
 	return &Suite{
 		cfg:     cfg.withDefaults(),
 		results: make(map[Key]*sim.Result),
+		errs:    make(map[Key]error),
 		infos:   make(map[string]workload.Info),
 		traces:  make(map[traceKey]*trace.Trace),
 	}
@@ -150,21 +161,50 @@ func (s *Suite) baseTrace(name string, restructured bool) (*trace.Trace, error) 
 }
 
 // Result simulates (or returns the memoized result for) one configuration.
+// A failed run is memoized too: the error comes back for every table that
+// needs the cell, without re-simulating, and without affecting any other
+// cell.
 func (s *Suite) Result(k Key) (*sim.Result, error) {
 	s.mu.Lock()
 	if r, ok := s.results[k]; ok {
 		s.mu.Unlock()
 		return r, nil
 	}
+	if err, ok := s.errs[k]; ok {
+		s.mu.Unlock()
+		return nil, err
+	}
 	s.mu.Unlock()
 
+	res, err := s.simulate(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.results[k]; ok {
+		return cached, nil
+	}
+	if cached, ok := s.errs[k]; ok {
+		return nil, cached
+	}
+	if err != nil {
+		s.errs[k] = err
+		return nil, err
+	}
+	s.results[k] = res
+	return res, nil
+}
+
+// simulate runs one cell uncached.
+func (s *Suite) simulate(k Key) (*sim.Result, error) {
 	base, err := s.baseTrace(k.Workload, k.Restructured)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: generating %v: %w", k, err)
 	}
 	cfg := sim.DefaultConfig()
 	cfg.MemLatency = s.cfg.MemLatency
 	cfg.TransferCycles = k.Transfer
+	if s.cfg.PerRun != nil {
+		s.cfg.PerRun(k, &cfg)
+	}
 	annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: k.Strategy, Geometry: cfg.Geometry})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: annotating %v: %w", k, err)
@@ -173,17 +213,36 @@ func (s *Suite) Result(k Key) (*sim.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: simulating %v: %w", k, err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cached, ok := s.results[k]; ok {
-		return cached, nil
-	}
-	s.results[k] = res
 	return res, nil
 }
 
+// CellError records one failed suite cell.
+type CellError struct {
+	Key Key
+	Err error
+}
+
+// CellErrors aggregates every failed cell of a Prewarm pass. It is an error,
+// but one the caller can choose to treat as a warning: each failed cell is
+// memoized, the healthy cells all simulated, and the table builders annotate
+// the failures in place.
+type CellErrors struct {
+	Cells []CellError
+}
+
+func (e *CellErrors) Error() string {
+	msg := fmt.Sprintf("experiments: %d of the suite's runs failed:", len(e.Cells))
+	for _, c := range e.Cells {
+		msg += fmt.Sprintf("\n  %v: %v", c.Key, c.Err)
+	}
+	return msg
+}
+
 // Prewarm simulates the given keys in parallel, bounded by the configured
-// parallelism. The first error (in deterministic key order) is returned.
+// parallelism. Every key is attempted: a failing cell does not stop the
+// others. When any cell failed, Prewarm returns a *CellErrors naming each
+// one (in deterministic key order); the failures are memoized, so the table
+// builders will annotate exactly those cells rather than failing outright.
 func (s *Suite) Prewarm(keys []Key, progress func(done, total int)) error {
 	// Deduplicate and order deterministically so error reporting is stable.
 	seen := make(map[Key]bool, len(keys))
@@ -197,11 +256,10 @@ func (s *Suite) Prewarm(keys []Key, progress func(done, total int)) error {
 	sort.Slice(todo, func(i, j int) bool { return todo[i].String() < todo[j].String() })
 
 	// Generate base traces serially first: concurrent generation of the
-	// same trace would waste work.
+	// same trace would waste work. Generation failures surface per cell via
+	// Result below.
 	for _, k := range todo {
-		if _, err := s.baseTrace(k.Workload, k.Restructured); err != nil {
-			return err
-		}
+		_, _ = s.baseTrace(k.Workload, k.Restructured)
 	}
 
 	sem := make(chan struct{}, s.cfg.Parallelism)
@@ -225,10 +283,14 @@ func (s *Suite) Prewarm(keys []Key, progress func(done, total int)) error {
 		}(i, k)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var failed []CellError
+	for i, err := range errs {
 		if err != nil {
-			return err
+			failed = append(failed, CellError{Key: todo[i], Err: err})
 		}
+	}
+	if len(failed) > 0 {
+		return &CellErrors{Cells: failed}
 	}
 	return nil
 }

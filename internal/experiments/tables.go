@@ -10,6 +10,21 @@ import (
 	"busprefetch/internal/trace"
 )
 
+// Tables and figures isolate failures per cell: a run that errors (a
+// poisoned configuration, an injected fault, a generation bug) produces a
+// row whose Err field carries the diagnosis, and every other cell still
+// computes. The renderers print failed cells as "—" and append the error
+// beneath the table, so one bad configuration cannot take the whole report
+// down.
+
+// errNotes appends per-cell failure annotations beneath a rendered table.
+func errNotes(body string, notes []string) string {
+	for _, n := range notes {
+		body += "  ! " + n + "\n"
+	}
+	return body
+}
+
 // Table1Row describes one workload (paper Table 1).
 type Table1Row struct {
 	Workload    string
@@ -18,6 +33,9 @@ type Table1Row struct {
 	SharedKB    float64
 	Processes   int
 	RefsPerProc int
+	// Err is non-empty when the workload failed to generate; the other
+	// fields are then zero.
+	Err string
 }
 
 // Table1 reproduces the paper's workload-characteristics table.
@@ -26,11 +44,13 @@ func (s *Suite) Table1() ([]Table1Row, error) {
 	for _, name := range WorkloadNames() {
 		info, err := s.Info(name)
 		if err != nil {
-			return nil, err
+			rows = append(rows, Table1Row{Workload: name, Err: err.Error()})
+			continue
 		}
 		t, err := s.baseTrace(name, false)
 		if err != nil {
-			return nil, err
+			rows = append(rows, Table1Row{Workload: name, Err: err.Error()})
+			continue
 		}
 		rows = append(rows, Table1Row{
 			Workload:    name,
@@ -48,11 +68,17 @@ func (s *Suite) Table1() ([]Table1Row, error) {
 func RenderTable1(rows []Table1Row) string {
 	t := report.NewTable("Table 1: Workload used in experiments",
 		"Program", "Data Set (KB)", "Shared Data (KB)", "Processes", "Refs/Proc")
+	var notes []string
 	for _, r := range rows {
+		if r.Err != "" {
+			t.AddRow(r.Workload, "—", "—", "—", "—")
+			notes = append(notes, r.Workload+": "+r.Err)
+			continue
+		}
 		t.AddRow(r.Workload, fmt.Sprintf("%.0f", r.DataSetKB), fmt.Sprintf("%.0f", r.SharedKB),
 			r.Processes, r.RefsPerProc)
 	}
-	return t.String()
+	return errNotes(t.String(), notes)
 }
 
 // Figure1Row holds the miss rates of one (workload, strategy) cell of the
@@ -64,6 +90,8 @@ type Figure1Row struct {
 	TotalMR  float64
 	CPUMR    float64
 	AdjMR    float64
+	// Err is non-empty when this cell's run failed.
+	Err string
 }
 
 // Figure1 reproduces the total / CPU / adjusted-CPU miss-rate chart.
@@ -73,7 +101,8 @@ func (s *Suite) Figure1() ([]Figure1Row, error) {
 		for _, st := range prefetch.Strategies() {
 			res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: 8})
 			if err != nil {
-				return nil, err
+				rows = append(rows, Figure1Row{Workload: wl, Strategy: st, Err: err.Error()})
+				continue
 			}
 			rows = append(rows, Figure1Row{
 				Workload: wl,
@@ -91,11 +120,17 @@ func (s *Suite) Figure1() ([]Figure1Row, error) {
 func RenderFigure1(rows []Figure1Row) string {
 	t := report.NewTable("Figure 1: Total and CPU miss rates (8-cycle data transfer)",
 		"Workload", "Strategy", "Total MR", "CPU MR", "Adjusted CPU MR")
+	var notes []string
 	for _, r := range rows {
+		if r.Err != "" {
+			t.AddRow(r.Workload, r.Strategy.String(), "—", "—", "—")
+			notes = append(notes, fmt.Sprintf("%s/%s: %s", r.Workload, r.Strategy, r.Err))
+			continue
+		}
 		t.AddRow(r.Workload, r.Strategy.String(),
 			fmt.Sprintf("%.4f", r.TotalMR), fmt.Sprintf("%.4f", r.CPUMR), fmt.Sprintf("%.4f", r.AdjMR))
 	}
-	return t.String()
+	return errNotes(t.String(), notes)
 }
 
 // Table2Row is one bus-utilization cell.
@@ -104,6 +139,8 @@ type Table2Row struct {
 	Strategy prefetch.Strategy
 	Transfer int
 	BusUtil  float64
+	// Err is non-empty when this cell's run failed.
+	Err string
 }
 
 // Table2 reproduces the selected bus utilizations (the paper reports
@@ -115,7 +152,8 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 			for _, tr := range []int{4, 8, 16, 32} {
 				res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: tr})
 				if err != nil {
-					return nil, err
+					rows = append(rows, Table2Row{Workload: wl, Strategy: st, Transfer: tr, Err: err.Error()})
+					continue
 				}
 				rows = append(rows, Table2Row{Workload: wl, Strategy: st, Transfer: tr, BusUtil: res.BusUtilization()})
 			}
@@ -132,22 +170,26 @@ func RenderTable2(rows []Table2Row) string {
 		wl string
 		st prefetch.Strategy
 	}
-	cells := map[key]map[int]float64{}
+	cells := map[key]map[int]string{}
 	var order []key
+	var notes []string
 	for _, r := range rows {
 		k := key{r.Workload, r.Strategy}
 		if cells[k] == nil {
-			cells[k] = map[int]float64{}
+			cells[k] = map[int]string{}
 			order = append(order, k)
 		}
-		cells[k][r.Transfer] = r.BusUtil
+		if r.Err != "" {
+			cells[k][r.Transfer] = "—"
+			notes = append(notes, fmt.Sprintf("%s/%s/T=%d: %s", r.Workload, r.Strategy, r.Transfer, r.Err))
+			continue
+		}
+		cells[k][r.Transfer] = fmt.Sprintf("%.2f", r.BusUtil)
 	}
 	for _, k := range order {
-		t.AddRow(k.wl, k.st.String(),
-			fmt.Sprintf("%.2f", cells[k][4]), fmt.Sprintf("%.2f", cells[k][8]),
-			fmt.Sprintf("%.2f", cells[k][16]), fmt.Sprintf("%.2f", cells[k][32]))
+		t.AddRow(k.wl, k.st.String(), cells[k][4], cells[k][8], cells[k][16], cells[k][32])
 	}
-	return t.String()
+	return errNotes(t.String(), notes)
 }
 
 // Figure2Row is one point of the execution-time chart: execution time of a
@@ -157,6 +199,8 @@ type Figure2Row struct {
 	Strategy prefetch.Strategy
 	Transfer int
 	RelTime  float64
+	// Err is non-empty when this cell's run — or its NP baseline — failed.
+	Err string
 }
 
 // Figure2 reproduces the relative-execution-time curves for the four
@@ -165,10 +209,12 @@ func (s *Suite) Figure2() ([]Figure2Row, error) {
 	var rows []Figure2Row
 	for _, wl := range WorkloadNames() {
 		np := make(map[int]uint64)
+		npErr := make(map[int]string)
 		for _, tr := range s.cfg.Transfers {
 			res, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: tr})
 			if err != nil {
-				return nil, err
+				npErr[tr] = fmt.Sprintf("NP baseline failed: %v", err)
+				continue
 			}
 			np[tr] = res.Cycles
 		}
@@ -177,9 +223,14 @@ func (s *Suite) Figure2() ([]Figure2Row, error) {
 				continue
 			}
 			for _, tr := range s.cfg.Transfers {
+				if msg, bad := npErr[tr]; bad {
+					rows = append(rows, Figure2Row{Workload: wl, Strategy: st, Transfer: tr, Err: msg})
+					continue
+				}
 				res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: tr})
 				if err != nil {
-					return nil, err
+					rows = append(rows, Figure2Row{Workload: wl, Strategy: st, Transfer: tr, Err: err.Error()})
+					continue
 				}
 				rows = append(rows, Figure2Row{
 					Workload: wl, Strategy: st, Transfer: tr,
@@ -191,10 +242,22 @@ func (s *Suite) Figure2() ([]Figure2Row, error) {
 	return rows, nil
 }
 
-// RenderFigure2 formats Figure 2 as one chart per workload.
+// RenderFigure2 formats Figure 2 as one chart per workload. A workload with
+// any failed cell is reported as a note instead of a misleading partial
+// chart.
 func RenderFigure2(rows []Figure2Row, transfers []int) string {
 	out := ""
 	for _, wl := range WorkloadNames() {
+		var notes []string
+		for _, r := range rows {
+			if r.Workload == wl && r.Err != "" {
+				notes = append(notes, fmt.Sprintf("%s/%s/T=%d: %s", r.Workload, r.Strategy, r.Transfer, r.Err))
+			}
+		}
+		if len(notes) > 0 {
+			out += errNotes(fmt.Sprintf("Figure 2 (%s): omitted, cells failed\n", wl), notes) + "\n"
+			continue
+		}
 		chart := &report.Chart{
 			Title:  fmt.Sprintf("Figure 2 (%s): execution time relative to NP vs data-bus latency", wl),
 			XLabel: "T cycles",
@@ -230,6 +293,8 @@ type UtilizationRow struct {
 	// MaxSpeedup is the bound 1/utilization at the fast bus — "the best any
 	// memory-latency hiding technique can do".
 	MaxSpeedup float64
+	// Err is non-empty when either of the workload's runs failed.
+	Err string
 }
 
 // Utilization reproduces the processor-utilization discussion of §4.2.
@@ -238,11 +303,13 @@ func (s *Suite) Utilization() ([]UtilizationRow, error) {
 	for _, wl := range WorkloadNames() {
 		fast, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: 4})
 		if err != nil {
-			return nil, err
+			rows = append(rows, UtilizationRow{Workload: wl, Err: err.Error()})
+			continue
 		}
 		slow, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: 32})
 		if err != nil {
-			return nil, err
+			rows = append(rows, UtilizationRow{Workload: wl, Err: err.Error()})
+			continue
 		}
 		u := fast.MeanProcUtilization()
 		max := 0.0
@@ -260,11 +327,17 @@ func (s *Suite) Utilization() ([]UtilizationRow, error) {
 func RenderUtilization(rows []UtilizationRow) string {
 	t := report.NewTable("Processor utilization without prefetching (§4.2)",
 		"Workload", "Fast bus (T=4)", "Slow bus (T=32)", "Max possible speedup")
+	var notes []string
 	for _, r := range rows {
+		if r.Err != "" {
+			t.AddRow(r.Workload, "—", "—", "—")
+			notes = append(notes, r.Workload+": "+r.Err)
+			continue
+		}
 		t.AddRow(r.Workload, fmt.Sprintf("%.2f", r.FastBus), fmt.Sprintf("%.2f", r.SlowBus),
 			fmt.Sprintf("%.1f", r.MaxSpeedup))
 	}
-	return t.String()
+	return errNotes(t.String(), notes)
 }
 
 // Figure3Row is the CPU-miss component breakdown of one (workload, strategy)
@@ -275,6 +348,8 @@ type Figure3Row struct {
 	// Components holds per-class miss rates (misses per demand reference),
 	// indexed by sim.MissClass.
 	Components [sim.NumMissClasses]float64
+	// Err is non-empty when this cell's run failed.
+	Err string
 }
 
 // Figure3Workloads lists the workloads the paper breaks down in Figure 3.
@@ -287,7 +362,8 @@ func (s *Suite) Figure3() ([]Figure3Row, error) {
 		for _, st := range prefetch.Strategies() {
 			res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: 8})
 			if err != nil {
-				return nil, err
+				rows = append(rows, Figure3Row{Workload: wl, Strategy: st, Err: err.Error()})
+				continue
 			}
 			row := Figure3Row{Workload: wl, Strategy: st}
 			for m := sim.MissClass(0); m < sim.NumMissClasses; m++ {
@@ -304,7 +380,13 @@ func RenderFigure3(rows []Figure3Row) string {
 	t := report.NewTable("Figure 3: Sources of CPU misses (8-cycle data transfer; rates per demand reference)",
 		"Workload", "Strategy",
 		"non-sharing !pf", "inval !pf", "non-sharing pf", "inval pf", "pf-in-progress", "total")
+	var notes []string
 	for _, r := range rows {
+		if r.Err != "" {
+			t.AddRow(r.Workload, r.Strategy.String(), "—", "—", "—", "—", "—", "—")
+			notes = append(notes, fmt.Sprintf("%s/%s: %s", r.Workload, r.Strategy, r.Err))
+			continue
+		}
 		total := 0.0
 		for _, v := range r.Components {
 			total += v
@@ -317,7 +399,7 @@ func RenderFigure3(rows []Figure3Row) string {
 			fmt.Sprintf("%.4f", r.Components[sim.PrefetchInProgress]),
 			fmt.Sprintf("%.4f", total))
 	}
-	return t.String()
+	return errNotes(t.String(), notes)
 }
 
 // Table3Row reports a workload's invalidation and false-sharing miss rates
@@ -328,6 +410,8 @@ type Table3Row struct {
 	FalseShareMR float64
 	// FSShare is the fraction of invalidation misses that are false sharing.
 	FSShare float64
+	// Err is non-empty when this cell's run failed.
+	Err string
 }
 
 // Table3 reproduces the total invalidation and false-sharing miss rates.
@@ -336,7 +420,8 @@ func (s *Suite) Table3() ([]Table3Row, error) {
 	for _, wl := range WorkloadNames() {
 		res, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: 8})
 		if err != nil {
-			return nil, err
+			rows = append(rows, Table3Row{Workload: wl, Err: err.Error()})
+			continue
 		}
 		row := Table3Row{
 			Workload:     wl,
@@ -355,11 +440,17 @@ func (s *Suite) Table3() ([]Table3Row, error) {
 func RenderTable3(rows []Table3Row) string {
 	t := report.NewTable("Table 3: Total invalidation and false sharing miss rates (NP, 8-cycle transfer)",
 		"Workload", "Total Invalidation MR", "Total False Sharing MR", "FS share of inval")
+	var notes []string
 	for _, r := range rows {
+		if r.Err != "" {
+			t.AddRow(r.Workload, "—", "—", "—")
+			notes = append(notes, r.Workload+": "+r.Err)
+			continue
+		}
 		t.AddRow(r.Workload, fmt.Sprintf("%.4f", r.InvalMR), fmt.Sprintf("%.4f", r.FalseShareMR),
 			fmt.Sprintf("%.0f%%", 100*r.FSShare))
 	}
-	return t.String()
+	return errNotes(t.String(), notes)
 }
 
 // Table4Row reports miss rates for a restructured program under one
@@ -372,6 +463,8 @@ type Table4Row struct {
 	TotalMR      float64
 	InvalMR      float64
 	FalseShareMR float64
+	// Err is non-empty when this cell's run failed.
+	Err string
 }
 
 // Table4 reproduces the restructured-program miss rates, with the original
@@ -383,7 +476,8 @@ func (s *Suite) Table4() ([]Table4Row, error) {
 			for _, st := range []prefetch.Strategy{prefetch.NP, prefetch.PREF, prefetch.PWS} {
 				res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: 8, Restructured: restr})
 				if err != nil {
-					return nil, err
+					rows = append(rows, Table4Row{Workload: wl, Strategy: st, Restructured: restr, Err: err.Error()})
+					continue
 				}
 				rows = append(rows, Table4Row{
 					Workload: wl, Strategy: st, Restructured: restr,
@@ -402,16 +496,22 @@ func (s *Suite) Table4() ([]Table4Row, error) {
 func RenderTable4(rows []Table4Row) string {
 	t := report.NewTable("Table 4: Miss rates for restructured programs (8-cycle transfer)",
 		"Workload", "Layout", "Strategy", "CPU MR", "Total MR", "Total Inval MR", "Total FS MR")
+	var notes []string
 	for _, r := range rows {
 		layout := "original"
 		if r.Restructured {
 			layout = "restructured"
 		}
+		if r.Err != "" {
+			t.AddRow(r.Workload, layout, r.Strategy.String(), "—", "—", "—", "—")
+			notes = append(notes, fmt.Sprintf("%s/%s/%s: %s", r.Workload, layout, r.Strategy, r.Err))
+			continue
+		}
 		t.AddRow(r.Workload, layout, r.Strategy.String(),
 			fmt.Sprintf("%.4f", r.CPUMR), fmt.Sprintf("%.4f", r.TotalMR),
 			fmt.Sprintf("%.4f", r.InvalMR), fmt.Sprintf("%.4f", r.FalseShareMR))
 	}
-	return t.String()
+	return errNotes(t.String(), notes)
 }
 
 // Table5Row reports a restructured program's execution time relative to its
@@ -421,6 +521,8 @@ type Table5Row struct {
 	Strategy prefetch.Strategy
 	Transfer int
 	RelTime  float64
+	// Err is non-empty when this cell's run — or its NP baseline — failed.
+	Err string
 }
 
 // Table5 reproduces the relative execution times for the restructured
@@ -429,18 +531,25 @@ func (s *Suite) Table5() ([]Table5Row, error) {
 	var rows []Table5Row
 	for _, wl := range []string{"topopt", "pverify"} {
 		np := map[int]uint64{}
+		npErr := map[int]string{}
 		for _, tr := range s.cfg.Transfers {
 			res, err := s.Result(Key{Workload: wl, Strategy: prefetch.NP, Transfer: tr, Restructured: true})
 			if err != nil {
-				return nil, err
+				npErr[tr] = fmt.Sprintf("NP baseline failed: %v", err)
+				continue
 			}
 			np[tr] = res.Cycles
 		}
 		for _, st := range []prefetch.Strategy{prefetch.PREF, prefetch.PWS} {
 			for _, tr := range s.cfg.Transfers {
+				if msg, bad := npErr[tr]; bad {
+					rows = append(rows, Table5Row{Workload: wl, Strategy: st, Transfer: tr, Err: msg})
+					continue
+				}
 				res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: tr, Restructured: true})
 				if err != nil {
-					return nil, err
+					rows = append(rows, Table5Row{Workload: wl, Strategy: st, Transfer: tr, Err: err.Error()})
+					continue
 				}
 				rows = append(rows, Table5Row{Workload: wl, Strategy: st, Transfer: tr,
 					RelTime: float64(res.Cycles) / float64(np[tr])})
@@ -461,24 +570,30 @@ func RenderTable5(rows []Table5Row, transfers []int) string {
 		wl string
 		st prefetch.Strategy
 	}
-	cells := map[key]map[int]float64{}
+	cells := map[key]map[int]string{}
 	var order []key
+	var notes []string
 	for _, r := range rows {
 		k := key{r.Workload, r.Strategy}
 		if cells[k] == nil {
-			cells[k] = map[int]float64{}
+			cells[k] = map[int]string{}
 			order = append(order, k)
 		}
-		cells[k][r.Transfer] = r.RelTime
+		if r.Err != "" {
+			cells[k][r.Transfer] = "—"
+			notes = append(notes, fmt.Sprintf("%s/%s/T=%d: %s", r.Workload, r.Strategy, r.Transfer, r.Err))
+			continue
+		}
+		cells[k][r.Transfer] = fmt.Sprintf("%.3f", r.RelTime)
 	}
 	for _, k := range order {
 		row := []interface{}{k.wl, k.st.String()}
 		for _, tr := range transfers {
-			row = append(row, fmt.Sprintf("%.3f", cells[k][tr]))
+			row = append(row, cells[k][tr])
 		}
 		t.AddRow(row...)
 	}
-	return t.String()
+	return errNotes(t.String(), notes)
 }
 
 // SharingSummary summarizes a workload's sharing profile (supporting data

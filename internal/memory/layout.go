@@ -35,12 +35,14 @@ type Layout struct {
 }
 
 // NewLayout returns a Layout that allocates line-aligned regions starting at
-// base. lineSize is used for alignment decisions (AllocLines, pad).
-func NewLayout(base Addr, lineSize int) *Layout {
+// base. lineSize is used for alignment decisions (AllocLines, pad) and must
+// be a positive power of two; anything else is a configuration error the
+// caller (a workload generator or CLI) reports rather than a crash.
+func NewLayout(base Addr, lineSize int) (*Layout, error) {
 	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
-		panic(fmt.Sprintf("memory: bad line size %d", lineSize))
+		return nil, fmt.Errorf("memory: line size %d is not a positive power of two", lineSize)
 	}
-	return &Layout{next: align(base, Addr(lineSize)), line: lineSize}
+	return &Layout{next: align(base, Addr(lineSize)), line: lineSize}, nil
 }
 
 func align(a, to Addr) Addr { return (a + to - 1) &^ (to - 1) }

@@ -103,8 +103,25 @@ func TestSameLineSameSet(t *testing.T) {
 	}
 }
 
+func mustLayout(t *testing.T, base Addr, lineSize int) *Layout {
+	t.Helper()
+	l, err := NewLayout(base, lineSize)
+	if err != nil {
+		t.Fatalf("NewLayout(%#x, %d): %v", uint64(base), lineSize, err)
+	}
+	return l
+}
+
+func TestNewLayoutRejectsBadLineSize(t *testing.T) {
+	for _, ls := range []int{0, -32, 24} {
+		if _, err := NewLayout(0, ls); err == nil {
+			t.Errorf("NewLayout accepted line size %d", ls)
+		}
+	}
+}
+
 func TestLayoutSequentialAllocation(t *testing.T) {
-	l := NewLayout(0x1000, 32)
+	l := mustLayout(t, 0x1000, 32)
 	r1 := l.Alloc("a", 100, false)
 	r2 := l.Alloc("b", 10, true)
 	if r1.Base != 0x1000 {
@@ -122,7 +139,7 @@ func TestLayoutSequentialAllocation(t *testing.T) {
 }
 
 func TestLayoutAllocLinesAlignment(t *testing.T) {
-	l := NewLayout(0x1000, 32)
+	l := mustLayout(t, 0x1000, 32)
 	l.Alloc("odd", 7, false)
 	r := l.AllocLines("aligned", 100, false)
 	if r.Base%32 != 0 {
@@ -135,7 +152,7 @@ func TestLayoutAllocLinesAlignment(t *testing.T) {
 }
 
 func TestLayoutAlignTo(t *testing.T) {
-	l := NewLayout(0, 32)
+	l := mustLayout(t, 0, 32)
 	l.Alloc("pad", 100, false)
 	l.AlignTo(32*1024, 512)
 	r := l.Alloc("x", 4, false)
@@ -143,7 +160,7 @@ func TestLayoutAlignTo(t *testing.T) {
 		t.Errorf("AlignTo: base %% cacheSize = %d, want 512", got)
 	}
 	// Aligning when already aligned must not move the cursor.
-	l2 := NewLayout(0x8000, 32)
+	l2 := mustLayout(t, 0x8000, 32)
 	l2.AlignTo(0x8000, 0)
 	if l2.Top() != 0x8000 {
 		t.Errorf("AlignTo moved an already-aligned cursor to %#x", uint64(l2.Top()))
@@ -151,7 +168,7 @@ func TestLayoutAlignTo(t *testing.T) {
 }
 
 func TestLayoutFind(t *testing.T) {
-	l := NewLayout(0x1000, 32)
+	l := mustLayout(t, 0x1000, 32)
 	a := l.Alloc("a", 64, false)
 	b := l.Alloc("b", 64, true)
 	if r, ok := l.Find(a.Base + 10); !ok || r.Name != "a" {

@@ -34,10 +34,12 @@ type Mapper struct {
 
 // Packed lays records out contiguously — the original layout, in which
 // records smaller than a line share lines and writes by different processors
-// to neighbouring records falsely share.
-func Packed(base memory.Addr, recSize, count int) *Mapper {
+// to neighbouring records falsely share. A non-positive record size or a
+// negative count is a layout-configuration error, reported to the caller
+// (workload generators surface it through Generate) rather than crashing.
+func Packed(base memory.Addr, recSize, count int) (*Mapper, error) {
 	if recSize <= 0 || count < 0 {
-		panic(fmt.Sprintf("restructure: bad record size %d or count %d", recSize, count))
+		return nil, fmt.Errorf("restructure: record size %d must be positive and count %d non-negative", recSize, count)
 	}
 	return &Mapper{
 		base:       base,
@@ -45,15 +47,18 @@ func Packed(base memory.Addr, recSize, count int) *Mapper {
 		count:      count,
 		slotStride: recSize,
 		size:       recSize * count,
-	}
+	}, nil
 }
 
 // Padded lays each record on its own cache line (or a multiple, for records
 // bigger than a line). No two records ever share a line, so writes to one
 // record can never falsely invalidate another.
-func Padded(base memory.Addr, recSize, count, lineSize int) *Mapper {
+func Padded(base memory.Addr, recSize, count, lineSize int) (*Mapper, error) {
+	if recSize <= 0 || count < 0 {
+		return nil, fmt.Errorf("restructure: record size %d must be positive and count %d non-negative", recSize, count)
+	}
 	if lineSize <= 0 {
-		panic(fmt.Sprintf("restructure: bad line size %d", lineSize))
+		return nil, fmt.Errorf("restructure: line size %d must be positive", lineSize)
 	}
 	stride := ((recSize + lineSize - 1) / lineSize) * lineSize
 	return &Mapper{
@@ -63,7 +68,7 @@ func Padded(base memory.Addr, recSize, count, lineSize int) *Mapper {
 		lineSize:   lineSize,
 		slotStride: stride,
 		size:       stride * count,
-	}
+	}, nil
 }
 
 // BlockedByOwner groups records by owning processor: each processor's
@@ -71,10 +76,14 @@ func Padded(base memory.Addr, recSize, count, lineSize int) *Mapper {
 // line. Records of different owners never share a line, which removes false
 // sharing between owners while keeping each owner's records dense (good
 // spatial locality for the owner, unlike Padded). owner must return a value
-// in [0, procs).
-func BlockedByOwner(base memory.Addr, recSize, count, lineSize, procs int, owner func(i int) int) *Mapper {
+// in [0, procs); a stray owner is reported as an error naming the offending
+// record so the workload author can fix the ownership function.
+func BlockedByOwner(base memory.Addr, recSize, count, lineSize, procs int, owner func(i int) int) (*Mapper, error) {
+	if recSize <= 0 || count < 0 {
+		return nil, fmt.Errorf("restructure: record size %d must be positive and count %d non-negative", recSize, count)
+	}
 	if procs <= 0 || lineSize <= 0 {
-		panic(fmt.Sprintf("restructure: bad procs %d or line size %d", procs, lineSize))
+		return nil, fmt.Errorf("restructure: procs %d and line size %d must both be positive", procs, lineSize)
 	}
 	// Count each owner's records, lay groups out line-aligned, then assign
 	// slot indices in logical order within each group.
@@ -82,7 +91,7 @@ func BlockedByOwner(base memory.Addr, recSize, count, lineSize, procs int, owner
 	for i := 0; i < count; i++ {
 		o := owner(i)
 		if o < 0 || o >= procs {
-			panic(fmt.Sprintf("restructure: owner(%d) = %d outside [0, %d)", i, o, procs))
+			return nil, fmt.Errorf("restructure: owner(%d) = %d outside [0, %d)", i, o, procs)
 		}
 		counts[o]++
 	}
@@ -121,7 +130,7 @@ func BlockedByOwner(base memory.Addr, recSize, count, lineSize, procs int, owner
 		perm:       perm,
 		slotStride: stride,
 		size:       size,
-	}
+	}, nil
 }
 
 // Elem returns the address of record i's first byte.

@@ -11,8 +11,18 @@ const lineSize = 32
 
 func lineOf(a memory.Addr) uint64 { return uint64(a) / lineSize }
 
+func mustMapper(t *testing.T) func(*Mapper, error) *Mapper {
+	return func(m *Mapper, err error) *Mapper {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("building mapper: %v", err)
+		}
+		return m
+	}
+}
+
 func TestPackedLayout(t *testing.T) {
-	m := Packed(0x1000, 8, 16)
+	m := mustMapper(t)(Packed(0x1000, 8, 16))
 	if m.Size() != 128 {
 		t.Errorf("Size = %d, want 128", m.Size())
 	}
@@ -29,7 +39,7 @@ func TestPackedLayout(t *testing.T) {
 }
 
 func TestPaddedLayoutIsolatesRecords(t *testing.T) {
-	m := Padded(0x1000, 8, 16, lineSize)
+	m := mustMapper(t)(Padded(0x1000, 8, 16, lineSize))
 	seen := map[uint64]bool{}
 	for i := 0; i < 16; i++ {
 		l := lineOf(m.Elem(i))
@@ -44,7 +54,7 @@ func TestPaddedLayoutIsolatesRecords(t *testing.T) {
 }
 
 func TestPaddedLargeRecords(t *testing.T) {
-	m := Padded(0, 40, 4, lineSize) // 40-byte records need 2 lines each
+	m := mustMapper(t)(Padded(0, 40, 4, lineSize)) // 40-byte records need 2 lines each
 	if m.Size() != 4*64 {
 		t.Errorf("Size = %d, want 256", m.Size())
 	}
@@ -56,7 +66,7 @@ func TestPaddedLargeRecords(t *testing.T) {
 func TestBlockedByOwnerSeparatesOwners(t *testing.T) {
 	procs := 4
 	owner := func(i int) int { return i % procs }
-	m := BlockedByOwner(0x1000, 8, 64, lineSize, procs, owner)
+	m := mustMapper(t)(BlockedByOwner(0x1000, 8, 64, lineSize, procs, owner))
 	// Build line -> set of owners; no line may host two owners.
 	owners := map[uint64]map[int]bool{}
 	for i := 0; i < 64; i++ {
@@ -76,7 +86,7 @@ func TestBlockedByOwnerSeparatesOwners(t *testing.T) {
 func TestBlockedByOwnerKeepsOwnersDense(t *testing.T) {
 	procs := 4
 	owner := func(i int) int { return i % procs }
-	m := BlockedByOwner(0, 8, 64, lineSize, procs, owner)
+	m := mustMapper(t)(BlockedByOwner(0, 8, 64, lineSize, procs, owner))
 	// Each owner's 16 records must fit in 16*8 = 128 bytes = 4 lines.
 	lines := map[int]map[uint64]bool{}
 	for i := 0; i < 64; i++ {
@@ -99,7 +109,10 @@ func TestBlockedByOwnerNoAddressCollisions(t *testing.T) {
 		count := 50
 		off := int(uint64(seed) % 97)
 		owner := func(i int) int { return (i*7 + off) % procs }
-		m := BlockedByOwner(0x2000, 8, count, lineSize, procs, owner)
+		m, err := BlockedByOwner(0x2000, 8, count, lineSize, procs, owner)
+		if err != nil {
+			return false
+		}
 		seen := map[memory.Addr]bool{}
 		for i := 0; i < count; i++ {
 			a := m.Elem(i)
@@ -118,8 +131,26 @@ func TestBlockedByOwnerNoAddressCollisions(t *testing.T) {
 	}
 }
 
+func TestConstructorErrors(t *testing.T) {
+	if _, err := Packed(0, 0, 4); err == nil {
+		t.Error("Packed accepted a zero record size")
+	}
+	if _, err := Packed(0, 8, -1); err == nil {
+		t.Error("Packed accepted a negative count")
+	}
+	if _, err := Padded(0, 8, 4, 0); err == nil {
+		t.Error("Padded accepted a zero line size")
+	}
+	if _, err := BlockedByOwner(0, 8, 4, lineSize, 0, func(int) int { return 0 }); err == nil {
+		t.Error("BlockedByOwner accepted zero procs")
+	}
+	if _, err := BlockedByOwner(0, 8, 4, lineSize, 2, func(int) int { return 5 }); err == nil {
+		t.Error("BlockedByOwner accepted an out-of-range owner")
+	}
+}
+
 func TestWordAddressing(t *testing.T) {
-	m := Packed(0x1000, 12, 4)
+	m := mustMapper(t)(Packed(0x1000, 12, 4))
 	if m.Word(1, 0) != 0x100c || m.Word(1, 2) != 0x1014 {
 		t.Error("Word addressing wrong")
 	}
@@ -132,7 +163,7 @@ func TestWordAddressing(t *testing.T) {
 }
 
 func TestElemBoundsPanic(t *testing.T) {
-	m := Packed(0, 8, 4)
+	m := mustMapper(t)(Packed(0, 8, 4))
 	defer func() {
 		if recover() == nil {
 			t.Error("out-of-range Elem did not panic")

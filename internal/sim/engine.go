@@ -45,11 +45,21 @@ func (e *engine) At(t uint64, fn func(now uint64)) {
 	heap.Push(&e.h, event{t: t, seq: e.seq, fn: fn})
 }
 
-// run drains the event queue.
-func (e *engine) run() {
+// run drains the event queue. When watch is non-nil it runs before every
+// event dispatch; a non-nil error from it aborts the run immediately —
+// remaining events are discarded — and is returned. The simulator uses this
+// hook for its progress watchdog and for first-error abort.
+func (e *engine) run(watch func(now uint64) error) error {
 	for e.h.Len() > 0 {
 		ev := heap.Pop(&e.h).(event)
 		e.now = ev.t
+		if watch != nil {
+			if err := watch(ev.t); err != nil {
+				e.h = e.h[:0]
+				return err
+			}
+		}
 		ev.fn(ev.t)
 	}
+	return nil
 }

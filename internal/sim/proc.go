@@ -3,6 +3,7 @@ package sim
 import (
 	"busprefetch/internal/bus"
 	"busprefetch/internal/cache"
+	"busprefetch/internal/check"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/trace"
 )
@@ -28,6 +29,17 @@ type inflight struct {
 	sharers bool
 }
 
+// buffered is one line in the non-snooping prefetch buffer. sharers records
+// whether any other cache held the line at the fetch's bus grant: a buffer
+// hit must then install Shared, not Exclusive — installing private-clean
+// while remote Shared copies exist would let a later silent write break the
+// single-owner invariant (a bug the internal/check pre-snoop verification
+// caught in this exact path).
+type buffered struct {
+	la      memory.Addr
+	sharers bool
+}
+
 // proc replays one processor's event stream.
 type proc struct {
 	s      *simulator
@@ -43,10 +55,12 @@ type proc struct {
 	waitingForSlot      bool
 	// victim is the optional fully-associative victim cache.
 	victim *cache.Cache
-	// streamBuf is the FIFO prefetch buffer of PrefetchToBuffer mode:
-	// buffered line addresses in arrival order. It does not snoop; entries
-	// are dropped when a remote processor writes them.
-	streamBuf []memory.Addr
+	// streamBuf is the FIFO prefetch buffer of PrefetchToBuffer mode, in
+	// arrival order. The buffer does not snoop; to stay coherent, an entry
+	// is dropped as soon as any remote processor touches the line with a bus
+	// fill or invalidation, and each entry remembers whether the line was
+	// shared at its fetch's grant so a buffer hit installs the right state.
+	streamBuf []buffered
 	// wasted records line addresses whose prefetched-but-unused copy was
 	// displaced, so the eventual demand miss is classified "prefetched".
 	wasted map[memory.Addr]bool
@@ -57,6 +71,11 @@ type proc struct {
 	refCounted  bool
 	missCounted bool
 	atBarrier   bool
+
+	// releases and fills are fault-injection ordinals: lock releases
+	// performed and line fills installed, matched against Config.Faults.
+	releases int
+	fills    int
 
 	waitStart uint64
 	finished  bool
@@ -82,10 +101,10 @@ func newProc(s *simulator, id int, stream trace.Stream) *proc {
 }
 
 // dropBuffered removes la from the non-snooping prefetch buffer; a remote
-// write means the buffered copy can no longer be trusted.
+// bus operation on the line means the buffered copy can no longer be trusted.
 func (p *proc) dropBuffered(la memory.Addr) {
-	for i, a := range p.streamBuf {
-		if a == la {
+	for i, b := range p.streamBuf {
+		if b.la == la {
 			p.streamBuf = append(p.streamBuf[:i], p.streamBuf[i+1:]...)
 			p.s.c.StreamBufferDrops++
 			return
@@ -95,8 +114,8 @@ func (p *proc) dropBuffered(la memory.Addr) {
 
 // bufferIndex returns la's position in the prefetch buffer, or -1.
 func (p *proc) bufferIndex(la memory.Addr) int {
-	for i, a := range p.streamBuf {
-		if a == la {
+	for i, b := range p.streamBuf {
+		if b.la == la {
 			return i
 		}
 	}
@@ -123,6 +142,9 @@ func (p *proc) run(now uint64) {
 			p.clock += uint64(e.Gap)
 			p.stats.BusyCycles += uint64(e.Gap)
 			p.gapDone = true
+			// Absorbing the gap is progress: a gap of any size is one event,
+			// so even multi-billion-cycle gaps cannot trip the watchdog.
+			p.s.progress++
 			// A long instruction gap can carry the local clock far past the
 			// global clock; yield before touching memory so remote coherence
 			// actions scheduled in the meantime are visible to this access.
@@ -152,6 +174,7 @@ func (p *proc) run(now uint64) {
 			return
 		}
 		p.pc++
+		p.s.progress++
 		p.gapDone, p.refCounted, p.missCounted, p.atBarrier = false, false, false, false
 		if p.clock >= entry+yieldQuantum {
 			p.s.eng.At(p.clock, p.run)
@@ -217,13 +240,15 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 			return false
 		}
 	}
-	// A prefetch-buffer hit moves the buffered line into the cache. The
-	// buffer holds only unshared data (shared lines are never buffered and
-	// remote writes drop entries), so the line enters privately.
+	// A prefetch-buffer hit moves the buffered line into the cache. Because
+	// any remote bus operation on the line drops the entry, a surviving
+	// entry's sharedness is exactly what its fetch observed at the grant: the
+	// line enters privately only when no other cache held it then.
 	if idx := p.bufferIndex(la); idx >= 0 {
+		entry := p.streamBuf[idx]
 		p.streamBuf = append(p.streamBuf[:idx], p.streamBuf[idx+1:]...)
 		nl, ev := p.cache.Allocate(la)
-		if p.s.cfg.Protocol == MSI {
+		if p.s.cfg.Protocol == MSI || entry.sharers {
 			nl.State = cache.Shared
 		} else {
 			nl.State = cache.Exclusive
@@ -234,7 +259,8 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 		p.stats.BusyCycles++
 		p.finishHit(nl, a, isWrite)
 		if isWrite && nl.State == cache.Shared {
-			// Under MSI the write still needs its upgrade.
+			// A Shared install (MSI, or remote copies existed) still owes
+			// the write its invalidation.
 			p.startUpgrade(a, la)
 			return true
 		}
@@ -303,6 +329,12 @@ func (p *proc) startFetch(la memory.Addr, excl bool, word int, isPrefetch bool, 
 		Op:        bus.OpFill,
 		Proc:      p.id,
 		OnGrant: func(g uint64) {
+			// The grant is the serialization point: resident states must
+			// already be legal here, before snooping repairs remote copies
+			// and could mask a corrupted state.
+			if p.s.cfg.CheckInvariants {
+				p.s.checkLine(g, la)
+			}
 			inf.sharers = p.s.snoopFetch(p.id, la, excl, word)
 		},
 		OnComplete: func(t uint64) { p.completeFetch(inf, t) },
@@ -313,11 +345,14 @@ func (p *proc) startFetch(la memory.Addr, excl bool, word int, isPrefetch bool, 
 		p.s.c.PrefetchFetches++
 		p.outstandingPrefetch++
 	}
-	p.s.bus.Submit(p.clock, req)
+	if err := p.s.bus.Submit(p.clock, req); err != nil {
+		p.s.fail(err)
+	}
 }
 
 // completeFetch installs a fetched line and resumes whoever was waiting.
 func (p *proc) completeFetch(inf *inflight, t uint64) {
+	p.s.progress++
 	delete(p.inflight, inf.la)
 	if inf.isPrefetch && !inf.cpuWaiting && p.s.cfg.PrefetchTarget == PrefetchToBuffer {
 		// Buffer-mode prefetch: the line lands in the FIFO prefetch buffer,
@@ -332,7 +367,7 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 			if len(p.streamBuf) >= cap {
 				p.streamBuf = p.streamBuf[1:] // FIFO eviction
 			}
-			p.streamBuf = append(p.streamBuf, inf.la)
+			p.streamBuf = append(p.streamBuf, buffered{la: inf.la, sharers: inf.sharers})
 		}
 		if p.waitingForSlot {
 			p.waitingForSlot = false
@@ -370,8 +405,27 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 		line.PrefetchedUnused = true
 		p.outstandingPrefetch--
 	}
+	// Fault injection: force the configured state onto the configured line
+	// after this fill, bypassing the protocol. The invariant check below (or
+	// the pre-snoop check at the next grant touching the line) must catch it.
+	fill := p.fills
+	p.fills++
+	for _, f := range p.s.cfg.Faults.FlipsAfterFill(p.id, fill, inf.la) {
+		if l := p.cache.Lookup(p.s.geom.LineAddr(f.Addr)); l != nil {
+			l.State = f.To
+		}
+	}
 	if p.s.cfg.CheckInvariants {
-		p.s.checkLine(inf.la)
+		p.s.checkLine(t, inf.la)
+		n := 0
+		for _, o := range p.inflight {
+			if o.isPrefetch {
+				n++
+			}
+		}
+		if v := check.PrefetchAccounting(t, p.id, p.outstandingPrefetch, n, p.s.cfg.PrefetchBufferDepth); v != nil {
+			p.s.fail(v)
+		}
 	}
 	switch {
 	case inf.cpuWaiting:
@@ -412,13 +466,16 @@ func (p *proc) handleEviction(ev cache.Eviction, t uint64) {
 
 // writeback posts a dirty-line writeback bus operation.
 func (p *proc) writeback(t uint64) {
-	p.s.bus.Submit(t, &bus.Request{
+	err := p.s.bus.Submit(t, &bus.Request{
 		Ready:     t,
 		Occupancy: uint64(p.s.cfg.TransferCycles),
 		Class:     bus.Writeback,
 		Op:        bus.OpWriteback,
 		Proc:      p.id,
 	})
+	if err != nil {
+		p.s.fail(err)
+	}
 }
 
 // startUpgrade posts the invalidation bus operation for a write hitting a
@@ -435,6 +492,9 @@ func (p *proc) startUpgrade(a, la memory.Addr) {
 		Op:        bus.OpInvalidate,
 		Proc:      p.id,
 		OnGrant: func(g uint64) {
+			if p.s.cfg.CheckInvariants {
+				p.s.checkLine(g, la) // pre-snoop: resident states must be legal
+			}
 			l := p.cache.Lookup(la)
 			if l == nil || !l.State.Valid() {
 				failed = true
@@ -443,7 +503,7 @@ func (p *proc) startUpgrade(a, la memory.Addr) {
 			p.s.snoopInvalidate(p.id, la, word)
 			l.State = cache.Modified
 			if p.s.cfg.CheckInvariants {
-				p.s.checkLine(la)
+				p.s.checkLine(g, la)
 			}
 		},
 		OnComplete: func(t uint64) {
@@ -455,7 +515,9 @@ func (p *proc) startUpgrade(a, la memory.Addr) {
 		},
 	}
 	p.waitStart = p.clock
-	p.s.bus.Submit(p.clock, req)
+	if err := p.s.bus.Submit(p.clock, req); err != nil {
+		p.s.fail(err)
+	}
 }
 
 // prefetchOp executes a prefetch instruction. Prefetches are non-blocking
@@ -525,6 +587,13 @@ func (p *proc) lockOp(a memory.Addr) (blocked bool) {
 func (p *proc) unlockOp(a memory.Addr) (blocked bool) {
 	if p.demandAccess(a, true, true) {
 		return true
+	}
+	nth := p.releases
+	p.releases++
+	if p.s.cfg.Faults.DropRelease(p.id, a, nth) {
+		// Injected fault: the store happened but the release signal is lost,
+		// so queued waiters stay blocked — the hang the watchdog must report.
+		return false
 	}
 	p.s.releaseLock(a, p.clock)
 	return false

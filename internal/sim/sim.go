@@ -28,6 +28,7 @@ import (
 
 	"busprefetch/internal/bus"
 	"busprefetch/internal/cache"
+	"busprefetch/internal/check"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/trace"
 )
@@ -123,9 +124,26 @@ type Config struct {
 	// them). Results appear in Result.RegionMisses, keyed by region name;
 	// misses outside every region land under "(unattributed)".
 	Regions []memory.Region
-	// CheckInvariants enables per-transaction MESI invariant verification.
+	// CheckInvariants enables per-transaction MESI invariant verification
+	// (internal/check): the Illinois single-owner invariants are verified at
+	// every bus grant — before snooping can repair a corrupted state — and
+	// after every fill, and prefetch issue-buffer accounting is verified on
+	// every completion. A violation aborts the run with a *check.Violation.
 	// Slow; intended for tests.
 	CheckInvariants bool
+	// WatchdogCycles is the progress watchdog's threshold: the run aborts
+	// with a *check.StallError when this many cycles pass without any
+	// processor making progress (retiring an event, absorbing an instruction
+	// gap, or completing a fetch). Zero selects the 2^20-cycle default. The
+	// watchdog also trips when ~2^20 events dispatch at no cycle cost without
+	// progress (livelock), and when the event queue drains with unfinished
+	// processors (deadlock).
+	WatchdogCycles uint64
+	// Faults, when non-nil, injects runtime faults (dropped lock releases,
+	// forced cache-line states) into the run. Used by tests to prove the
+	// watchdog and the invariant checker catch real failures; nil for normal
+	// simulation.
+	Faults *check.Plan
 }
 
 // DefaultConfig returns the paper's machine: 32 KB direct-mapped caches with
@@ -422,7 +440,10 @@ func Run(cfg Config, t *trace.Trace) (*Result, error) {
 	if t.Procs() > 64 {
 		return nil, fmt.Errorf("sim: %d processors exceeds the 64-processor limit", t.Procs())
 	}
-	s := newSimulator(cfg, t)
+	s, err := newSimulator(cfg, t)
+	if err != nil {
+		return nil, err
+	}
 	return s.run()
 }
 
@@ -438,10 +459,109 @@ type simulator struct {
 	geom   memory.Geometry
 	uncont uint64 // MemLatency - TransferCycles
 
+	// err is the first fatal condition (invariant violation, bus misuse,
+	// watchdog trip) seen during the run; the engine aborts on it.
+	err error
+	// progress counts retired work across all processors; the watchdog in
+	// watch trips when it stops advancing.
+	progress            uint64
+	lastProgress        uint64
+	lastProgressAt      uint64
+	eventsSinceProgress uint64
+	watchdogCycles      uint64
+
 	// regions, sorted by base address, attributes misses to data
 	// structures; regionMisses accumulates by region name.
 	regions      []memory.Region
 	regionMisses map[string]*RegionMisses
+}
+
+// fail records the first fatal error; the watch hook aborts the engine on it
+// before the next event dispatches.
+func (s *simulator) fail(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+// defaultWatchdogCycles is the no-progress threshold when Config leaves
+// WatchdogCycles zero. Instruction gaps cannot false-positive it: a gap of
+// any size is absorbed in a single event that itself counts as progress.
+const defaultWatchdogCycles = 1 << 20
+
+// watchdogEventLimit bounds events dispatched without progress, catching
+// livelocks that churn same-cycle events without advancing time.
+const watchdogEventLimit = 1 << 20
+
+// watch runs before every event dispatch: it aborts the run on the first
+// recorded error and implements the progress watchdog.
+func (s *simulator) watch(now uint64) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.progress != s.lastProgress {
+		s.lastProgress = s.progress
+		s.lastProgressAt = now
+		s.eventsSinceProgress = 0
+		return nil
+	}
+	s.eventsSinceProgress++
+	if stalled := now - s.lastProgressAt; stalled > s.watchdogCycles {
+		s.err = s.stallError(now, fmt.Sprintf("no progress for %d cycles", stalled))
+		return s.err
+	}
+	if s.eventsSinceProgress > watchdogEventLimit {
+		s.err = s.stallError(now, fmt.Sprintf("%d events dispatched without progress (livelock)", s.eventsSinceProgress))
+		return s.err
+	}
+	return nil
+}
+
+// stallError diagnoses every unfinished processor: what it waits on, and for
+// locks, who holds the contended lock.
+func (s *simulator) stallError(now uint64, reason string) *check.StallError {
+	e := &check.StallError{Cycle: now, Reason: reason}
+	for _, p := range s.procs {
+		if p.finished {
+			continue
+		}
+		st := check.ProcStall{Proc: p.id, Event: p.pc, Events: len(p.stream), Wait: check.WaitUnknown, Holder: -1}
+		if p.waitingForSlot {
+			st.Wait = check.WaitBufferSlot
+		}
+		if st.Wait == check.WaitUnknown {
+			for la, inf := range p.inflight {
+				if inf.cpuWaiting {
+					st.Wait = check.WaitMemory
+					st.Object, st.HasObject = la, true
+					break
+				}
+			}
+		}
+		if st.Wait == check.WaitUnknown {
+			for a, ls := range s.locks {
+				for _, q := range ls.queue {
+					if q == p.id {
+						st.Wait = check.WaitLock
+						st.Object, st.HasObject = a, true
+						st.Holder = ls.holder
+					}
+				}
+			}
+		}
+		if st.Wait == check.WaitUnknown {
+			for id, bs := range s.barrs {
+				for _, w := range bs.waiting {
+					if w == p.id {
+						st.Wait = check.WaitBarrier
+						st.Object, st.HasObject = id, true
+					}
+				}
+			}
+		}
+		e.Stalls = append(e.Stalls, st)
+	}
+	return e
 }
 
 // regionName returns the name of the region containing a, or
@@ -491,26 +611,34 @@ type barrierState struct {
 	waiting    []int
 }
 
-func newSimulator(cfg Config, t *trace.Trace) *simulator {
+func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
 	s := &simulator{
-		cfg:    cfg,
-		eng:    &engine{},
-		locks:  make(map[memory.Addr]*lockState),
-		barrs:  make(map[memory.Addr]*barrierState),
-		geom:   cfg.Geometry,
-		uncont: uint64(cfg.MemLatency - cfg.TransferCycles),
+		cfg:            cfg,
+		eng:            &engine{},
+		locks:          make(map[memory.Addr]*lockState),
+		barrs:          make(map[memory.Addr]*barrierState),
+		geom:           cfg.Geometry,
+		uncont:         uint64(cfg.MemLatency - cfg.TransferCycles),
+		watchdogCycles: cfg.WatchdogCycles,
+	}
+	if s.watchdogCycles == 0 {
+		s.watchdogCycles = defaultWatchdogCycles
 	}
 	if len(cfg.Regions) > 0 {
 		s.regions = append([]memory.Region(nil), cfg.Regions...)
 		sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
 		s.regionMisses = make(map[string]*RegionMisses)
 	}
-	s.bus = bus.New(s.eng, t.Procs())
+	b, err := bus.New(s.eng, t.Procs())
+	if err != nil {
+		return nil, err
+	}
+	s.bus = b
 	s.procs = make([]*proc, t.Procs())
 	for i := range s.procs {
 		s.procs[i] = newProc(s, i, t.Streams[i])
 	}
-	return s
+	return s, nil
 }
 
 func (s *simulator) run() (*Result, error) {
@@ -518,7 +646,12 @@ func (s *simulator) run() (*Result, error) {
 		p := p
 		s.eng.At(0, p.run)
 	}
-	s.eng.run()
+	if err := s.eng.run(s.watch); err != nil {
+		return nil, err
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
 	res := &Result{Config: s.cfg, Counters: s.c, Bus: s.bus.Stats(), Procs: make([]ProcStats, len(s.procs))}
 	if s.regionMisses != nil {
 		res.RegionMisses = make(map[string]RegionMisses, len(s.regionMisses))
@@ -528,7 +661,10 @@ func (s *simulator) run() (*Result, error) {
 	}
 	for i, p := range s.procs {
 		if !p.finished {
-			return nil, fmt.Errorf("sim: processor %d stalled at event %d/%d (deadlock or inconsistent trace)", i, p.pc, len(p.stream))
+			// The event queue drained with this processor still blocked — the
+			// classic deadlock (a lock release that never happened, a barrier
+			// a peer never reached). Report every blocked processor.
+			return nil, s.stallError(s.eng.now, "event queue drained with unfinished processors")
 		}
 		res.Procs[i] = p.stats
 		if p.stats.FinishTime > res.Cycles {
@@ -554,7 +690,6 @@ func (s *simulator) snoopFetch(requester int, la memory.Addr, excl bool, word in
 			if p.victim != nil && p.victim.SnoopInvalidate(la, word) != cache.Invalid {
 				sharers = true
 			}
-			p.dropBuffered(la)
 		} else {
 			if p.cache.SnoopRead(la) != cache.Invalid {
 				sharers = true
@@ -563,6 +698,10 @@ func (s *simulator) snoopFetch(requester int, la memory.Addr, excl bool, word in
 				sharers = true
 			}
 		}
+		// The non-snooping prefetch buffer cannot track the line once another
+		// processor fetches it — even a read fill may enter private-clean and
+		// be written silently later — so any remote fill drops the entry.
+		p.dropBuffered(la)
 	}
 	return sharers
 }
@@ -629,39 +768,25 @@ func (s *simulator) arriveBarrier(id memory.Addr, p *proc, now uint64) (blocked 
 	return true
 }
 
-// checkLine verifies the MESI single-owner invariant for one line across all
-// caches. Enabled by Config.CheckInvariants; a violation is a simulator bug,
-// so it panics.
-func (s *simulator) checkLine(la memory.Addr) {
-	owners, sharers := 0, 0
-	for _, p := range s.procs {
-		switch p.cache.StateOf(la) {
-		case cache.Modified, cache.Exclusive:
-			owners++
-		case cache.Shared:
-			sharers++
-		}
+// checkLine verifies the Illinois single-owner invariants for one line across
+// all caches (internal/check). Enabled by Config.CheckInvariants. It is
+// called at each bus grant touching the line — the transaction's
+// serialization point, before snooping would repair a corrupted remote copy —
+// and again after a fill installs. A violation fails the run with a
+// *check.Violation carrying every cache's view of the line.
+func (s *simulator) checkLine(now uint64, la memory.Addr) {
+	states := make([]check.ProcLineState, len(s.procs))
+	for i, p := range s.procs {
+		ps := check.ProcLineState{Proc: p.id, State: p.cache.StateOf(la)}
 		if p.victim != nil {
-			switch p.victim.StateOf(la) {
-			case cache.Modified, cache.Exclusive:
-				owners++
-			case cache.Shared:
-				sharers++
-			}
+			ps.VictimState = p.victim.StateOf(la)
 		}
+		if inf := p.inflight[la]; inf != nil {
+			ps.Inflight, ps.Excl, ps.IsPrefetch = true, inf.excl, inf.isPrefetch
+		}
+		states[i] = ps
 	}
-	if owners > 1 || (owners == 1 && sharers > 0) {
-		detail := ""
-		for _, p := range s.procs {
-			if st := p.cache.StateOf(la); st != cache.Invalid {
-				inf := ""
-				if p.inflight[la] != nil {
-					inf = fmt.Sprintf(" inflight(excl=%v,pf=%v)", p.inflight[la].excl, p.inflight[la].isPrefetch)
-				}
-				detail += fmt.Sprintf(" proc%d=%v%s", p.id, st, inf)
-			}
-		}
-		panic(fmt.Sprintf("sim: coherence invariant violated for line 0x%x: %d owners, %d sharers:%s",
-			uint64(la), owners, sharers, detail))
+	if v := check.Coherence(now, la, states); v != nil {
+		s.fail(v)
 	}
 }

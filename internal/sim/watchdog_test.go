@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"busprefetch/internal/check"
+	"busprefetch/internal/trace"
+)
+
+func watchdogSim(t *testing.T) *simulator {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 100
+	s, err := newSimulator(cfg, &trace.Trace{Streams: []trace.Stream{
+		{{Kind: trace.Read, Addr: 0x1000}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWatchdogNoProgressTrips(t *testing.T) {
+	s := watchdogSim(t)
+	if err := s.watch(0); err != nil {
+		t.Fatalf("watch tripped immediately: %v", err)
+	}
+	// Progress resets the clock.
+	s.progress++
+	if err := s.watch(50); err != nil {
+		t.Fatalf("watch tripped on progress: %v", err)
+	}
+	if err := s.watch(140); err != nil {
+		t.Fatalf("watch tripped within threshold: %v", err)
+	}
+	err := s.watch(151) // 101 cycles past the last progress at 50
+	if err == nil {
+		t.Fatal("watchdog did not trip after the threshold")
+	}
+	var stall *check.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("error is %T, want *check.StallError", err)
+	}
+	if !strings.Contains(stall.Reason, "no progress") {
+		t.Errorf("reason = %q", stall.Reason)
+	}
+	// Once tripped, the error is sticky.
+	if err2 := s.watch(152); err2 != err {
+		t.Errorf("watch after trip = %v, want the same error", err2)
+	}
+}
+
+func TestWatchdogLivelockTrips(t *testing.T) {
+	s := watchdogSim(t)
+	s.progress++
+	if err := s.watch(10); err != nil {
+		t.Fatal(err)
+	}
+	// Same-cycle events churning without progress: the event-count limit
+	// catches what the cycle threshold cannot.
+	s.eventsSinceProgress = watchdogEventLimit
+	err := s.watch(10)
+	if err == nil {
+		t.Fatal("livelock limit did not trip")
+	}
+	var stall *check.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("error is %T, want *check.StallError", err)
+	}
+	if !strings.Contains(stall.Reason, "livelock") {
+		t.Errorf("reason = %q", stall.Reason)
+	}
+}
+
+func TestWatchdogDefaultThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := newSimulator(cfg, &trace.Trace{Streams: []trace.Stream{
+		{{Kind: trace.Read, Addr: 0x1000}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.watchdogCycles != defaultWatchdogCycles {
+		t.Errorf("watchdogCycles = %d, want default %d", s.watchdogCycles, uint64(defaultWatchdogCycles))
+	}
+	// Huge instruction gaps must not trip the default watchdog: a gap is one
+	// event that itself counts as progress (see proc.run).
+	big := &trace.Trace{Streams: []trace.Stream{
+		{{Kind: trace.Read, Addr: 0x1000, Gap: 1 << 24}, {Kind: trace.Read, Addr: 0x2000, Gap: 1 << 24}},
+	}}
+	if _, err := Run(cfg, big); err != nil {
+		t.Errorf("huge-gap trace tripped the watchdog: %v", err)
+	}
+}
+
+func TestFailKeepsFirstError(t *testing.T) {
+	s := watchdogSim(t)
+	first := errors.New("first")
+	s.fail(first)
+	s.fail(errors.New("second"))
+	if s.err != first {
+		t.Errorf("err = %v, want the first failure", s.err)
+	}
+	s2 := watchdogSim(t)
+	s2.fail(nil)
+	if s2.err != nil {
+		t.Errorf("fail(nil) recorded %v", s2.err)
+	}
+}

@@ -35,9 +35,12 @@ func LocusRoute() *Workload {
 	}
 }
 
-func genLocus(p Params) (*trace.Trace, Info) {
+func genLocus(p Params) (*trace.Trace, Info, error) {
 	ls := p.Geometry.LineSize
-	lay := memory.NewLayout(0x5000_0000, ls)
+	lay, err := memory.NewLayout(0x5000_0000, ls)
+	if err != nil {
+		return nil, Info{}, err
+	}
 
 	grid := lay.AllocLines("cost-grid", locusGridCols*locusGridRows*memory.WordSize, true)
 	wireLock := lay.AllocLines("wire-queue-lock", ls, true)
@@ -154,5 +157,5 @@ func genLocus(p Params) (*trace.Trace, Info) {
 		SharedData:  grid.Size + 2*ls,
 		Regions:     lay.Regions(),
 	}
-	return t, info
+	return t, info, nil
 }

@@ -40,15 +40,21 @@ func Mp3d() *Workload {
 
 func mp3dOwner(i, procs int) int { return (i / mp3dOwnerGroup) % procs }
 
-func genMp3d(p Params) (*trace.Trace, Info) {
+func genMp3d(p Params) (*trace.Trace, Info, error) {
 	ls := p.Geometry.LineSize
-	lay := memory.NewLayout(0x2000_0000, ls)
+	lay, err := memory.NewLayout(0x2000_0000, ls)
+	if err != nil {
+		return nil, Info{}, err
+	}
 
 	particlesBase := lay.AllocLines("particles", 0, true).Base
 	// The paper does not restructure Mp3d ("the other programs were not
 	// improved significantly by the current restructuring algorithm"), so
 	// the packed, falsely-shared layout is always used.
-	particles := restructure.Packed(particlesBase, mp3dParticleRec, mp3dParticles)
+	particles, err := restructure.Packed(particlesBase, mp3dParticleRec, mp3dParticles)
+	if err != nil {
+		return nil, Info{}, err
+	}
 	lay.Record("particles", particlesBase, particles.Size(), true)
 	lay.Skip(particles.Size())
 
@@ -140,5 +146,5 @@ func genMp3d(p Params) (*trace.Trace, Info) {
 		SharedData:  particles.Size() + cellsR.Size + counters.Size,
 		Regions:     lay.Regions(),
 	}
-	return t, info
+	return t, info, nil
 }

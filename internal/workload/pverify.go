@@ -45,9 +45,12 @@ func Pverify() *Workload {
 
 func pverifyOwner(gate, procs int) int { return gate % procs }
 
-func genPverify(p Params) (*trace.Trace, Info) {
+func genPverify(p Params) (*trace.Trace, Info, error) {
 	ls := p.Geometry.LineSize
-	lay := memory.NewLayout(0x4000_0000, ls)
+	lay, err := memory.NewLayout(0x4000_0000, ls)
+	if err != nil {
+		return nil, Info{}, err
+	}
 
 	// Gate value array: one word per gate. The original layout packs the
 	// values, interleaving writers within every line; the restructured
@@ -55,10 +58,13 @@ func genPverify(p Params) (*trace.Trace, Info) {
 	valuesBase := lay.AllocLines("values", 0, true).Base
 	var values *restructure.Mapper
 	if p.Restructured {
-		values = restructure.BlockedByOwner(valuesBase, memory.WordSize, pverifyGates, ls, p.Procs,
+		values, err = restructure.BlockedByOwner(valuesBase, memory.WordSize, pverifyGates, ls, p.Procs,
 			func(i int) int { return pverifyOwner(i, p.Procs) })
 	} else {
-		values = restructure.Packed(valuesBase, memory.WordSize, pverifyGates)
+		values, err = restructure.Packed(valuesBase, memory.WordSize, pverifyGates)
+	}
+	if err != nil {
+		return nil, Info{}, err
 	}
 	lay.Record("values", valuesBase, values.Size(), true)
 	lay.Skip(values.Size())
@@ -179,5 +185,5 @@ func genPverify(p Params) (*trace.Trace, Info) {
 		SharedData:  values.Size() + 2*ls,
 		Regions:     lay.Regions(),
 	}
-	return t, info
+	return t, info, nil
 }

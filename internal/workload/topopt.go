@@ -50,9 +50,12 @@ func Topopt() *Workload {
 	}
 }
 
-func genTopopt(p Params) (*trace.Trace, Info) {
+func genTopopt(p Params) (*trace.Trace, Info, error) {
 	ls := p.Geometry.LineSize
-	lay := memory.NewLayout(0x1000_0000, ls)
+	lay, err := memory.NewLayout(0x1000_0000, ls)
+	if err != nil {
+		return nil, Info{}, err
+	}
 
 	// Shared cell array. Cells are "owned" (mostly optimized) by processor
 	// cell%procs. In the original program cells were laid out in discovery
@@ -67,10 +70,13 @@ func genTopopt(p Params) (*trace.Trace, Info) {
 	lay.AlignTo(p.Geometry.CacheSize, p.Geometry.CacheSize/2)
 	cellsBase := lay.AllocLines("cells", 0, true).Base
 	if p.Restructured {
-		cells = restructure.BlockedByOwner(cellsBase, topoptCellRec, topoptCells, ls, p.Procs,
+		cells, err = restructure.BlockedByOwner(cellsBase, topoptCellRec, topoptCells, ls, p.Procs,
 			func(i int) int { return i % p.Procs })
 	} else {
-		cells = restructure.Packed(cellsBase, topoptCellRec, topoptCells)
+		cells, err = restructure.Packed(cellsBase, topoptCellRec, topoptCells)
+	}
+	if err != nil {
+		return nil, Info{}, err
 	}
 	lay.Record("cells", cellsBase, cells.Size(), true)
 	lay.Skip(cells.Size())
@@ -204,5 +210,5 @@ func genTopopt(p Params) (*trace.Trace, Info) {
 		SharedData:  cells.Size() + locks.Size + cost.Size,
 		Regions:     lay.Regions(),
 	}
-	return t, info
+	return t, info, nil
 }

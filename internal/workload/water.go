@@ -35,12 +35,18 @@ func Water() *Workload {
 	}
 }
 
-func genWater(p Params) (*trace.Trace, Info) {
+func genWater(p Params) (*trace.Trace, Info, error) {
 	ls := p.Geometry.LineSize
-	lay := memory.NewLayout(0x3000_0000, ls)
+	lay, err := memory.NewLayout(0x3000_0000, ls)
+	if err != nil {
+		return nil, Info{}, err
+	}
 
 	molsBase := lay.AllocLines("molecules", 0, true).Base
-	mols := restructure.Packed(molsBase, waterRec, waterMols)
+	mols, err := restructure.Packed(molsBase, waterRec, waterMols)
+	if err != nil {
+		return nil, Info{}, err
+	}
 	lay.Record("molecules", molsBase, mols.Size(), true)
 	lay.Skip(mols.Size())
 	// The global potential-energy accumulator, guarded by a lock as in the
@@ -140,5 +146,5 @@ func genWater(p Params) (*trace.Trace, Info) {
 		SharedData:  mols.Size() + energyLock.Size + energy.Size,
 		Regions:     lay.Regions(),
 	}
-	return t, info
+	return t, info, nil
 }

@@ -83,7 +83,7 @@ type Workload struct {
 	Description string
 	// DefaultProcs is the processor count used when Params.Procs is zero.
 	DefaultProcs int
-	generate     func(p Params) (*trace.Trace, Info)
+	generate     func(p Params) (*trace.Trace, Info, error)
 }
 
 // Generate builds the trace (and its Info) for the given parameters.
@@ -98,7 +98,10 @@ func (w *Workload) Generate(p Params) (*trace.Trace, Info, error) {
 	if err := p.Geometry.Validate(); err != nil {
 		return nil, Info{}, fmt.Errorf("workload %s: %w", w.Name, err)
 	}
-	t, info := w.generate(p)
+	t, info, err := w.generate(p)
+	if err != nil {
+		return nil, Info{}, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
 	t.Name = w.Name
 	info.Name = w.Name
 	info.Procs = p.Procs
