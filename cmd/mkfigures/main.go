@@ -3,12 +3,20 @@
 // also writes the results into a Markdown report (the data behind
 // EXPERIMENTS.md).
 //
+// The suite cells are independent simulations; they are sharded across a
+// bounded worker pool (-jobs) and reduced in canonical order, so stdout is
+// byte-identical for every worker count. -bench-out records the run's
+// wall-clock trajectory (per cell, total, trace-cache hit rate) as JSON for
+// cross-commit comparison.
+//
 // Usage:
 //
 //	mkfigures                 # full suite at scale 1 (several minutes)
 //	mkfigures -scale 0.25     # quick pass
 //	mkfigures -only fig2      # a single experiment
+//	mkfigures -jobs 8         # shard cells across 8 workers
 //	mkfigures -out results.md # also write a Markdown report
+//	mkfigures -bench-out BENCH_suite.json  # record the perf trajectory
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,30 +33,31 @@ import (
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 1.0, "trace length multiplier")
-		seed  = flag.Int64("seed", 1, "workload generator seed")
-		only  = flag.String("only", "", "run one experiment: table1, fig1, table2, fig2, util, fig3, table3, table4, table5, ablations")
-		out   = flag.String("out", "", "also write the report to this file")
-		quiet = flag.Bool("q", false, "suppress progress output")
+		scale    = flag.Float64("scale", 1.0, "trace length multiplier")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		only     = flag.String("only", "", "run one experiment: "+strings.Join(experiments.SectionNames(), ", "))
+		jobs     = flag.Int("jobs", 0, "worker pool size for sharding cells (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "also write the report to this file")
+		benchOut = flag.String("bench-out", "", "write a JSON benchmark report (wall-clock per cell, trace-cache hit rate) to this file")
+		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
-	suite := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed})
+	if *only != "" && !experiments.ValidSection(*only) {
+		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *only, strings.Join(experiments.SectionNames(), ", ")))
+	}
+	suite := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *jobs})
 
 	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
 
-	// Pre-run the shared simulation grid in parallel.
-	var keys []experiments.Key
-	if want("fig1") || want("table2") || want("fig2") || want("util") || want("fig3") || want("table3") {
-		keys = append(keys, suite.GridKeys()...)
-	}
-	if want("table4") || want("table5") {
-		keys = append(keys, suite.RestructuredKeys()...)
-	}
-	if len(keys) > 0 && !*quiet {
-		fmt.Fprintf(os.Stderr, "mkfigures: simulating %d configurations (scale %.2f)...\n", len(keys), *scale)
-	}
 	start := time.Now()
+
+	// Pre-run the shared simulation grid in parallel.
+	keys := suite.KeysFor(want)
+	if len(keys) > 0 && !*quiet {
+		fmt.Fprintf(os.Stderr, "mkfigures: simulating %d configurations (scale %.2f, %d workers)...\n",
+			len(keys), *scale, suite.Workers())
+	}
 	progress := func(done, total int) {
 		if !*quiet && done%10 == 0 {
 			fmt.Fprintf(os.Stderr, "  %d/%d (%.0fs elapsed)\n", done, total, time.Since(start).Seconds())
@@ -63,64 +73,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mkfigures: warning:", err)
 	}
 
-	var sections []string
-	add := func(name, body string, err error) {
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
-		}
-		sections = append(sections, body)
+	reportText, err := suite.RenderSections(want)
+	if err != nil {
+		fatal(err)
 	}
-
-	if want("table1") {
-		rows, err := suite.Table1()
-		add("table1", experiments.RenderTable1(rows), err)
-	}
-	if want("fig1") {
-		rows, err := suite.Figure1()
-		add("fig1", experiments.RenderFigure1(rows), err)
-	}
-	if want("table2") {
-		rows, err := suite.Table2()
-		add("table2", experiments.RenderTable2(rows), err)
-	}
-	if want("fig2") {
-		rows, err := suite.Figure2()
-		add("fig2", experiments.RenderFigure2(rows, suite.Config().Transfers), err)
-	}
-	if want("util") {
-		rows, err := suite.Utilization()
-		add("util", experiments.RenderUtilization(rows), err)
-	}
-	if want("fig3") {
-		rows, err := suite.Figure3()
-		add("fig3", experiments.RenderFigure3(rows), err)
-	}
-	if want("table3") {
-		rows, err := suite.Table3()
-		add("table3", experiments.RenderTable3(rows), err)
-	}
-	if want("table4") {
-		rows, err := suite.Table4()
-		add("table4", experiments.RenderTable4(rows), err)
-	}
-	if want("table5") {
-		rows, err := suite.Table5()
-		add("table5", experiments.RenderTable5(rows, suite.Config().Transfers), err)
-	}
-	if want("ablations") {
-		rows, err := suite.AblationCacheSize("mp3d", nil)
-		add("ablation-cache", experiments.RenderAblation("Ablation: cache size (mp3d, NP, T=8)", rows), err)
-		rows, err = suite.AblationLineSize("mp3d", nil)
-		add("ablation-line", experiments.RenderAblation("Ablation: line size (mp3d, NP, T=8)", rows), err)
-		rows, err = suite.AblationAssociativity("topopt")
-		add("ablation-assoc", experiments.RenderAblation("Ablation: associativity & victim cache (topopt, PREF, T=8)", rows), err)
-		rows, err = suite.AblationProtocol("mp3d")
-		add("ablation-protocol", experiments.RenderAblation("Ablation: Illinois vs MSI (mp3d, T=8)", rows), err)
-		rows, err = suite.AblationPrefetchPlacement("mp3d")
-		add("ablation-placement", experiments.RenderAblation("Ablation: cache vs buffer prefetching (mp3d, T=8)", rows), err)
-	}
-
-	reportText := strings.Join(sections, "\n")
 	fmt.Println(reportText)
 
 	if *out != "" {
@@ -130,6 +86,17 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "mkfigures: wrote %s\n", *out)
+		}
+	}
+
+	if *benchOut != "" {
+		bench := suite.Bench(time.Since(start))
+		if err := bench.WriteFile(*benchOut); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "mkfigures: wrote %s (%d cells, %.0fms total, %d/%d workers/cores, trace-cache hit rate %.2f)\n",
+				*benchOut, len(bench.Cells), bench.TotalMillis, bench.Workers, runtime.GOMAXPROCS(0), bench.TraceCacheHitRate)
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"text/tabwriter"
 
 	"busprefetch/internal/prefetch"
+	"busprefetch/internal/runner"
 	"busprefetch/internal/sim"
 	"busprefetch/internal/trace"
 	"busprefetch/internal/workload"
@@ -68,6 +69,7 @@ func run(args []string, stdout io.Writer) error {
 		scale        = fs.Float64("scale", 1.0, "trace length multiplier")
 		seed         = fs.Int64("seed", 1, "workload generator seed")
 		restructured = fs.Bool("restructured", false, "use the false-sharing-restructured layout")
+		jobs         = fs.Int("jobs", 0, "worker pool size for -all strategy runs (0 = GOMAXPROCS)")
 		distance     = fs.Int("distance", 0, "prefetch distance in cycles (0 = strategy default)")
 		regions      = fs.Bool("regions", false, "attribute CPU misses to workload data structures")
 		tracePath    = fs.String("trace", "", "replay a saved binary trace instead of generating a workload")
@@ -152,18 +154,37 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "data touched %d KB, shared %d KB, write-shared %d KB; transfer latency %d/%d cycles\n\n",
 		st.TouchedData/1024, st.SharedData/1024, st.WriteShared/1024, *transfer, *latency)
 
-	var npCycles uint64
-	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "strategy\tcycles\trel.time\tCPU MR\tadj MR\ttotal MR\tinval MR\tFS MR\tbus util\tproc util\tprefetches\tpf-hits")
-	for _, s := range strategies {
-		annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
+	// The per-strategy runs are independent simulations of the same base
+	// trace: shard them across the worker pool and print in canonical
+	// strategy order afterwards, so the output is identical at any -jobs.
+	results := make([]*sim.Result, len(strategies))
+	tasks := make([]runner.Task, len(strategies))
+	for i, s := range strategies {
+		tasks[i] = runner.Task{Label: s.String(), Run: func() error {
+			annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
+			if err != nil {
+				return err
+			}
+			res, err := sim.Run(cfg, annotated)
+			if err != nil {
+				return fmt.Errorf("strategy %s: %w", s, err)
+			}
+			results[i] = res
+			return nil
+		}}
+	}
+	errs, _ := runner.NewPool(*jobs).Do(tasks, nil)
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(cfg, annotated)
-		if err != nil {
-			return fmt.Errorf("strategy %s: %w", s, err)
-		}
+	}
+
+	var npCycles uint64
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tcycles\trel.time\tCPU MR\tadj MR\ttotal MR\tinval MR\tFS MR\tbus util\tproc util\tprefetches\tpf-hits")
+	for i, s := range strategies {
+		res := results[i]
 		if s == prefetch.NP {
 			npCycles = res.Cycles
 		}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"busprefetch/internal/memory"
+)
+
+// Metamorphic property: a cache's hit/miss behaviour depends only on the
+// *structure* of the address stream — which accesses touch the same line,
+// and which lines contend for the same set — never on the absolute address
+// values. Any relabeling that preserves line identity and set mapping must
+// reproduce the exact miss sequence. Two such relabelings:
+//
+//   - offset: a += k * CacheSize. Adds k*Lines to every line number, which
+//     is 0 mod Sets (Sets divides Lines), so every line keeps its set.
+//   - xor: a ^= x for a line-aligned x. Line numbers become ln ^ (x/LineSize);
+//     with power-of-two Sets this permutes the sets consistently, so each
+//     set's access sequence is preserved under the permutation.
+//
+// A regression here means the cache started keying decisions on raw
+// addresses (or leaking state between sets), which would silently skew every
+// miss rate in the paper reproduction.
+
+// missSequence replays a demand-access stream (read/write alternating by
+// step) against a fresh cache and records per-access miss booleans.
+func missSequence(geom memory.Geometry, addrs []memory.Addr) []bool {
+	c := New(geom)
+	out := make([]bool, len(addrs))
+	states := []State{Shared, Exclusive, Modified}
+	for i, a := range addrs {
+		_, hit := c.Probe(a)
+		out[i] = !hit
+		if !hit {
+			l, _ := c.Allocate(a)
+			l.State = states[i%len(states)]
+		}
+	}
+	return out
+}
+
+// localizedStream builds a pseudo-random address stream with enough reuse
+// and set conflict to exercise hits, capacity misses and LRU decisions.
+func localizedStream(rng *rand.Rand, geom memory.Geometry, n int) []memory.Addr {
+	hot := make([]memory.Addr, 64)
+	for i := range hot {
+		// Hot words concentrated in a few sets to force conflicts.
+		hot[i] = memory.Addr(rng.Intn(8*geom.CacheSize)) &^ 3
+	}
+	addrs := make([]memory.Addr, n)
+	for i := range addrs {
+		if rng.Intn(100) < 70 {
+			addrs[i] = hot[rng.Intn(len(hot))]
+		} else {
+			addrs[i] = memory.Addr(rng.Intn(64*geom.CacheSize)) &^ 3
+		}
+	}
+	return addrs
+}
+
+func relabelOffset(addrs []memory.Addr, geom memory.Geometry, k int) []memory.Addr {
+	out := make([]memory.Addr, len(addrs))
+	for i, a := range addrs {
+		out[i] = a + memory.Addr(k*geom.CacheSize)
+	}
+	return out
+}
+
+func relabelXor(addrs []memory.Addr, x memory.Addr) []memory.Addr {
+	out := make([]memory.Addr, len(addrs))
+	for i, a := range addrs {
+		out[i] = a ^ x
+	}
+	return out
+}
+
+func TestMissSequenceInvariantUnderRelabeling(t *testing.T) {
+	geometries := []memory.Geometry{
+		{CacheSize: 32 * 1024, LineSize: 32, Assoc: 1}, // the paper's cache
+		{CacheSize: 32 * 1024, LineSize: 32, Assoc: 2},
+		{CacheSize: 16 * 1024, LineSize: 16, Assoc: 4},
+		{CacheSize: 512, LineSize: 32, Assoc: 0}, // fully associative (PWS filter shape)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, geom := range geometries {
+		addrs := localizedStream(rng, geom, 20000)
+		base := missSequence(geom, addrs)
+
+		for _, k := range []int{1, 3, 117} {
+			got := missSequence(geom, relabelOffset(addrs, geom, k))
+			if !equalBools(base, got) {
+				t.Errorf("%v: miss sequence changed under +%d*CacheSize relabeling at access %d",
+					geom, k, firstDiff(base, got))
+			}
+		}
+		for _, x := range []memory.Addr{
+			memory.Addr(geom.LineSize) * 5,
+			memory.Addr(geom.CacheSize) * 2,
+			memory.Addr(geom.LineSize) * 1023,
+		} {
+			got := missSequence(geom, relabelXor(addrs, x))
+			if !equalBools(base, got) {
+				t.Errorf("%v: miss sequence changed under xor-%#x relabeling at access %d",
+					geom, uint64(x), firstDiff(base, got))
+			}
+		}
+	}
+}
+
+// TestRelabelingSanity guards the test itself: a relabeling that does NOT
+// preserve structure (sub-line offset, so some accesses change lines) must
+// change the miss sequence — otherwise the property above is vacuous.
+func TestRelabelingSanity(t *testing.T) {
+	geom := memory.Geometry{CacheSize: 32 * 1024, LineSize: 32, Assoc: 1}
+	rng := rand.New(rand.NewSource(43))
+	addrs := localizedStream(rng, geom, 20000)
+	base := missSequence(geom, addrs)
+	broken := make([]memory.Addr, len(addrs))
+	for i, a := range addrs {
+		broken[i] = a + 20 // not line-aligned: straddles line boundaries
+	}
+	if equalBools(base, missSequence(geom, broken)) {
+		t.Error("structure-breaking relabeling left the miss sequence unchanged; the property test has no power")
+	}
+}
+
+func equalBools(a, b []bool) bool { return firstDiff(a, b) == -1 }
+
+func firstDiff(a, b []bool) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

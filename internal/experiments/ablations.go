@@ -6,8 +6,8 @@ import (
 	"busprefetch/internal/memory"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/report"
+	"busprefetch/internal/runner"
 	"busprefetch/internal/sim"
-	"busprefetch/internal/workload"
 )
 
 // The ablations reproduce the configuration variations the paper describes
@@ -37,16 +37,13 @@ type AblationRow struct {
 
 func (s *Suite) runConfig(wl string, strat prefetch.Strategy, cfg sim.Config, restructured bool,
 	annotate func(prefetch.Options) prefetch.Options) (*sim.Result, error) {
-	w, err := workload.ByName(wl)
-	if err != nil {
-		return nil, err
-	}
 	// Ablation traces must be generated with the ablation geometry so the
 	// layouts (conflict-pair placement, padding) stay consistent with the
-	// simulated cache.
-	t, _, err := w.Generate(workload.Params{
-		Scale: s.cfg.Scale, Seed: s.cfg.Seed, Restructured: restructured, Geometry: cfg.Geometry,
-	})
+	// simulated cache. The trace cache keys on geometry, so sweeps that vary
+	// only the simulator configuration (protocol, latency, distance, victim
+	// cache) share one generation, as do ablations at the default geometry
+	// and the main suite grid.
+	t, _, err := s.traceFor(wl, restructured, cfg.Geometry)
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +56,49 @@ func (s *Suite) runConfig(wl string, strat prefetch.Strategy, cfg sim.Config, re
 		return nil, err
 	}
 	return sim.Run(cfg, annotated)
+}
+
+// variantRun is one cell of an ablation sweep.
+type variantRun struct {
+	label        string
+	workload     string
+	strat        prefetch.Strategy
+	cfg          sim.Config
+	restructured bool
+	annotate     func(prefetch.Options) prefetch.Options
+}
+
+// runVariants executes an ablation sweep on the suite's worker pool and
+// returns the results in input (canonical) order, so downstream baseline
+// arithmetic sees the same sequence a serial sweep would have produced.
+// Unlike the suite grid, ablation sweeps fail outright on the first failing
+// variant (in canonical order) — they are supplementary sweeps with
+// within-sweep baselines, so a partial sweep would mislead more than it
+// informs.
+func (s *Suite) runVariants(sweep string, variants []variantRun) ([]*sim.Result, error) {
+	tasks := make([]runner.Task, len(variants))
+	results := make([]*sim.Result, len(variants))
+	for i, v := range variants {
+		tasks[i] = runner.Task{
+			Label: fmt.Sprintf("ablation:%s/%s/%s/%s", sweep, v.workload, v.label, v.strat),
+			Run: func() error {
+				res, err := s.runConfig(v.workload, v.strat, v.cfg, v.restructured, v.annotate)
+				if err != nil {
+					return err
+				}
+				results[i] = res
+				return nil
+			},
+		}
+	}
+	errs, times := s.pool.Do(tasks, nil)
+	s.recordTimings(times)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s (%s): %w", variants[i].label, sweep, err)
+		}
+	}
+	return results, nil
 }
 
 func ablationRow(label string, strat prefetch.Strategy, res *sim.Result, baseline uint64) AblationRow {
@@ -88,19 +128,30 @@ func (s *Suite) AblationCacheSize(wl string, sizesKB []int) ([]AblationRow, erro
 	if len(sizesKB) == 0 {
 		sizesKB = []int{16, 32, 64, 128}
 	}
-	var rows []AblationRow
-	var base uint64
+	var variants []variantRun
 	for _, kb := range sizesKB {
 		cfg := sim.DefaultConfig()
 		cfg.Geometry = memory.Geometry{CacheSize: kb * 1024, LineSize: 32, Assoc: 1}
-		res, err := s.runConfig(wl, prefetch.NP, cfg, false, nil)
-		if err != nil {
-			return nil, err
-		}
+		variants = append(variants, variantRun{
+			label: fmt.Sprintf("%dKB", kb), workload: wl, strat: prefetch.NP, cfg: cfg,
+		})
+	}
+	return s.sweepRows("cache-size", variants)
+}
+
+// sweepRows runs a sweep whose baseline is its first variant's cycles.
+func (s *Suite) sweepRows(sweep string, variants []variantRun) ([]AblationRow, error) {
+	results, err := s.runVariants(sweep, variants)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	var base uint64
+	for i, res := range results {
 		if base == 0 {
 			base = res.Cycles
 		}
-		rows = append(rows, ablationRow(fmt.Sprintf("%dKB", kb), prefetch.NP, res, base))
+		rows = append(rows, ablationRow(variants[i].label, variants[i].strat, res, base))
 	}
 	return rows, nil
 }
@@ -112,21 +163,15 @@ func (s *Suite) AblationLineSize(wl string, sizes []int) ([]AblationRow, error) 
 	if len(sizes) == 0 {
 		sizes = []int{16, 32, 64, 128}
 	}
-	var rows []AblationRow
-	var base uint64
+	var variants []variantRun
 	for _, ls := range sizes {
 		cfg := sim.DefaultConfig()
 		cfg.Geometry = memory.Geometry{CacheSize: 32 * 1024, LineSize: ls, Assoc: 1}
-		res, err := s.runConfig(wl, prefetch.NP, cfg, false, nil)
-		if err != nil {
-			return nil, err
-		}
-		if base == 0 {
-			base = res.Cycles
-		}
-		rows = append(rows, ablationRow(fmt.Sprintf("%dB", ls), prefetch.NP, res, base))
+		variants = append(variants, variantRun{
+			label: fmt.Sprintf("%dB", ls), workload: wl, strat: prefetch.NP, cfg: cfg,
+		})
 	}
-	return rows, nil
+	return s.sweepRows("line-size", variants)
 }
 
 // AblationAssociativity compares the direct-mapped cache against
@@ -140,28 +185,20 @@ func (s *Suite) AblationAssociativity(wl string) ([]AblationRow, error) {
 		assoc  int
 		victim int
 	}
-	variants := []variant{
+	shapes := []variant{
 		{"direct-mapped", 1, 0},
 		{"direct+victim8", 1, 8},
 		{"2-way", 2, 0},
 		{"4-way", 4, 0},
 	}
-	var rows []AblationRow
-	var base uint64
-	for _, v := range variants {
+	var variants []variantRun
+	for _, v := range shapes {
 		cfg := sim.DefaultConfig()
 		cfg.Geometry = memory.Geometry{CacheSize: 32 * 1024, LineSize: 32, Assoc: v.assoc}
 		cfg.VictimCacheLines = v.victim
-		res, err := s.runConfig(wl, prefetch.PREF, cfg, false, nil)
-		if err != nil {
-			return nil, err
-		}
-		if base == 0 {
-			base = res.Cycles
-		}
-		rows = append(rows, ablationRow(v.label, prefetch.PREF, res, base))
+		variants = append(variants, variantRun{label: v.label, workload: wl, strat: prefetch.PREF, cfg: cfg})
 	}
-	return rows, nil
+	return s.sweepRows("associativity", variants)
 }
 
 // AblationProtocol compares Illinois against MSI under NP and EXCL. Without
@@ -169,23 +206,15 @@ func (s *Suite) AblationAssociativity(wl string) ([]AblationRow, error) {
 // operation, and exclusive prefetching matters more — quantifying why the
 // paper calls the Illinois state its protocol's most important feature.
 func (s *Suite) AblationProtocol(wl string) ([]AblationRow, error) {
-	var rows []AblationRow
-	var base uint64
+	var variants []variantRun
 	for _, proto := range []sim.Protocol{sim.Illinois, sim.MSI} {
 		for _, strat := range []prefetch.Strategy{prefetch.NP, prefetch.EXCL} {
 			cfg := sim.DefaultConfig()
 			cfg.Protocol = proto
-			res, err := s.runConfig(wl, strat, cfg, false, nil)
-			if err != nil {
-				return nil, err
-			}
-			if base == 0 {
-				base = res.Cycles
-			}
-			rows = append(rows, ablationRow(proto.String(), strat, res, base))
+			variants = append(variants, variantRun{label: proto.String(), workload: wl, strat: strat, cfg: cfg})
 		}
 	}
-	return rows, nil
+	return s.sweepRows("protocol", variants)
 }
 
 // AblationPrefetchPlacement compares cache prefetching against the
@@ -193,33 +222,19 @@ func (s *Suite) AblationProtocol(wl string) ([]AblationRow, error) {
 // write-shared data, so on these workloads it covers far less — the paper's
 // reason to study cache prefetching only.
 func (s *Suite) AblationPrefetchPlacement(wl string) ([]AblationRow, error) {
-	var rows []AblationRow
-
 	np := sim.DefaultConfig()
-	resNP, err := s.runConfig(wl, prefetch.NP, np, false, nil)
-	if err != nil {
-		return nil, err
-	}
-	base := resNP.Cycles
-	rows = append(rows, ablationRow("no prefetch", prefetch.NP, resNP, base))
-
-	resCache, err := s.runConfig(wl, prefetch.PREF, np, false, nil)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, ablationRow("cache prefetch", prefetch.PREF, resCache, base))
-
 	buf := sim.DefaultConfig()
 	buf.PrefetchTarget = sim.PrefetchToBuffer
-	resBuf, err := s.runConfig(wl, prefetch.PREF, buf, false, func(o prefetch.Options) prefetch.Options {
-		o.ExcludeWriteShared = true
-		return o
-	})
-	if err != nil {
-		return nil, err
+	variants := []variantRun{
+		{label: "no prefetch", workload: wl, strat: prefetch.NP, cfg: np},
+		{label: "cache prefetch", workload: wl, strat: prefetch.PREF, cfg: np},
+		{label: "buffer prefetch", workload: wl, strat: prefetch.PREF, cfg: buf,
+			annotate: func(o prefetch.Options) prefetch.Options {
+				o.ExcludeWriteShared = true
+				return o
+			}},
 	}
-	rows = append(rows, ablationRow("buffer prefetch", prefetch.PREF, resBuf, base))
-	return rows, nil
+	return s.sweepRows("placement", variants)
 }
 
 // RenderAblation formats any ablation sweep.
@@ -243,28 +258,19 @@ func (s *Suite) AblationDistance(wl string, distances []int) ([]AblationRow, err
 	if len(distances) == 0 {
 		distances = []int{25, 50, 100, 200, 400, 800}
 	}
-	var rows []AblationRow
-	var base uint64
-	// Baseline: NP at the same architecture.
 	cfg := sim.DefaultConfig()
-	np, err := s.runConfig(wl, prefetch.NP, cfg, false, nil)
-	if err != nil {
-		return nil, err
-	}
-	base = np.Cycles
-	rows = append(rows, ablationRow("NP", prefetch.NP, np, base))
+	// Baseline: NP at the same architecture (the sweep's first variant).
+	variants := []variantRun{{label: "NP", workload: wl, strat: prefetch.NP, cfg: cfg}}
 	for _, d := range distances {
 		d := d
-		res, err := s.runConfig(wl, prefetch.PREF, cfg, false, func(o prefetch.Options) prefetch.Options {
-			o.Distance = d
-			return o
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ablationRow(fmt.Sprintf("dist %d", d), prefetch.PREF, res, base))
+		variants = append(variants, variantRun{
+			label: fmt.Sprintf("dist %d", d), workload: wl, strat: prefetch.PREF, cfg: cfg,
+			annotate: func(o prefetch.Options) prefetch.Options {
+				o.Distance = d
+				return o
+			}})
 	}
-	return rows, nil
+	return s.sweepRows("distance", variants)
 }
 
 // AblationMemLatency sweeps the total memory latency under NP and PREF. The
@@ -274,24 +280,27 @@ func (s *Suite) AblationMemLatency(wl string, latencies []int) ([]AblationRow, e
 	if len(latencies) == 0 {
 		latencies = []int{25, 50, 100, 200}
 	}
-	var rows []AblationRow
+	var variants []variantRun
 	for _, lat := range latencies {
 		cfg := sim.DefaultConfig()
 		cfg.MemLatency = lat
 		if cfg.TransferCycles > lat {
 			cfg.TransferCycles = lat
 		}
-		np, err := s.runConfig(wl, prefetch.NP, cfg, false, nil)
-		if err != nil {
-			return nil, err
-		}
-		pf, err := s.runConfig(wl, prefetch.PREF, cfg, false, nil)
-		if err != nil {
-			return nil, err
-		}
+		label := fmt.Sprintf("latency %d", lat)
+		variants = append(variants,
+			variantRun{label: label, workload: wl, strat: prefetch.NP, cfg: cfg},
+			variantRun{label: label, workload: wl, strat: prefetch.PREF, cfg: cfg})
+	}
+	results, err := s.runVariants("mem-latency", variants)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i := 0; i < len(results); i += 2 {
+		np, pf := results[i], results[i+1]
 		// RelTime here is PREF relative to NP at the same latency.
-		row := ablationRow(fmt.Sprintf("latency %d", lat), prefetch.PREF, pf, np.Cycles)
-		rows = append(rows, row)
+		rows = append(rows, ablationRow(variants[i].label, prefetch.PREF, pf, np.Cycles))
 	}
 	return rows, nil
 }

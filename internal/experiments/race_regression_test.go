@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"busprefetch/internal/prefetch"
+)
+
+// TestPrewarmSharesTracesAcrossWorkers: eight workers, five strategies, one
+// workload — every cell needs the same base trace, so the trace cache's
+// singleflight is hit from all workers at once while the first generation is
+// still in flight. Run under -race (CI does) this is the regression test
+// that Prewarm and the trace cache never share mutable workload builder
+// state across goroutines; a shared builder shows up as a detector report or
+// as divergent memoized results.
+func TestPrewarmSharesTracesAcrossWorkers(t *testing.T) {
+	s := NewSuite(Config{Scale: 0.05, Seed: 1, Transfers: []int{8}, Parallelism: 8})
+	var keys []Key
+	for _, st := range prefetch.Strategies() {
+		keys = append(keys, Key{Workload: "mp3d", Strategy: st, Transfer: 8})
+	}
+	if err := s.Prewarm(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	// All five cells simulated one shared generation: 1 miss, 4 hits.
+	bench := s.Bench(0)
+	if bench.TraceCacheMisses != 1 {
+		t.Errorf("trace generations = %d, want 1 (strategies must share the base trace)", bench.TraceCacheMisses)
+	}
+	if bench.TraceCacheHits != 4 {
+		t.Errorf("trace cache hits = %d, want 4", bench.TraceCacheHits)
+	}
+	if len(bench.Cells) != 5 {
+		t.Errorf("bench recorded %d cells, want 5", len(bench.Cells))
+	}
+	// And the memoized results stay internally consistent: NP re-queried
+	// returns the identical pointer (no per-worker duplicate simulations).
+	a, err := s.Result(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Result(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("re-query returned a different result object")
+	}
+}

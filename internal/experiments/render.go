@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file assembles the full paper report from a suite in one canonical
+// order. cmd/mkfigures and the golden-result regression test share it, so
+// "what mkfigures prints" and "what the goldens assert" are the same bytes
+// by construction — and because every table is rendered from memoized
+// results in canonical loops, the assembled report is byte-identical
+// regardless of how many workers simulated the cells.
+
+// SectionNames lists the report sections in presentation order; these are
+// also the valid values of mkfigures' -only flag.
+func SectionNames() []string {
+	return []string{"table1", "fig1", "table2", "fig2", "util", "fig3", "table3", "table4", "table5", "ablations"}
+}
+
+// ValidSection reports whether name selects a known section
+// (case-insensitive).
+func ValidSection(name string) bool {
+	for _, s := range SectionNames() {
+		if strings.EqualFold(s, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// KeysFor returns the suite cells the selected sections need, for
+// prewarming. want selects sections by name; the ablations run their own
+// sweeps outside the shared grid, so they contribute no keys.
+func (s *Suite) KeysFor(want func(name string) bool) []Key {
+	var keys []Key
+	if want("fig1") || want("table2") || want("fig2") || want("util") || want("fig3") || want("table3") {
+		keys = append(keys, s.GridKeys()...)
+	}
+	if want("table4") || want("table5") {
+		keys = append(keys, s.RestructuredKeys()...)
+	}
+	return keys
+}
+
+// RenderSections renders the selected sections in canonical order and joins
+// them exactly as mkfigures prints them. A section that fails to build
+// returns an error naming it; per-cell failures inside a section do not —
+// they render as annotated placeholders (see tables.go).
+func (s *Suite) RenderSections(want func(name string) bool) (string, error) {
+	var sections []string
+	add := func(name, body string, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		sections = append(sections, body)
+		return nil
+	}
+
+	if want("table1") {
+		rows, err := s.Table1()
+		if err := add("table1", RenderTable1(rows), err); err != nil {
+			return "", err
+		}
+	}
+	if want("fig1") {
+		rows, err := s.Figure1()
+		if err := add("fig1", RenderFigure1(rows), err); err != nil {
+			return "", err
+		}
+	}
+	if want("table2") {
+		rows, err := s.Table2()
+		if err := add("table2", RenderTable2(rows), err); err != nil {
+			return "", err
+		}
+	}
+	if want("fig2") {
+		rows, err := s.Figure2()
+		if err := add("fig2", RenderFigure2(rows, s.cfg.Transfers), err); err != nil {
+			return "", err
+		}
+	}
+	if want("util") {
+		rows, err := s.Utilization()
+		if err := add("util", RenderUtilization(rows), err); err != nil {
+			return "", err
+		}
+	}
+	if want("fig3") {
+		rows, err := s.Figure3()
+		if err := add("fig3", RenderFigure3(rows), err); err != nil {
+			return "", err
+		}
+	}
+	if want("table3") {
+		rows, err := s.Table3()
+		if err := add("table3", RenderTable3(rows), err); err != nil {
+			return "", err
+		}
+	}
+	if want("table4") {
+		rows, err := s.Table4()
+		if err := add("table4", RenderTable4(rows), err); err != nil {
+			return "", err
+		}
+	}
+	if want("table5") {
+		rows, err := s.Table5()
+		if err := add("table5", RenderTable5(rows, s.cfg.Transfers), err); err != nil {
+			return "", err
+		}
+	}
+	if want("ablations") {
+		rows, err := s.AblationCacheSize("mp3d", nil)
+		if err := add("ablation-cache", RenderAblation("Ablation: cache size (mp3d, NP, T=8)", rows), err); err != nil {
+			return "", err
+		}
+		rows, err = s.AblationLineSize("mp3d", nil)
+		if err := add("ablation-line", RenderAblation("Ablation: line size (mp3d, NP, T=8)", rows), err); err != nil {
+			return "", err
+		}
+		rows, err = s.AblationAssociativity("topopt")
+		if err := add("ablation-assoc", RenderAblation("Ablation: associativity & victim cache (topopt, PREF, T=8)", rows), err); err != nil {
+			return "", err
+		}
+		rows, err = s.AblationProtocol("mp3d")
+		if err := add("ablation-protocol", RenderAblation("Ablation: Illinois vs MSI (mp3d, T=8)", rows), err); err != nil {
+			return "", err
+		}
+		rows, err = s.AblationPrefetchPlacement("mp3d")
+		if err := add("ablation-placement", RenderAblation("Ablation: cache vs buffer prefetching (mp3d, T=8)", rows), err); err != nil {
+			return "", err
+		}
+	}
+
+	return strings.Join(sections, "\n"), nil
+}

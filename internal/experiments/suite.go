@@ -18,8 +18,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"busprefetch/internal/memory"
 	"busprefetch/internal/prefetch"
+	"busprefetch/internal/runner"
 	"busprefetch/internal/sim"
 	"busprefetch/internal/trace"
 	"busprefetch/internal/workload"
@@ -86,78 +89,98 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s/%s/T=%d%s", k.Workload, k.Strategy, k.Transfer, r)
 }
 
-// Suite runs and memoizes simulations.
+// Suite runs and memoizes simulations. Parallel execution is delegated to
+// internal/runner: a bounded worker pool shards the independent cells, a
+// singleflight trace cache generates each (workload, scale, seed,
+// restructured, geometry) trace exactly once, and every reduction happens in
+// canonical cell order, so the rendered output is byte-identical at any
+// worker count.
 type Suite struct {
-	cfg Config
+	cfg    Config
+	pool   *runner.Pool
+	traces *runner.TraceCache
 
 	mu      sync.Mutex
 	results map[Key]*sim.Result
 	// errs memoizes failed runs: a poisoned or broken configuration fails
 	// once and every table that needs the cell gets the same error without
 	// re-simulating.
-	errs   map[Key]error
-	infos  map[string]workload.Info
-	traces map[traceKey]*trace.Trace
-}
-
-type traceKey struct {
-	workload     string
-	restructured bool
+	errs map[Key]error
+	// timings accumulates the wall-clock of every pool-executed task for
+	// the benchmark report.
+	timings []runner.Timing
 }
 
 // NewSuite creates a suite with the given configuration.
 func NewSuite(cfg Config) *Suite {
+	cfg = cfg.withDefaults()
 	return &Suite{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
+		pool:    runner.NewPool(cfg.Parallelism),
+		traces:  runner.NewTraceCache(),
 		results: make(map[Key]*sim.Result),
 		errs:    make(map[Key]error),
-		infos:   make(map[string]workload.Info),
-		traces:  make(map[traceKey]*trace.Trace),
 	}
 }
 
 // Config returns the suite's effective configuration.
 func (s *Suite) Config() Config { return s.cfg }
 
+// Workers returns the suite's worker-pool bound.
+func (s *Suite) Workers() int { return s.pool.Workers() }
+
 // Info returns the Table 1 metadata for a workload, generating its trace if
 // needed.
 func (s *Suite) Info(name string) (workload.Info, error) {
-	if _, err := s.baseTrace(name, false); err != nil {
-		return workload.Info{}, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.infos[name], nil
+	_, info, err := s.traceFor(name, false, memory.Geometry{})
+	return info, err
 }
 
-// baseTrace returns (generating and caching on first use) the unannotated
-// trace for a workload variant.
-func (s *Suite) baseTrace(name string, restructured bool) (*trace.Trace, error) {
-	s.mu.Lock()
-	if t, ok := s.traces[traceKey{name, restructured}]; ok {
-		s.mu.Unlock()
-		return t, nil
+// traceFor returns (generating on first use) the unannotated trace for a
+// workload variant at the given layout geometry; the zero geometry selects
+// the default. The underlying cache is shared with the ablations, so an
+// ablation at the default geometry reuses the suite's base traces.
+func (s *Suite) traceFor(name string, restructured bool, g memory.Geometry) (*trace.Trace, workload.Info, error) {
+	key := runner.TraceKey{
+		Workload:     name,
+		Scale:        s.cfg.Scale,
+		Seed:         s.cfg.Seed,
+		Restructured: restructured,
+		Geometry:     g,
 	}
-	s.mu.Unlock()
+	return s.traces.Get(key, func() (*trace.Trace, workload.Info, error) {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, workload.Info{}, err
+		}
+		return w.Generate(workload.Params{
+			Scale: s.cfg.Scale, Seed: s.cfg.Seed, Restructured: restructured, Geometry: g,
+		})
+	})
+}
 
-	w, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	t, info, err := w.Generate(workload.Params{Scale: s.cfg.Scale, Seed: s.cfg.Seed, Restructured: restructured})
-	if err != nil {
-		return nil, err
-	}
+// baseTrace returns the default-geometry trace for a workload variant.
+func (s *Suite) baseTrace(name string, restructured bool) (*trace.Trace, error) {
+	t, _, err := s.traceFor(name, restructured, memory.Geometry{})
+	return t, err
+}
+
+// recordTimings appends pool timings for the benchmark report.
+func (s *Suite) recordTimings(times []runner.Timing) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cached, ok := s.traces[traceKey{name, restructured}]; ok {
-		return cached, nil
-	}
-	s.traces[traceKey{name, restructured}] = t
-	if !restructured {
-		s.infos[name] = info
-	}
-	return t, nil
+	s.timings = append(s.timings, times...)
+	s.mu.Unlock()
+}
+
+// Bench assembles the benchmark report for everything the suite has executed
+// through its worker pool so far. total is the end-to-end wall clock the
+// caller measured around the run.
+func (s *Suite) Bench(total time.Duration) *runner.BenchReport {
+	s.mu.Lock()
+	timings := append([]runner.Timing(nil), s.timings...)
+	s.mu.Unlock()
+	return runner.NewBenchReport(s.cfg.Scale, s.cfg.Seed, s.pool.Workers(),
+		runtime.GOMAXPROCS(0), timings, total, s.traces)
 }
 
 // Result simulates (or returns the memoized result for) one configuration.
@@ -238,11 +261,17 @@ func (e *CellErrors) Error() string {
 	return msg
 }
 
-// Prewarm simulates the given keys in parallel, bounded by the configured
-// parallelism. Every key is attempted: a failing cell does not stop the
-// others. When any cell failed, Prewarm returns a *CellErrors naming each
-// one (in deterministic key order); the failures are memoized, so the table
-// builders will annotate exactly those cells rather than failing outright.
+// Prewarm simulates the given keys in parallel on the suite's worker pool.
+// Every key is attempted: a failing cell does not stop the others. When any
+// cell failed, Prewarm returns a *CellErrors naming each one (in
+// deterministic key order); the failures are memoized, so the table builders
+// will annotate exactly those cells rather than failing outright.
+//
+// Concurrent cells that need the same base trace do not duplicate its
+// generation: the trace cache singleflights, so the first cell generates
+// while the rest wait, then all share the immutable trace. Each cell runs
+// its own simulator with its own progress watchdog (sim.Config.WatchdogCycles),
+// so a hung cell aborts alone.
 func (s *Suite) Prewarm(keys []Key, progress func(done, total int)) error {
 	// Deduplicate and order deterministically so error reporting is stable.
 	seen := make(map[Key]bool, len(keys))
@@ -255,34 +284,16 @@ func (s *Suite) Prewarm(keys []Key, progress func(done, total int)) error {
 	}
 	sort.Slice(todo, func(i, j int) bool { return todo[i].String() < todo[j].String() })
 
-	// Generate base traces serially first: concurrent generation of the
-	// same trace would waste work. Generation failures surface per cell via
-	// Result below.
-	for _, k := range todo {
-		_, _ = s.baseTrace(k.Workload, k.Restructured)
-	}
-
-	sem := make(chan struct{}, s.cfg.Parallelism)
-	errs := make([]error, len(todo))
-	var wg sync.WaitGroup
-	var done int
-	var progressMu sync.Mutex
+	tasks := make([]runner.Task, len(todo))
 	for i, k := range todo {
-		wg.Add(1)
-		go func(i int, k Key) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			_, errs[i] = s.Result(k)
-			if progress != nil {
-				progressMu.Lock()
-				done++
-				progress(done, len(todo))
-				progressMu.Unlock()
-			}
-		}(i, k)
+		tasks[i] = runner.Task{Label: k.String(), Run: func() error {
+			_, err := s.Result(k)
+			return err
+		}}
 	}
-	wg.Wait()
+	errs, times := s.pool.Do(tasks, progress)
+	s.recordTimings(times)
+
 	var failed []CellError
 	for i, err := range errs {
 		if err != nil {

@@ -1,0 +1,88 @@
+// Package runner is the parallel experiment engine behind
+// internal/experiments: a bounded worker pool that shards independent
+// simulation cells across CPUs, a singleflight trace cache that stops the
+// five prefetch strategies of one workload from regenerating the identical
+// trace, and a benchmark report that records the wall-clock trajectory of a
+// suite run.
+//
+// Determinism is the package's contract. The pool executes tasks in whatever
+// order the scheduler picks, but every reduction — errors, timings — comes
+// back indexed by the caller's input order, so a caller that submits cells
+// in canonical order observes canonical results regardless of worker count.
+// The trace cache guarantees each key is generated exactly once, by exactly
+// one goroutine; everyone else blocks until the generation completes and
+// then shares the immutable result.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is one named unit of independent work.
+type Task struct {
+	// Label identifies the task in timings and progress output.
+	Label string
+	// Run executes the task. It must be safe to call concurrently with
+	// other tasks' Run functions.
+	Run func() error
+}
+
+// Timing records one executed task's wall-clock cost.
+type Timing struct {
+	Label    string
+	Duration time.Duration
+}
+
+// Pool executes tasks on a bounded number of concurrent workers.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given worker bound; values <= 0 select
+// runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Do executes every task, at most Workers at a time, and returns the
+// per-task errors and timings in input order — the reduction is canonical no
+// matter how execution interleaved. A failing task never stops the others.
+// onDone, when non-nil, is called after each task completes with the number
+// finished so far; calls are serialized but not ordered by task index.
+func (p *Pool) Do(tasks []Task, onDone func(done, total int)) ([]error, []Timing) {
+	errs := make([]error, len(tasks))
+	times := make([]Timing, len(tasks))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes onDone
+		done int
+	)
+	sem := make(chan struct{}, p.workers)
+	for i := range tasks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			errs[i] = tasks[i].Run()
+			times[i] = Timing{Label: tasks[i].Label, Duration: time.Since(start)}
+			if onDone != nil {
+				mu.Lock()
+				done++
+				onDone(done, len(tasks))
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errs, times
+}

@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolDefaultsWorkers(t *testing.T) {
+	if w := NewPool(0).Workers(); w < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", w)
+	}
+	if w := NewPool(-3).Workers(); w < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", w)
+	}
+	if w := NewPool(7).Workers(); w != 7 {
+		t.Fatalf("Workers() = %d, want 7", w)
+	}
+}
+
+// TestPoolCanonicalReduction is the determinism contract: whatever order the
+// tasks ran in, errors and timings come back in input order.
+func TestPoolCanonicalReduction(t *testing.T) {
+	p := NewPool(8)
+	const n = 64
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			Label: fmt.Sprintf("task-%02d", i),
+			Run: func() error {
+				if i%3 == 0 {
+					return fmt.Errorf("fail-%d", i)
+				}
+				return nil
+			},
+		}
+	}
+	errs, times := p.Do(tasks, nil)
+	if len(errs) != n || len(times) != n {
+		t.Fatalf("got %d errs, %d timings, want %d each", len(errs), len(times), n)
+	}
+	for i := range tasks {
+		if times[i].Label != tasks[i].Label {
+			t.Errorf("timing %d has label %q, want %q", i, times[i].Label, tasks[i].Label)
+		}
+		if i%3 == 0 {
+			if errs[i] == nil || errs[i].Error() != fmt.Sprintf("fail-%d", i) {
+				t.Errorf("errs[%d] = %v, want fail-%d", i, errs[i], i)
+			}
+		} else if errs[i] != nil {
+			t.Errorf("errs[%d] = %v, want nil", i, errs[i])
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const bound = 3
+	p := NewPool(bound)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	tasks := make([]Task, 24)
+	for i := range tasks {
+		tasks[i] = Task{Label: "t", Run: func() error {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			defer cur.Add(-1)
+			return nil
+		}}
+	}
+	p.Do(tasks, nil)
+	if got := peak.Load(); got > bound {
+		t.Errorf("peak concurrency %d exceeded bound %d", got, bound)
+	}
+}
+
+func TestPoolProgressSerialized(t *testing.T) {
+	p := NewPool(8)
+	tasks := make([]Task, 20)
+	for i := range tasks {
+		tasks[i] = Task{Label: "t", Run: func() error { return nil }}
+	}
+	var seen []int
+	p.Do(tasks, func(done, total int) {
+		if total != len(tasks) {
+			t.Errorf("total = %d, want %d", total, len(tasks))
+		}
+		seen = append(seen, done)
+	})
+	if len(seen) != len(tasks) {
+		t.Fatalf("progress called %d times, want %d", len(seen), len(tasks))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress sequence %v not monotonically 1..n", seen)
+		}
+	}
+}
+
+func TestPoolEmptyTasks(t *testing.T) {
+	errs, times := NewPool(4).Do(nil, nil)
+	if len(errs) != 0 || len(times) != 0 {
+		t.Fatalf("empty Do returned %d errs, %d timings", len(errs), len(times))
+	}
+}
+
+func TestPoolFailureIsolation(t *testing.T) {
+	p := NewPool(2)
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	tasks := []Task{
+		{Label: "a", Run: func() error { ran.Add(1); return boom }},
+		{Label: "b", Run: func() error { ran.Add(1); return nil }},
+		{Label: "c", Run: func() error { ran.Add(1); return nil }},
+	}
+	errs, _ := p.Do(tasks, nil)
+	if ran.Load() != 3 {
+		t.Errorf("only %d tasks ran; a failure must not stop the others", ran.Load())
+	}
+	if !errors.Is(errs[0], boom) || errs[1] != nil || errs[2] != nil {
+		t.Errorf("errs = %v", errs)
+	}
+}

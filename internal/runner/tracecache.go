@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"sync"
+
+	"busprefetch/internal/memory"
+	"busprefetch/internal/trace"
+	"busprefetch/internal/workload"
+)
+
+// TraceKey identifies one generated workload trace. Two suite cells that
+// agree on every field replay the identical trace, so generating it twice is
+// pure waste — at the paper sweep each workload's five strategies share one
+// generation.
+type TraceKey struct {
+	Workload     string
+	Procs        int
+	Scale        float64
+	Seed         int64
+	Restructured bool
+	Geometry     memory.Geometry
+}
+
+// NormalizeGeometry canonicalizes the key's geometry: the zero Geometry and
+// memory.DefaultGeometry() generate identical traces, so they must share a
+// cache entry.
+func (k TraceKey) NormalizeGeometry() TraceKey {
+	if k.Geometry == (memory.Geometry{}) {
+		k.Geometry = memory.DefaultGeometry()
+	}
+	return k
+}
+
+// traceEntry is one cache slot. ready is closed once the generating
+// goroutine has filled t/info/err; the fields are immutable afterwards.
+type traceEntry struct {
+	ready chan struct{}
+	t     *trace.Trace
+	info  workload.Info
+	err   error
+}
+
+// TraceCache memoizes generated traces with singleflight semantics: the
+// first goroutine to ask for a key generates it while later askers block on
+// the same entry, so concurrent workers never duplicate a generation and
+// never share a half-built trace (workload builders are single-goroutine
+// objects; the cache hands out only completed, immutable traces).
+//
+// Failed generations are memoized too: a broken configuration fails once and
+// every cell that needs it gets the same error.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[TraceKey]*traceEntry
+	hits    uint64
+	misses  uint64
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: make(map[TraceKey]*traceEntry)}
+}
+
+// Get returns the trace for k, calling gen to produce it on first use. Every
+// call for the same key observes the same (*trace.Trace, Info, error); gen
+// runs at most once per key, on the calling goroutine that missed. Callers
+// must treat the returned trace as immutable.
+func (c *TraceCache) Get(k TraceKey, gen func() (*trace.Trace, workload.Info, error)) (*trace.Trace, workload.Info, error) {
+	k = k.NormalizeGeometry()
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		return e.t, e.info, e.err
+	}
+	e := &traceEntry{ready: make(chan struct{})}
+	c.entries[k] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.t, e.info, e.err = gen()
+	close(e.ready)
+	return e.t, e.info, e.err
+}
+
+// Stats returns how many Get calls were served from the cache (hits,
+// including waits on an in-flight generation) and how many generated
+// (misses).
+func (c *TraceCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any access.
+func (c *TraceCache) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

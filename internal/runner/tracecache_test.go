@@ -1,0 +1,150 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"busprefetch/internal/memory"
+	"busprefetch/internal/trace"
+	"busprefetch/internal/workload"
+)
+
+func testKey(name string, restructured bool) TraceKey {
+	return TraceKey{Workload: name, Scale: 0.1, Seed: 1, Restructured: restructured}
+}
+
+func generate(name string, restructured bool) func() (*trace.Trace, workload.Info, error) {
+	return func() (*trace.Trace, workload.Info, error) {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, workload.Info{}, err
+		}
+		return w.Generate(workload.Params{Scale: 0.1, Seed: 1, Restructured: restructured})
+	}
+}
+
+// TestTraceCacheSingleflight is the regression test for shared-generator
+// races: many goroutines demand the same trace at once, exactly one
+// generation runs (on one goroutine — workload builders are not concurrency
+// safe), and everyone observes the same completed trace. Run under -race
+// this fails if trace generation ever starts sharing mutable builder state
+// across goroutines again.
+func TestTraceCacheSingleflight(t *testing.T) {
+	c := NewTraceCache()
+	var generations atomic.Int64
+	const goroutines = 16
+	results := make([]*trace.Trace, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, _, err := c.Get(testKey("mp3d", false), func() (*trace.Trace, workload.Info, error) {
+				generations.Add(1)
+				return generate("mp3d", false)()
+			})
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			results[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	if n := generations.Load(); n != 1 {
+		t.Errorf("%d generations ran, want exactly 1", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Errorf("goroutine %d got a different trace pointer", i)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Errorf("stats = %d hits, %d misses; want %d, 1", hits, misses, goroutines-1)
+	}
+}
+
+func TestTraceCacheDistinctKeys(t *testing.T) {
+	c := NewTraceCache()
+	a, _, err := c.Get(testKey("water", false), generate("water", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := c.Get(TraceKey{Workload: "water", Scale: 0.1, Seed: 2}, func() (*trace.Trace, workload.Info, error) {
+		w, _ := workload.ByName("water")
+		return w.Generate(workload.Params{Scale: 0.1, Seed: 2})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different seeds shared a cache entry")
+	}
+	if _, misses := c.Stats(); misses != 2 {
+		t.Errorf("misses = %d, want 2", misses)
+	}
+}
+
+// TestTraceCacheGeometryNormalization: the zero geometry and the explicit
+// default geometry describe the same generation, so they must share one
+// entry — this is what lets ablations at the default geometry reuse the
+// suite's base traces.
+func TestTraceCacheGeometryNormalization(t *testing.T) {
+	c := NewTraceCache()
+	k0 := testKey("water", false)
+	kd := k0
+	kd.Geometry = memory.DefaultGeometry()
+	a, _, err := c.Get(k0, generate("water", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := c.Get(kd, generate("water", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("zero geometry and default geometry did not share an entry")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+func TestTraceCacheMemoizesErrors(t *testing.T) {
+	c := NewTraceCache()
+	boom := errors.New("generation broke")
+	var calls atomic.Int64
+	bad := func() (*trace.Trace, workload.Info, error) {
+		calls.Add(1)
+		return nil, workload.Info{}, boom
+	}
+	if _, _, err := c.Get(testKey("mp3d", true), bad); !errors.Is(err, boom) {
+		t.Fatalf("first Get: %v", err)
+	}
+	if _, _, err := c.Get(testKey("mp3d", true), bad); !errors.Is(err, boom) {
+		t.Fatalf("second Get: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("failed generation ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestTraceCacheHitRate(t *testing.T) {
+	c := NewTraceCache()
+	if r := c.HitRate(); r != 0 {
+		t.Errorf("empty cache hit rate = %v", r)
+	}
+	k := testKey("water", false)
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Get(k, generate("water", false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := c.HitRate(); r != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", r)
+	}
+}
