@@ -9,7 +9,8 @@
 //     programs (Topopt, Mp3d, LocusRoute, Pverify, Water);
 //   - an offline oracle prefetch inserter implementing the paper's five
 //     disciplines (NP, PREF, EXCL, LPD, PWS);
-//   - a cycle-based multiprocessor simulator with Illinois-protocol caches,
+//   - a cycle-based multiprocessor simulator with snooping caches under a
+//     pluggable coherence protocol (Illinois, MSI, or Dragon write-update),
 //     a contended split-transaction bus, lockup-free prefetching, and
 //     lock/barrier-aware trace replay;
 //   - the paper's full metric set: execution time, total / CPU / adjusted
@@ -34,6 +35,7 @@ package busprefetch
 import (
 	"fmt"
 
+	"busprefetch/internal/coherence"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/sim"
@@ -103,7 +105,8 @@ type RunSpec struct {
 	CacheKB   int
 	LineBytes int
 	// Protocol selects the coherence protocol: "illinois" (default, the
-	// paper's) or "msi" (the ablation without the private-clean state).
+	// paper's), "msi" (the ablation without the private-clean state), or
+	// "dragon" (write-update: updates broadcast instead of invalidating).
 	Protocol string
 	// VictimCacheLines adds a fully-associative victim cache of that many
 	// lines behind each data cache (0 = none) — the paper's §4.3
@@ -270,13 +273,12 @@ func Run(spec RunSpec) (*Metrics, error) {
 	if spec.BufferPrefetch {
 		cfg.PrefetchTarget = sim.PrefetchToBuffer
 	}
-	switch spec.Protocol {
-	case "", "illinois", "Illinois":
-		cfg.Protocol = sim.Illinois
-	case "msi", "MSI":
-		cfg.Protocol = sim.MSI
-	default:
-		return nil, fmt.Errorf("busprefetch: unknown protocol %q", spec.Protocol)
+	if spec.Protocol != "" {
+		proto, err := coherence.Parse(spec.Protocol)
+		if err != nil {
+			return nil, fmt.Errorf("busprefetch: unknown protocol %q", spec.Protocol)
+		}
+		cfg.Protocol = proto
 	}
 	res, err := sim.Run(cfg, annotated)
 	if err != nil {

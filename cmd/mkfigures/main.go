@@ -14,6 +14,7 @@
 //	mkfigures                 # full suite at scale 1 (several minutes)
 //	mkfigures -scale 0.25     # quick pass
 //	mkfigures -only fig2      # a single experiment
+//	mkfigures -protocol dragon # the whole grid under write-update coherence
 //	mkfigures -jobs 8         # shard cells across 8 workers
 //	mkfigures -out results.md # also write a Markdown report
 //	mkfigures -bench-out BENCH_suite.json  # record the perf trajectory
@@ -28,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"busprefetch/internal/coherence"
 	"busprefetch/internal/experiments"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload generator seed")
 		only     = flag.String("only", "", "run one experiment: "+strings.Join(experiments.SectionNames(), ", "))
 		jobs     = flag.Int("jobs", 0, "worker pool size for sharding cells (0 = GOMAXPROCS)")
+		protoStr = flag.String("protocol", "illinois", "coherence protocol for the suite grid: illinois, msi, or dragon")
 		out      = flag.String("out", "", "also write the report to this file")
 		benchOut = flag.String("bench-out", "", "write a JSON benchmark report (wall-clock per cell, trace-cache hit rate) to this file")
 		quiet    = flag.Bool("q", false, "suppress progress output")
@@ -46,7 +49,11 @@ func main() {
 	if *only != "" && !experiments.ValidSection(*only) {
 		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *only, strings.Join(experiments.SectionNames(), ", ")))
 	}
-	suite := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *jobs})
+	proto, err := coherence.Parse(*protoStr)
+	if err != nil {
+		fatal(err)
+	}
+	suite := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *jobs, Protocol: proto})
 
 	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
 

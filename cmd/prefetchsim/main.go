@@ -20,6 +20,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"busprefetch/internal/coherence"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/runner"
 	"busprefetch/internal/sim"
@@ -65,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 		all          = fs.Bool("all", false, "run all five strategies and compare")
 		transfer     = fs.Int("transfer", 8, "contended data-transfer latency in cycles (paper: 4-32)")
 		latency      = fs.Int("latency", 100, "total memory latency in cycles")
+		protoStr     = fs.String("protocol", "illinois", "coherence protocol: illinois, msi, or dragon")
 		procs        = fs.Int("procs", 0, "processor count (0 = workload default)")
 		scale        = fs.Float64("scale", 1.0, "trace length multiplier")
 		seed         = fs.Int64("seed", 1, "workload generator seed")
@@ -96,8 +98,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	// Resolve the strategy before the (possibly expensive) trace generation
-	// so a typo'd -strategy fails in milliseconds.
+	// Resolve the protocol and strategy before the (possibly expensive)
+	// trace generation so a typo'd flag fails in milliseconds.
+	proto, err := coherence.Parse(*protoStr)
+	if err != nil {
+		return err
+	}
 	var strategies []prefetch.Strategy
 	if *all {
 		strategies = prefetch.Strategies()
@@ -141,6 +147,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg := sim.DefaultConfig()
 	cfg.MemLatency = *latency
 	cfg.TransferCycles = *transfer
+	cfg.Protocol = proto
 	if *regions {
 		cfg.Regions = info.Regions
 	}
@@ -151,8 +158,8 @@ func run(args []string, stdout io.Writer) error {
 	st := trace.Summarize(base, cfg.Geometry)
 	fmt.Fprintf(stdout, "workload %s: %d procs, %d demand refs (%d reads, %d writes), %d locks, %d barriers\n",
 		info.Name, st.Procs, st.DemandRefs, st.Reads, st.Writes, st.Locks, st.Barriers)
-	fmt.Fprintf(stdout, "data touched %d KB, shared %d KB, write-shared %d KB; transfer latency %d/%d cycles\n\n",
-		st.TouchedData/1024, st.SharedData/1024, st.WriteShared/1024, *transfer, *latency)
+	fmt.Fprintf(stdout, "data touched %d KB, shared %d KB, write-shared %d KB; transfer latency %d/%d cycles; %s protocol\n\n",
+		st.TouchedData/1024, st.SharedData/1024, st.WriteShared/1024, *transfer, *latency, proto)
 
 	// The per-strategy runs are independent simulations of the same base
 	// trace: shard them across the worker pool and print in canonical

@@ -15,7 +15,11 @@
 // before any Prefetch-class request, and writebacks come last.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+
+	"busprefetch/internal/names"
+)
 
 // Scheduler lets the bus schedule future work on the simulation's event
 // queue. internal/sim implements it.
@@ -38,17 +42,9 @@ const (
 	Writeback
 )
 
-func (c Class) String() string {
-	switch c {
-	case Demand:
-		return "demand"
-	case Prefetch:
-		return "prefetch"
-	case Writeback:
-		return "writeback"
-	}
-	return fmt.Sprintf("Class(%d)", uint8(c))
-}
+var classNames = []string{"demand", "prefetch", "writeback"}
+
+func (c Class) String() string { return names.Lookup("Class", classNames, int(c)) }
 
 // Op classifies a request for traffic accounting.
 type Op uint8
@@ -62,20 +58,16 @@ const (
 	OpInvalidate
 	// OpWriteback is a dirty-line writeback to memory.
 	OpWriteback
+	// OpUpdate is a word-update broadcast: a write-update protocol's write
+	// to a shared line, carrying the address and one word of data instead of
+	// invalidating the remote copies.
+	OpUpdate
 	numOps
 )
 
-func (o Op) String() string {
-	switch o {
-	case OpFill:
-		return "fill"
-	case OpInvalidate:
-		return "invalidate"
-	case OpWriteback:
-		return "writeback"
-	}
-	return fmt.Sprintf("Op(%d)", uint8(o))
-}
+var opNames = []string{"fill", "invalidate", "writeback", "update"}
+
+func (o Op) String() string { return names.Lookup("Op", opNames, int(o)) }
 
 // Request is one bus transaction.
 type Request struct {
@@ -110,7 +102,7 @@ type Stats struct {
 	// BusyCycles is the total occupancy granted.
 	BusyCycles uint64
 	// Ops counts transactions by kind.
-	Ops [3]uint64
+	Ops [numOps]uint64
 	// DemandGrants and PrefetchGrants split fills by the class they held at
 	// grant time.
 	DemandGrants   uint64
@@ -118,7 +110,13 @@ type Stats struct {
 }
 
 // TotalOps returns the total number of bus transactions.
-func (s *Stats) TotalOps() uint64 { return s.Ops[OpFill] + s.Ops[OpInvalidate] + s.Ops[OpWriteback] }
+func (s *Stats) TotalOps() uint64 {
+	var n uint64
+	for _, v := range s.Ops {
+		n += v
+	}
+	return n
+}
 
 // Bus is the contended resource.
 type Bus struct {
@@ -184,7 +182,7 @@ func (b *Bus) Submit(now uint64, r *Request) error {
 	r.seq = b.seq
 	r.pending = true
 	b.pending = append(b.pending, r)
-	b.scheduleAttempt(now, maxU64(r.Ready, b.freeAt))
+	b.scheduleAttempt(now, max(r.Ready, b.freeAt))
 	return nil
 }
 
@@ -314,11 +312,4 @@ func (b *Bus) robinDist(proc int) int {
 		d += b.nproc
 	}
 	return d
-}
-
-func maxU64(a, c uint64) uint64 {
-	if a > c {
-		return a
-	}
-	return c
 }

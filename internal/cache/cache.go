@@ -1,22 +1,27 @@
 // Package cache implements the per-processor data cache simulated in the
-// paper: direct-mapped, copy-back, 32 KB with 32-byte lines, kept coherent by
-// the Illinois write-invalidate protocol (Papamarcos & Patel). The same
+// paper: direct-mapped, copy-back, 32 KB with 32-byte lines. The same
 // structure doubles, with different geometry, as the offline uniprocessor
 // cache filter and as the 16-line fully-associative temporal-locality filter
 // used by the PWS prefetching strategy.
 //
-// The package stores cache state and per-line bookkeeping; the protocol's bus
-// side (who supplies data, when invalidations are posted) lives in
-// internal/sim, which sees all caches at once.
+// The package stores cache state and per-line bookkeeping; the coherence
+// state machine itself lives in internal/coherence (one Protocol
+// implementation per protocol), and the protocol's bus side (who supplies
+// data, when invalidations are posted) in internal/sim, which sees all
+// caches at once. Snoop applies a protocol-supplied transition; the
+// SnoopInvalidate and SnoopRead conveniences bake in the write-invalidate
+// transitions shared by Illinois and MSI.
 package cache
 
 import (
-	"fmt"
-
 	"busprefetch/internal/memory"
+	"busprefetch/internal/names"
 )
 
-// State is a coherence state of the Illinois (MESI) protocol.
+// State is a per-line coherence state. Invalid, Shared, Exclusive and
+// Modified are the Illinois (MESI) states the paper's protocol uses;
+// SharedMod additionally serves the write-update (Dragon) protocol, which
+// allows dirty lines to be shared.
 type State uint8
 
 const (
@@ -24,32 +29,32 @@ const (
 	// valid tag, which is how the simulator recognizes invalidation misses
 	// ("the tags match, but the state has been marked invalid").
 	Invalid State = iota
-	// Shared: clean, possibly present in other caches.
+	// Shared: clean, possibly present in other caches. (Dragon's
+	// shared-clean Sc state is this same value.)
 	Shared
-	// Exclusive is the Illinois private-clean state: clean and guaranteed to
-	// be in no other cache, so it can be written without a bus operation.
+	// Exclusive is the private-clean state: clean and guaranteed to be in no
+	// other cache, so it can be written without a bus operation.
 	Exclusive
 	// Modified: dirty and exclusively owned; must be written back on
 	// replacement and supplied by this cache on remote access.
 	Modified
+	// SharedMod is the write-update (Dragon) shared-dirty state: present in
+	// other caches, modified relative to memory, and this cache is the
+	// update-owner responsible for supplying data and the eventual
+	// writeback. Unreachable under the write-invalidate protocols.
+	SharedMod
 )
 
-func (s State) String() string {
-	switch s {
-	case Invalid:
-		return "I"
-	case Shared:
-		return "S"
-	case Exclusive:
-		return "E"
-	case Modified:
-		return "M"
-	}
-	return fmt.Sprintf("State(%d)", uint8(s))
-}
+var stateNames = []string{"I", "S", "E", "M", "Sm"}
+
+func (s State) String() string { return names.Lookup("State", stateNames, int(s)) }
 
 // Valid reports whether the state holds usable data.
 func (s State) Valid() bool { return s != Invalid }
+
+// Dirty reports whether the state is modified relative to memory, so a
+// replacement owes a writeback bus operation.
+func (s State) Dirty() bool { return s == Modified || s == SharedMod }
 
 // NoInvalidatingWord marks a line that was not invalidated by a remote write
 // (or whose invalidation word is unknown).
@@ -225,39 +230,51 @@ func (c *Cache) Allocate(a memory.Addr) (*Line, Eviction) {
 	return l, ev
 }
 
-// SnoopInvalidate handles a remote write (or read-for-ownership or exclusive
-// prefetch) to the line containing a. If this cache holds the line, it is
-// invalidated in place: the tag is kept, word-access history is kept, and the
-// invalidating word is recorded for false-sharing classification. It returns
-// the line's prior state (Invalid if the cache did not hold it).
-func (c *Cache) SnoopInvalidate(a memory.Addr, word int) State {
+// Snoop applies a coherence-protocol transition to the line containing a, if
+// this cache holds it valid, and returns the line's prior state (Invalid when
+// it did not hold the line). next maps the held state to its post-snoop
+// state; internal/coherence supplies it per protocol and bus operation. When
+// the transition invalidates the line, the tag and word-access history are
+// kept and word is recorded as the invalidating word for false-sharing
+// classification (pass NoInvalidatingWord when no specific word applies).
+func (c *Cache) Snoop(a memory.Addr, word int, next func(State) State) State {
 	l := c.Lookup(a)
 	if l == nil || !l.State.Valid() {
 		return Invalid
 	}
 	prior := l.State
-	l.State = Invalid
-	if word >= 0 && word < 64 {
-		l.InvalidatingWord = int8(word)
-	} else {
-		l.InvalidatingWord = NoInvalidatingWord
+	l.State = next(prior)
+	if l.State == Invalid {
+		if word >= 0 && word < 64 {
+			l.InvalidatingWord = int8(word)
+		} else {
+			l.InvalidatingWord = NoInvalidatingWord
+		}
 	}
 	return prior
 }
 
-// SnoopRead handles a remote read of the line containing a. An owned line
-// (Exclusive or Modified) is downgraded to Shared; in the Illinois protocol
-// the holding cache also supplies the data. It returns the prior state.
+// SnoopInvalidate handles a remote write (or read-for-ownership or exclusive
+// prefetch) under a write-invalidate protocol: if this cache holds the line
+// containing a, it is invalidated in place — the tag is kept, word-access
+// history is kept, and the invalidating word is recorded for false-sharing
+// classification. It returns the line's prior state (Invalid if the cache
+// did not hold it).
+func (c *Cache) SnoopInvalidate(a memory.Addr, word int) State {
+	return c.Snoop(a, word, func(State) State { return Invalid })
+}
+
+// SnoopRead handles a remote read of the line containing a under a
+// write-invalidate protocol. An owned line (Exclusive or Modified) is
+// downgraded to Shared; in the Illinois protocol the holding cache also
+// supplies the data. It returns the prior state.
 func (c *Cache) SnoopRead(a memory.Addr) State {
-	l := c.Lookup(a)
-	if l == nil || !l.State.Valid() {
-		return Invalid
-	}
-	prior := l.State
-	if prior == Exclusive || prior == Modified {
-		l.State = Shared
-	}
-	return prior
+	return c.Snoop(a, NoInvalidatingWord, func(s State) State {
+		if s == Exclusive || s == Modified {
+			return Shared
+		}
+		return s
+	})
 }
 
 // HoldsValid reports whether the cache currently holds a valid copy of the

@@ -4,9 +4,13 @@
 // the machinery that turns a protocol bug, a corrupted trace, or a hung
 // replay into a structured, diagnosable error instead of a panic:
 //
-//   - Coherence verifies the Illinois single-owner / no-M-sharer invariants
-//     for one line across all caches, returning a *Violation with the cycle,
-//     the line, and every cache's view of it.
+//   - CheckLine verifies a protocol-supplied legality rule (LineRule) for
+//     one line across all caches, returning a *Violation with the cycle, the
+//     line, and every cache's view of it. InvalidationOwnership is the
+//     write-invalidate (Illinois, MSI) rule, UpdateOwnership the
+//     write-update (Dragon) rule; internal/coherence selects the rule per
+//     protocol, so the checker enforces whatever machine is simulated
+//     instead of hardcoded Illinois rules.
 //   - PrefetchAccounting verifies a processor's prefetch issue-buffer
 //     bookkeeping (the 16-deep lockup-free buffer of paper §3.3).
 //   - StallError (watchdog.go) reports a deadlocked or livelocked replay,
@@ -98,50 +102,97 @@ func (v *Violation) Error() string {
 	return b.String()
 }
 
-// Coherence verifies the Illinois invariants for one line given every
-// cache's view of it: at most one owner (Modified or Exclusive, in the data
-// cache or the victim cache), and no Shared copies anywhere while an owner
-// exists. It returns nil when the states are legal.
+// LineRule is a coherence protocol's per-line legality predicate: given
+// every cache's view of one line it returns the name and detail of the
+// broken invariant, or an empty rule name when the states are legal.
+// internal/coherence supplies the rule for the simulated protocol
+// (Protocol.Invariant); CheckLine turns a non-empty answer into a Violation.
+type LineRule func(states []ProcLineState) (rule, detail string)
+
+// CheckLine verifies one line's cross-cache states against a protocol's
+// legality rule and returns the Violation, or nil when the states are legal.
 //
 // Callers check at a bus transaction's serialization point (the grant),
 // before snooping repairs remote copies — a corrupted state is caught there
 // before the protocol's normal actions can mask it — and again after a fill
 // installs its line.
-func Coherence(cycle uint64, line memory.Addr, states []ProcLineState) *Violation {
-	owners, sharers := 0, 0
+func CheckLine(cycle uint64, line memory.Addr, states []ProcLineState, legal LineRule) *Violation {
+	rule, detail := legal(states)
+	if rule == "" {
+		return nil
+	}
+	return &Violation{
+		Cycle:  cycle,
+		Line:   line,
+		Rule:   rule,
+		Detail: detail,
+		States: append([]ProcLineState(nil), states...),
+	}
+}
+
+// tally counts one line's copies across every cache and victim cache:
+// exclusively-owned (Modified or Exclusive), shared-clean (Shared), and
+// shared-dirty (SharedMod) states.
+func tally(states []ProcLineState) (excl, shared, sharedMod int) {
+	count := func(s cache.State) {
+		switch s {
+		case cache.Modified, cache.Exclusive:
+			excl++
+		case cache.Shared:
+			shared++
+		case cache.SharedMod:
+			sharedMod++
+		}
+	}
 	for _, s := range states {
-		switch s.State {
-		case cache.Modified, cache.Exclusive:
-			owners++
-		case cache.Shared:
-			sharers++
-		}
-		switch s.VictimState {
-		case cache.Modified, cache.Exclusive:
-			owners++
-		case cache.Shared:
-			sharers++
-		}
+		count(s.State)
+		count(s.VictimState)
 	}
+	return excl, shared, sharedMod
+}
+
+// InvalidationOwnership is the write-invalidate protocols' legality rule
+// (Illinois and MSI): at most one owner (Modified or Exclusive, in the data
+// cache or the victim cache), no Shared copies anywhere while an owner
+// exists, and no SharedMod copies ever — shared-dirty lines exist only
+// under a write-update protocol.
+func InvalidationOwnership(states []ProcLineState) (rule, detail string) {
+	excl, shared, sharedMod := tally(states)
 	switch {
-	case owners > 1:
-		return &Violation{
-			Cycle:  cycle,
-			Line:   line,
-			Rule:   "multiple-owner",
-			Detail: fmt.Sprintf("%d caches own the line", owners),
-			States: append([]ProcLineState(nil), states...),
-		}
-	case owners == 1 && sharers > 0:
-		return &Violation{
-			Cycle:  cycle,
-			Line:   line,
-			Rule:   "owner-with-sharers",
-			Detail: fmt.Sprintf("1 owner coexists with %d shared copies", sharers),
-			States: append([]ProcLineState(nil), states...),
-		}
+	case sharedMod > 0:
+		return "foreign-state", fmt.Sprintf("%d shared-modified copies under a write-invalidate protocol", sharedMod)
+	case excl > 1:
+		return "multiple-owner", fmt.Sprintf("%d caches own the line", excl)
+	case excl == 1 && shared > 0:
+		return "owner-with-sharers", fmt.Sprintf("1 owner coexists with %d shared copies", shared)
 	}
-	return nil
+	return "", ""
+}
+
+// UpdateOwnership is the write-update (Dragon) legality rule: an Exclusive
+// or Modified copy excludes every other valid copy, and at most one cache
+// holds the line SharedMod (the update-owner responsible for supplying data
+// and the eventual writeback). Any number of Shared copies may coexist with
+// that owner.
+func UpdateOwnership(states []ProcLineState) (rule, detail string) {
+	excl, shared, sharedMod := tally(states)
+	switch {
+	case excl > 1:
+		return "multiple-owner", fmt.Sprintf("%d caches own the line exclusively", excl)
+	case excl == 1 && shared+sharedMod > 0:
+		return "owner-with-sharers", fmt.Sprintf("1 exclusive owner coexists with %d shared copies", shared+sharedMod)
+	case sharedMod > 1:
+		return "multiple-update-owner", fmt.Sprintf("%d caches hold the line shared-modified", sharedMod)
+	}
+	return "", ""
+}
+
+// Coherence verifies the write-invalidate (Illinois) invariants for one
+// line; it is CheckLine with the InvalidationOwnership rule. Kept as the
+// convenience entry point for callers and tests that simulate the paper's
+// protocol.
+func Coherence(cycle uint64, line memory.Addr, states []ProcLineState) *Violation {
+	return CheckLine(cycle, line, states, InvalidationOwnership)
 }
 
 // PrefetchAccounting verifies a processor's prefetch issue-buffer counters:

@@ -1,0 +1,91 @@
+package coherence
+
+import (
+	"busprefetch/internal/cache"
+	"busprefetch/internal/check"
+)
+
+// dragon is the write-update ablation (after the Xerox Dragon protocol):
+// writes to shared lines broadcast word updates on the bus instead of
+// invalidating remote copies. Lines are never invalidated by coherence
+// actions, so invalidation misses — the component the paper shows
+// uniprocessor-style prefetching cannot cover — disappear entirely; in
+// exchange, every write to shared data occupies the bus for the update.
+//
+// State mapping onto cache.State: Exclusive is Dragon's exclusive-clean E,
+// Shared its shared-clean Sc, SharedMod its shared-dirty Sm (the
+// update-owner, responsible for supplying data and the eventual writeback),
+// and Modified its exclusive-dirty M. The sharers wire of the real Dragon
+// bus is modeled by the snoop result at each grant: a broadcast that finds
+// no remaining sharers leaves the writer exclusive, ending the updates.
+type dragon struct{}
+
+func (dragon) Kind() Kind     { return Dragon }
+func (dragon) String() string { return Dragon.String() }
+
+func (dragon) WriteHit(st cache.State) (WriteAction, cache.State) {
+	switch st {
+	case cache.Exclusive, cache.Modified:
+		// Exclusive copies write silently, exactly as in Illinois.
+		return WriteSilent, cache.Modified
+	default:
+		// Shared or SharedMod: the write must broadcast its word so every
+		// remote copy stays current.
+		return WriteUpdate, st
+	}
+}
+
+func (dragon) FillState(f Fill) cache.State {
+	if f.Excl && !f.IsPrefetch {
+		// Demand write fill: the write completes on resume. With sharers
+		// the line is shared-dirty and this cache becomes the update-owner;
+		// the retried write then broadcasts its update. Without sharers the
+		// line is exclusively dirty and the write is silent.
+		if f.Sharers {
+			return cache.SharedMod
+		}
+		return cache.Modified
+	}
+	// Read fills — demand, prefetch, and exclusive prefetch alike — install
+	// clean: an update protocol cannot pre-claim ownership of a shared line
+	// without writing, so an exclusive prefetch degenerates to a read fill.
+	if f.Sharers {
+		return cache.Shared
+	}
+	return cache.Exclusive
+}
+
+func (dragon) WriterState(action WriteAction, sharers bool) cache.State {
+	if action == WriteUpdate && sharers {
+		// Remote copies remain: the writer holds the line shared-dirty and
+		// keeps broadcasting subsequent writes.
+		return cache.SharedMod
+	}
+	// No sharer answered the broadcast (or, defensively, an upgrade): the
+	// writer owns the line outright and stops updating.
+	return cache.Modified
+}
+
+func (dragon) SnoopRead(st cache.State) cache.State {
+	switch st {
+	case cache.Exclusive:
+		return cache.Shared
+	case cache.Modified:
+		// The owner supplies the data and keeps writeback responsibility.
+		return cache.SharedMod
+	default:
+		return st
+	}
+}
+
+// SnoopWrite handles a remote write miss: the remote cache fills SharedMod
+// and takes over as update-owner; resident copies stay valid (they will
+// receive the written word by update) but relinquish any ownership.
+func (dragon) SnoopWrite(cache.State) cache.State { return cache.Shared }
+
+// SnoopUpdate absorbs a remote word-update: the update's writer becomes the
+// owner; every other copy — including a previous update-owner — demotes to
+// shared-clean with fresh data.
+func (dragon) SnoopUpdate(cache.State) cache.State { return cache.Shared }
+
+func (dragon) Invariant() check.LineRule { return check.UpdateOwnership }

@@ -1,0 +1,61 @@
+package coherence
+
+import (
+	"busprefetch/internal/cache"
+	"busprefetch/internal/check"
+)
+
+// illinois is the paper's write-invalidate protocol (Papamarcos & Patel):
+// MESI with cache-to-cache supply. Its signature transition is the
+// private-clean fill — a read with no other sharers enters Exclusive, so
+// the first write to unshared data costs no bus operation.
+type illinois struct{}
+
+func (illinois) Kind() Kind     { return Illinois }
+func (illinois) String() string { return Illinois.String() }
+
+func (illinois) WriteHit(st cache.State) (WriteAction, cache.State) {
+	switch st {
+	case cache.Exclusive, cache.Modified:
+		// The silent Exclusive-to-Modified transition is the protocol's
+		// whole point: ownership already held, no bus operation.
+		return WriteSilent, cache.Modified
+	default:
+		// A Shared copy must invalidate the others before the write.
+		return WriteUpgrade, st
+	}
+}
+
+func (illinois) FillState(f Fill) cache.State {
+	switch {
+	case f.Excl && f.IsPrefetch:
+		// Exclusive prefetch: ownership without data modification.
+		return cache.Exclusive
+	case f.Excl:
+		// Demand write fill (read-for-ownership): the write completes on
+		// resume, so the line is dirty.
+		return cache.Modified
+	case f.Sharers:
+		return cache.Shared
+	default:
+		// The private-clean fill: no other cache held the line.
+		return cache.Exclusive
+	}
+}
+
+func (illinois) WriterState(WriteAction, bool) cache.State { return cache.Modified }
+
+func (illinois) SnoopRead(st cache.State) cache.State {
+	if st == cache.Exclusive || st == cache.Modified {
+		return cache.Shared // the owner supplies the data and demotes
+	}
+	return st
+}
+
+func (illinois) SnoopWrite(cache.State) cache.State { return cache.Invalid }
+
+// SnoopUpdate never occurs under a write-invalidate protocol; a resident
+// copy is unaffected.
+func (illinois) SnoopUpdate(st cache.State) cache.State { return st }
+
+func (illinois) Invariant() check.LineRule { return check.InvalidationOwnership }

@@ -1,0 +1,53 @@
+package coherence
+
+import (
+	"busprefetch/internal/cache"
+	"busprefetch/internal/check"
+)
+
+// msi is the ablation protocol without the Illinois private-clean state:
+// every read fills Shared, so every first write to a line — shared or not —
+// costs an invalidation bus operation. Exclusive prefetches still acquire
+// ownership, but the only owned state is Modified.
+type msi struct{}
+
+func (msi) Kind() Kind     { return MSI }
+func (msi) String() string { return MSI.String() }
+
+func (msi) WriteHit(st cache.State) (WriteAction, cache.State) {
+	switch st {
+	case cache.Exclusive, cache.Modified:
+		// Exclusive is unreachable under MSI (no private-clean fill), but a
+		// held ownership state writes silently, as in Illinois.
+		return WriteSilent, cache.Modified
+	default:
+		return WriteUpgrade, st
+	}
+}
+
+func (msi) FillState(f Fill) cache.State {
+	if f.Excl {
+		// MSI has no private-clean state, so ownership — demand write or
+		// exclusive prefetch — means Modified.
+		return cache.Modified
+	}
+	// Every read fills Shared, sharers or not: the first write will pay.
+	return cache.Shared
+}
+
+func (msi) WriterState(WriteAction, bool) cache.State { return cache.Modified }
+
+func (msi) SnoopRead(st cache.State) cache.State {
+	if st == cache.Exclusive || st == cache.Modified {
+		return cache.Shared
+	}
+	return st
+}
+
+func (msi) SnoopWrite(cache.State) cache.State { return cache.Invalid }
+
+// SnoopUpdate never occurs under a write-invalidate protocol; a resident
+// copy is unaffected.
+func (msi) SnoopUpdate(st cache.State) cache.State { return st }
+
+func (msi) Invariant() check.LineRule { return check.InvalidationOwnership }

@@ -30,6 +30,10 @@ type AblationRow struct {
 	CPUMR   float64
 	InvalMR float64
 	FSMR    float64
+	// UpdMR is word-update broadcasts per demand reference — the sustained
+	// bus cost a write-update protocol (Dragon) pays in place of
+	// invalidation misses. Zero under write-invalidate protocols.
+	UpdMR   float64
 	BusUtil float64
 	// InvalShare is invalidation misses as a fraction of CPU misses.
 	InvalShare float64
@@ -108,6 +112,7 @@ func ablationRow(label string, strat prefetch.Strategy, res *sim.Result, baselin
 		CPUMR:    res.CPUMissRate(),
 		InvalMR:  res.InvalidationMissRate(),
 		FSMR:     res.FalseSharingMissRate(),
+		UpdMR:    res.UpdateRate(),
 		BusUtil:  res.BusUtilization(),
 	}
 	if baseline > 0 {
@@ -201,17 +206,32 @@ func (s *Suite) AblationAssociativity(wl string) ([]AblationRow, error) {
 	return s.sweepRows("associativity", variants)
 }
 
-// AblationProtocol compares Illinois against MSI under NP and EXCL. Without
-// the private-clean state every first write costs an invalidation bus
-// operation, and exclusive prefetching matters more — quantifying why the
-// paper calls the Illinois state its protocol's most important feature.
-func (s *Suite) AblationProtocol(wl string) ([]AblationRow, error) {
+// AblationProtocol compares the three coherence protocols — Illinois, the
+// MSI ablation without its private-clean state, and Dragon write-update —
+// under NP, PREF, and EXCL, at each given data-transfer cost (nil selects 8
+// and 32 cycles, the ends of the paper's sweep). MSI quantifies why the
+// paper calls the private-clean state its protocol's most important feature;
+// Dragon answers the follow-up the related work poses: replacing
+// invalidations with word updates removes invalidation misses entirely (the
+// component prefetching cannot cover) but pays for them in sustained update
+// traffic, and the higher the transfer cost the more that traffic competes
+// with fills for the bus. The baseline is Illinois/NP at the first transfer
+// cost.
+func (s *Suite) AblationProtocol(wl string, transfers []int) ([]AblationRow, error) {
+	if len(transfers) == 0 {
+		transfers = []int{8, 32}
+	}
 	var variants []variantRun
-	for _, proto := range []sim.Protocol{sim.Illinois, sim.MSI} {
-		for _, strat := range []prefetch.Strategy{prefetch.NP, prefetch.EXCL} {
-			cfg := sim.DefaultConfig()
-			cfg.Protocol = proto
-			variants = append(variants, variantRun{label: proto.String(), workload: wl, strat: strat, cfg: cfg})
+	for _, tc := range transfers {
+		for _, proto := range []sim.Protocol{sim.Illinois, sim.MSI, sim.Dragon} {
+			for _, strat := range []prefetch.Strategy{prefetch.NP, prefetch.PREF, prefetch.EXCL} {
+				cfg := sim.DefaultConfig()
+				cfg.Protocol = proto
+				cfg.TransferCycles = tc
+				variants = append(variants, variantRun{
+					label: fmt.Sprintf("%s/t%d", proto, tc), workload: wl, strat: strat, cfg: cfg,
+				})
+			}
 		}
 	}
 	return s.sweepRows("protocol", variants)
@@ -240,11 +260,12 @@ func (s *Suite) AblationPrefetchPlacement(wl string) ([]AblationRow, error) {
 // RenderAblation formats any ablation sweep.
 func RenderAblation(title string, rows []AblationRow) string {
 	t := report.NewTable(title,
-		"Config", "Strategy", "Rel. time", "CPU MR", "Inval MR", "FS MR", "Inval share", "Bus util")
+		"Config", "Strategy", "Rel. time", "CPU MR", "Inval MR", "FS MR", "Upd MR", "Inval share", "Bus util")
 	for _, r := range rows {
 		t.AddRow(r.Label, r.Strategy.String(),
 			fmt.Sprintf("%.3f", r.RelTime), fmt.Sprintf("%.4f", r.CPUMR),
 			fmt.Sprintf("%.4f", r.InvalMR), fmt.Sprintf("%.4f", r.FSMR),
+			fmt.Sprintf("%.4f", r.UpdMR),
 			fmt.Sprintf("%.0f%%", 100*r.InvalShare), fmt.Sprintf("%.2f", r.BusUtil))
 	}
 	return t.String()

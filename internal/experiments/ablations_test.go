@@ -71,26 +71,26 @@ func TestAblationProtocol(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation in -short mode")
 	}
-	rows, err := ablSuite().AblationProtocol("mp3d")
+	rows, err := ablSuite().AblationProtocol("mp3d", []int{8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
+	// 3 protocols x 3 strategies at one transfer cost.
+	if len(rows) != 9 {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	var illinoisNP, msiNP *AblationRow
-	for i := range rows {
-		if rows[i].Strategy.String() == "NP" {
-			if rows[i].Label == "Illinois" {
-				illinoisNP = &rows[i]
-			} else {
-				msiNP = &rows[i]
+	find := func(label, strat string) AblationRow {
+		for _, r := range rows {
+			if r.Label == label && r.Strategy.String() == strat {
+				return r
 			}
 		}
+		t.Fatalf("missing row %s/%s", label, strat)
+		return AblationRow{}
 	}
-	if illinoisNP == nil || msiNP == nil {
-		t.Fatal("missing NP rows")
-	}
+	illinoisNP := find("Illinois/t8", "NP")
+	msiNP := find("MSI/t8", "NP")
+	dragonNP := find("Dragon/t8", "NP")
 	// MSI pays an invalidation bus operation for every first write to a
 	// line; Illinois's private-clean state avoids it. Mp3d rereads and
 	// rewrites its own (mostly single-owner) particle lines every step, so
@@ -98,6 +98,31 @@ func TestAblationProtocol(t *testing.T) {
 	if msiNP.BusUtil <= illinoisNP.BusUtil && msiNP.RelTime <= illinoisNP.RelTime {
 		t.Errorf("MSI (bus %.3f, time %.3f) not costlier than Illinois (bus %.3f, time %.3f)",
 			msiNP.BusUtil, msiNP.RelTime, illinoisNP.BusUtil, illinoisNP.RelTime)
+	}
+	for _, r := range rows {
+		if strings.HasPrefix(r.Label, "Dragon") {
+			// A write-update protocol never invalidates, so invalidation
+			// misses (false sharing included) cannot exist...
+			if r.InvalMR != 0 || r.FSMR != 0 {
+				t.Errorf("Dragon %s: invalidation misses survive (inval %.4f, fs %.4f)",
+					r.Strategy, r.InvalMR, r.FSMR)
+			}
+			// ...but writes to shared lines pay in update broadcasts.
+			if r.UpdMR == 0 {
+				t.Errorf("Dragon %s: no update traffic on a sharing workload", r.Strategy)
+			}
+		} else if r.UpdMR != 0 {
+			t.Errorf("%s %s: update traffic under a write-invalidate protocol (%.4f)",
+				r.Label, r.Strategy, r.UpdMR)
+		}
+	}
+	// The paper's trade made quantitative: Dragon removes the invalidation
+	// misses prefetching cannot cover, but its sustained update broadcasts
+	// must cost more total bus occupancy than Illinois pays under NP.
+	// occupancy = BusUtil * Cycles, and RelTime is Cycles over the shared
+	// baseline, so BusUtil*RelTime compares occupancies directly.
+	if d, i := dragonNP.BusUtil*dragonNP.RelTime, illinoisNP.BusUtil*illinoisNP.RelTime; d <= i {
+		t.Errorf("Dragon NP bus occupancy (%.3f) does not exceed Illinois (%.3f)", d, i)
 	}
 }
 

@@ -97,6 +97,23 @@ func TestGoldenScale1T8Slice(t *testing.T) {
 	goldenCompare(t, "golden_scale1_t8.txt", got)
 }
 
+// TestGoldenProtocolT8Slice asserts the three-way coherence-protocol
+// ablation (Illinois / MSI / Dragon under NP, PREF, EXCL on mp3d) at the
+// paper-fidelity scale, restricted to the 8-cycle transfer so it stays cheap
+// enough for every full test run. The 32-cycle half of the default sweep is
+// covered by the full golden.
+func TestGoldenProtocolT8Slice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-1 protocol ablation in -short mode")
+	}
+	s := NewSuite(Config{Scale: 1, Seed: 1})
+	rows, err := s.AblationProtocol("mp3d", []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_protocol_t8.txt", RenderAblation("Ablation: coherence protocols (mp3d, T=8)", rows))
+}
+
 // TestGoldenScale1Full asserts the entire default report — every table,
 // figure and ablation at scale 1 — against the committed golden. The full
 // grid takes minutes of CPU, so the test only runs when asked for:

@@ -15,7 +15,7 @@ import (
 // SectionNames lists the report sections in presentation order; these are
 // also the valid values of mkfigures' -only flag.
 func SectionNames() []string {
-	return []string{"table1", "fig1", "table2", "fig2", "util", "fig3", "table3", "table4", "table5", "ablations"}
+	return []string{"table1", "fig1", "table2", "fig2", "util", "fig3", "table3", "table4", "table5", "ablations", "protocols"}
 }
 
 // ValidSection reports whether name selects a known section
@@ -124,12 +124,17 @@ func (s *Suite) RenderSections(want func(name string) bool) (string, error) {
 		if err := add("ablation-assoc", RenderAblation("Ablation: associativity & victim cache (topopt, PREF, T=8)", rows), err); err != nil {
 			return "", err
 		}
-		rows, err = s.AblationProtocol("mp3d")
-		if err := add("ablation-protocol", RenderAblation("Ablation: Illinois vs MSI (mp3d, T=8)", rows), err); err != nil {
-			return "", err
-		}
 		rows, err = s.AblationPrefetchPlacement("mp3d")
 		if err := add("ablation-placement", RenderAblation("Ablation: cache vs buffer prefetching (mp3d, T=8)", rows), err); err != nil {
+			return "", err
+		}
+	}
+	if want("protocols") {
+		// The three-way coherence ablation is its own section so the golden
+		// harness can pin it (testdata/golden_protocol_t8.txt) without
+		// re-running the other sweeps.
+		rows, err := s.AblationProtocol("mp3d", nil)
+		if err := add("ablation-protocol", RenderAblation("Ablation: coherence protocols (mp3d, T=8)", rows), err); err != nil {
 			return "", err
 		}
 	}

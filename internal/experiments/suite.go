@@ -39,6 +39,10 @@ type Config struct {
 	// Transfers is the data-transfer sweep; nil selects the paper's
 	// {4, 8, 16, 24, 32}.
 	Transfers []int
+	// Protocol selects the coherence protocol every grid cell simulates
+	// (the zero value is Illinois, the paper's machine). The protocol
+	// ablation ignores it — it sweeps protocols itself.
+	Protocol sim.Protocol
 	// Parallelism bounds concurrent simulations; 0 selects GOMAXPROCS.
 	Parallelism int
 	// PerRun, when non-nil, adjusts one run's simulator configuration just
@@ -225,6 +229,7 @@ func (s *Suite) simulate(k Key) (*sim.Result, error) {
 	cfg := sim.DefaultConfig()
 	cfg.MemLatency = s.cfg.MemLatency
 	cfg.TransferCycles = k.Transfer
+	cfg.Protocol = s.cfg.Protocol
 	if s.cfg.PerRun != nil {
 		s.cfg.PerRun(k, &cfg)
 	}

@@ -1,0 +1,16 @@
+// Package names holds the one table-driven enum-name lookup every package's
+// String methods share. Each enum keeps a names table next to its constants;
+// Lookup renders in-range values from the table and out-of-range values as
+// "Type(n)", so adding an enum value is a one-line table edit instead of a
+// new switch arm — the copy-pasted switch pattern is where stale names hide.
+package names
+
+import "fmt"
+
+// Lookup returns names[i] when i is in range, and "typ(i)" otherwise.
+func Lookup(typ string, names []string, i int) string {
+	if i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("%s(%d)", typ, i)
+}

@@ -1,0 +1,24 @@
+package names
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	table := []string{"zero", "one"}
+	tests := []struct {
+		i    int
+		want string
+	}{
+		{0, "zero"},
+		{1, "one"},
+		{2, "Thing(2)"},
+		{-1, "Thing(-1)"},
+	}
+	for _, tt := range tests {
+		if got := Lookup("Thing", table, tt.i); got != tt.want {
+			t.Errorf("Lookup(Thing, %d) = %q, want %q", tt.i, got, tt.want)
+		}
+	}
+	if got := Lookup("Empty", nil, 0); got != "Empty(0)" {
+		t.Errorf("Lookup on nil table = %q, want Empty(0)", got)
+	}
+}

@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regression is one suite cell whose wall-clock cost grew beyond the allowed
+// tolerance relative to a reference report.
+type Regression struct {
+	Cell      string
+	RefMillis float64
+	NewMillis float64
+	// Ratio is NewMillis / RefMillis (1.10 = 10% slower than the reference).
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0fms -> %.0fms (%.2fx)", r.Cell, r.RefMillis, r.NewMillis, r.Ratio)
+}
+
+// CompareCells matches cells by label between a reference report and a new
+// one and returns every cell whose wall clock regressed by more than
+// tolerance (0.10 = 10%), worst ratio first. Cells below minMillis in the
+// reference are skipped — scheduler noise dominates sub-threshold timings —
+// and cells present in only one report are ignored (the suite's shape
+// changed; that is a golden-file concern, not a perf one).
+func CompareCells(ref, cur *BenchReport, tolerance, minMillis float64) []Regression {
+	refBy := make(map[string]float64, len(ref.Cells))
+	for _, c := range ref.Cells {
+		refBy[c.Cell] = c.Millis
+	}
+	var regs []Regression
+	for _, c := range cur.Cells {
+		base, ok := refBy[c.Cell]
+		if !ok || base < minMillis || base <= 0 {
+			continue
+		}
+		ratio := c.Millis / base
+		if ratio > 1+tolerance {
+			regs = append(regs, Regression{Cell: c.Cell, RefMillis: base, NewMillis: c.Millis, Ratio: ratio})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Ratio != regs[j].Ratio {
+			return regs[i].Ratio > regs[j].Ratio
+		}
+		return regs[i].Cell < regs[j].Cell
+	})
+	return regs
+}

@@ -4,6 +4,7 @@ import (
 	"busprefetch/internal/bus"
 	"busprefetch/internal/cache"
 	"busprefetch/internal/check"
+	"busprefetch/internal/coherence"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/trace"
 )
@@ -71,6 +72,13 @@ type proc struct {
 	refCounted  bool
 	missCounted bool
 	atBarrier   bool
+
+	// writeOpDone is set when the blocked write's bus operation (upgrade or
+	// update broadcast) completed successfully, so the retry must finish the
+	// access rather than consult WriteHit again — under a write-update
+	// protocol the post-broadcast state (SharedMod) would demand another
+	// broadcast, looping forever. Consumed by the next demandAccess.
+	writeOpDone bool
 
 	// releases and fills are fault-injection ordinals: lock releases
 	// performed and line fills installed, matched against Config.Faults.
@@ -215,11 +223,22 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 		p.waitStart = p.clock
 		return true
 	}
+	// A set writeOpDone means this access's own broadcast just completed:
+	// the write must now finish, not be charged again. The flag is consumed
+	// here whatever the retry finds (a lost race leaves the line invalid and
+	// the retry falls through to the miss path).
+	opDone := p.writeOpDone
+	p.writeOpDone = false
 	line, hit := p.cache.Probe(a)
 	if hit {
-		if isWrite && line.State == cache.Shared {
-			p.startUpgrade(a, la)
-			return true
+		if isWrite && !opDone {
+			// The protocol decides what the write owes the bus: nothing
+			// (ownership held), an invalidation upgrade, or a word-update
+			// broadcast.
+			if act, _ := p.s.proto.WriteHit(line.State); act != coherence.WriteSilent {
+				p.startWriteOp(a, la, act)
+				return true
+			}
 		}
 		p.finishHit(line, a, isWrite)
 		return false
@@ -248,21 +267,21 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 		entry := p.streamBuf[idx]
 		p.streamBuf = append(p.streamBuf[:idx], p.streamBuf[idx+1:]...)
 		nl, ev := p.cache.Allocate(la)
-		if p.s.cfg.Protocol == MSI || entry.sharers {
-			nl.State = cache.Shared
-		} else {
-			nl.State = cache.Exclusive
-		}
+		// The install state is whatever the protocol gives the original
+		// (read) prefetch fill, given the sharers observed at its grant.
+		nl.State = p.s.proto.FillState(coherence.Fill{IsPrefetch: true, Sharers: entry.sharers})
 		p.handleEviction(ev, p.clock)
 		p.s.c.StreamBufferHits++
 		p.clock++ // the move penalty
 		p.stats.BusyCycles++
 		p.finishHit(nl, a, isWrite)
-		if isWrite && nl.State == cache.Shared {
-			// A Shared install (MSI, or remote copies existed) still owes
-			// the write its invalidation.
-			p.startUpgrade(a, la)
-			return true
+		if isWrite {
+			// A non-exclusive install still owes the write its bus
+			// operation (invalidation or update).
+			if act, _ := p.s.proto.WriteHit(nl.State); act != coherence.WriteSilent {
+				p.startWriteOp(a, la, act)
+				return true
+			}
 		}
 		return false
 	}
@@ -273,14 +292,17 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 }
 
 // finishHit completes a hitting access: one cycle, word-use bookkeeping, and
-// the silent Exclusive-to-Modified transition the Illinois protocol allows.
+// any silent write transition the protocol allows (Illinois' Exclusive to
+// Modified being the canonical one).
 func (p *proc) finishHit(line *cache.Line, a memory.Addr, isWrite bool) {
 	p.clock++
 	p.stats.BusyCycles++
 	line.WordsAccessed |= p.s.geom.WordMask(a)
 	line.PrefetchedUnused = false
-	if isWrite && line.State == cache.Exclusive {
-		line.State = cache.Modified
+	if isWrite {
+		if act, next := p.s.proto.WriteHit(line.State); act == coherence.WriteSilent {
+			line.State = next
+		}
 	}
 }
 
@@ -378,29 +400,14 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 	}
 	line, ev := p.cache.Allocate(inf.la)
 	p.handleEviction(ev, t)
-	msi := p.s.cfg.Protocol == MSI
-	switch {
-	case inf.isPrefetch && inf.excl:
-		// Exclusive prefetch: ownership without data modification. MSI has
-		// no private-clean state, so ownership there means Modified.
-		if msi {
-			line.State = cache.Modified
-		} else {
-			line.State = cache.Exclusive
-		}
-	case inf.isPrefetch || !inf.excl:
-		// Read fill. Illinois enters private-clean when no other cache
-		// holds the line; MSI always fills Shared.
-		if inf.sharers || msi {
-			line.State = cache.Shared
-		} else {
-			line.State = cache.Exclusive
-		}
-	default:
-		// Demand write fill (read-for-ownership): the write completes on
-		// resume, so the line is dirty.
-		line.State = cache.Modified
-	}
+	// The protocol picks the install state from what the fetch was (demand
+	// or prefetch, read or read-for-ownership) and whether any other cache
+	// held the line at the bus grant.
+	line.State = p.s.proto.FillState(coherence.Fill{
+		Excl:       inf.excl,
+		IsPrefetch: inf.isPrefetch,
+		Sharers:    inf.sharers,
+	})
 	if inf.isPrefetch {
 		line.PrefetchedUnused = true
 		p.outstandingPrefetch--
@@ -454,12 +461,12 @@ func (p *proc) handleEviction(ev cache.Eviction, t uint64) {
 	if p.victim != nil && ev.State.Valid() {
 		vl, vev := p.victim.Allocate(ev.LineAddr)
 		vl.State = ev.State
-		if vev.HadTag && vev.State == cache.Modified {
+		if vev.HadTag && vev.State.Dirty() {
 			p.writeback(t)
 		}
 		return
 	}
-	if ev.State == cache.Modified {
+	if ev.State.Dirty() {
 		p.writeback(t)
 	}
 }
@@ -478,18 +485,24 @@ func (p *proc) writeback(t uint64) {
 	}
 }
 
-// startUpgrade posts the invalidation bus operation for a write hitting a
-// Shared line. The grant is the coherence point: if a remote write won the
-// race and invalidated the line first, the upgrade converts to a miss on
-// resume.
-func (p *proc) startUpgrade(a, la memory.Addr) {
+// startWriteOp posts the bus operation a write hitting a valid line owes:
+// an address-only invalidation upgrade (WriteUpgrade) or a word-update
+// broadcast (WriteUpdate). The grant is the coherence point: if a remote
+// write won the race and invalidated the line first, the operation converts
+// to a miss on resume (write-invalidate protocols only — an update protocol
+// never invalidates, so the line is still valid at the grant).
+func (p *proc) startWriteOp(a, la memory.Addr, action coherence.WriteAction) {
 	word := p.s.geom.WordIndex(a)
+	op, occupancy := bus.OpInvalidate, uint64(p.s.cfg.InvalidateCycles)
+	if action == coherence.WriteUpdate {
+		op, occupancy = bus.OpUpdate, p.s.updCycles
+	}
 	var failed bool
 	req := &bus.Request{
 		Ready:     p.clock,
-		Occupancy: uint64(p.s.cfg.InvalidateCycles),
+		Occupancy: occupancy,
 		Class:     bus.Demand,
-		Op:        bus.OpInvalidate,
+		Op:        op,
 		Proc:      p.id,
 		OnGrant: func(g uint64) {
 			if p.s.cfg.CheckInvariants {
@@ -500,8 +513,14 @@ func (p *proc) startUpgrade(a, la memory.Addr) {
 				failed = true
 				return
 			}
-			p.s.snoopInvalidate(p.id, la, word)
-			l.State = cache.Modified
+			var sharers bool
+			if action == coherence.WriteUpdate {
+				sharers = p.s.snoopUpdate(p.id, la)
+				p.s.c.UpdatesSent++
+			} else {
+				p.s.snoopInvalidate(p.id, la, word)
+			}
+			l.State = p.s.proto.WriterState(action, sharers)
 			if p.s.cfg.CheckInvariants {
 				p.s.checkLine(g, la)
 			}
@@ -511,6 +530,7 @@ func (p *proc) startUpgrade(a, la memory.Addr) {
 			if failed {
 				p.s.c.UpgradeRetries++
 			}
+			p.writeOpDone = !failed
 			p.run(t)
 		},
 	}

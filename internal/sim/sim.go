@@ -1,8 +1,11 @@
 // Package sim is this repository's analogue of Charlie, the multiprocessor
 // cache simulator used in the paper (§3.3). It replays a multiprocessor
-// address trace through per-processor Illinois-protocol caches connected by
-// the contended memory resource of internal/bus, while enforcing a legal
-// interleaving of lock and barrier synchronization.
+// address trace through per-processor snooping caches connected by the
+// contended memory resource of internal/bus, while enforcing a legal
+// interleaving of lock and barrier synchronization. The coherence state
+// machine itself — fill states, write-hit actions, snoop responses, legality
+// — is supplied by a pluggable internal/coherence.Protocol (Illinois by
+// default; MSI and Dragon write-update as ablations).
 //
 // Modeled behaviour, following the paper:
 //
@@ -29,36 +32,27 @@ import (
 	"busprefetch/internal/bus"
 	"busprefetch/internal/cache"
 	"busprefetch/internal/check"
+	"busprefetch/internal/coherence"
 	"busprefetch/internal/memory"
+	"busprefetch/internal/names"
 	"busprefetch/internal/trace"
 )
 
-// Protocol selects the write-invalidate coherence protocol.
-type Protocol int
+// Protocol selects the coherence protocol. It aliases coherence.Kind, so
+// sim.Illinois and coherence.Illinois are interchangeable; the state machine
+// each kind names lives in internal/coherence.
+type Protocol = coherence.Kind
 
 const (
-	// Illinois is the paper's protocol (Papamarcos & Patel): a read fill
-	// with no other sharers enters the private-clean (Exclusive) state, so
-	// a subsequent write needs no bus operation — "its most important
-	// feature for our purposes" (§3.3), and what gives exclusive prefetches
-	// their meaning.
-	Illinois Protocol = iota
-	// MSI is the ablation protocol without the private-clean state: every
-	// read fills Shared, so every first write to a line costs an
-	// invalidation bus operation. Comparing MSI against Illinois isolates
-	// how much the private-clean state matters on this machine.
-	MSI
+	// Illinois is the paper's protocol (Papamarcos & Patel); see
+	// coherence.Illinois.
+	Illinois = coherence.Illinois
+	// MSI is the ablation protocol without the private-clean state; see
+	// coherence.MSI.
+	MSI = coherence.MSI
+	// Dragon is the write-update ablation; see coherence.Dragon.
+	Dragon = coherence.Dragon
 )
-
-func (p Protocol) String() string {
-	switch p {
-	case Illinois:
-		return "Illinois"
-	case MSI:
-		return "MSI"
-	}
-	return fmt.Sprintf("Protocol(%d)", int(p))
-}
 
 // PrefetchTarget selects where prefetched lines land.
 type PrefetchTarget int
@@ -79,14 +73,10 @@ const (
 	PrefetchToBuffer
 )
 
+var prefetchTargetNames = []string{"cache", "buffer"}
+
 func (p PrefetchTarget) String() string {
-	switch p {
-	case PrefetchToCache:
-		return "cache"
-	case PrefetchToBuffer:
-		return "buffer"
-	}
-	return fmt.Sprintf("PrefetchTarget(%d)", int(p))
+	return names.Lookup("PrefetchTarget", prefetchTargetNames, int(p))
 }
 
 // Config sets the simulated machine's parameters. The zero value is not
@@ -103,10 +93,18 @@ type Config struct {
 	// InvalidateCycles is the bus occupancy of an address-only invalidation
 	// operation (a write upgrading a Shared line).
 	InvalidateCycles int
+	// UpdateCycles is the bus occupancy of a word-update broadcast under a
+	// write-update protocol (Dragon): the address cycles of an invalidation
+	// plus a data-word cycle and the snoop-ack turnaround that tells the
+	// writer whether any sharer remains — more than an address-only
+	// invalidation, far less than a line transfer. Zero selects
+	// InvalidateCycles+2.
+	UpdateCycles int
 	// PrefetchBufferDepth is the number of outstanding prefetches a
 	// processor may have (the paper uses 16).
 	PrefetchBufferDepth int
-	// Protocol selects Illinois (default) or the MSI ablation.
+	// Protocol selects Illinois (default), the MSI ablation, or the Dragon
+	// write-update ablation.
 	Protocol Protocol
 	// VictimCacheLines, when non-zero, adds a small fully-associative
 	// victim cache (Jouppi) behind each data cache — the fix the paper
@@ -155,6 +153,7 @@ func DefaultConfig() Config {
 		MemLatency:          100,
 		TransferCycles:      8,
 		InvalidateCycles:    2,
+		UpdateCycles:        4,
 		PrefetchBufferDepth: 16,
 	}
 }
@@ -171,6 +170,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: transfer cycles %d outside (0, %d]", c.TransferCycles, c.MemLatency)
 	case c.InvalidateCycles <= 0:
 		return fmt.Errorf("sim: invalidate cycles %d", c.InvalidateCycles)
+	case c.UpdateCycles < 0:
+		return fmt.Errorf("sim: negative update cycles %d", c.UpdateCycles)
 	case c.PrefetchBufferDepth <= 0:
 		return fmt.Errorf("sim: prefetch buffer depth %d", c.PrefetchBufferDepth)
 	case c.Geometry.WordsPerLine() > 64:
@@ -179,7 +180,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: negative victim cache size %d", c.VictimCacheLines)
 	case c.StreamBufferLines < 0:
 		return fmt.Errorf("sim: negative stream buffer size %d", c.StreamBufferLines)
-	case c.Protocol != Illinois && c.Protocol != MSI:
+	case !c.Protocol.Valid():
 		return fmt.Errorf("sim: unknown protocol %d", int(c.Protocol))
 	case c.PrefetchTarget != PrefetchToCache && c.PrefetchTarget != PrefetchToBuffer:
 		return fmt.Errorf("sim: unknown prefetch target %d", int(c.PrefetchTarget))
@@ -206,7 +207,7 @@ const (
 	NumMissClasses
 )
 
-var missClassNames = [NumMissClasses]string{
+var missClassNames = []string{
 	"non-sharing, not pref'd",
 	"non-sharing, pref'd",
 	"invalidation, not pref'd",
@@ -215,10 +216,7 @@ var missClassNames = [NumMissClasses]string{
 }
 
 func (m MissClass) String() string {
-	if int(m) < len(missClassNames) {
-		return missClassNames[m]
-	}
-	return fmt.Sprintf("MissClass(%d)", int(m))
+	return names.Lookup("MissClass", missClassNames, int(m))
 }
 
 // Counters aggregates whole-run event counts.
@@ -246,6 +244,13 @@ type Counters struct {
 	// UpgradeRetries counts write upgrades that lost a coherence race and
 	// re-executed as misses.
 	UpgradeRetries uint64
+	// UpdatesSent counts word-update broadcasts put on the bus by writes to
+	// shared lines — the write-update analogue of the invalidation, and
+	// always zero under a write-invalidate protocol.
+	UpdatesSent uint64
+	// UpdatesReceived counts remote cache copies refreshed in place by those
+	// broadcasts (one broadcast may refresh several sharers).
+	UpdatesReceived uint64
 	// VictimHits counts demand misses satisfied by the victim cache
 	// (one-cycle penalty, no bus operation).
 	VictimHits uint64
@@ -367,6 +372,13 @@ func (r *Result) FalseSharingMissRate() float64 {
 	return rate(r.Counters.FalseSharing, r.Counters.DemandRefs())
 }
 
+// UpdateRate returns word-update broadcasts per demand reference — the
+// sustained bus cost a write-update protocol pays in place of invalidation
+// misses. Always zero under a write-invalidate protocol.
+func (r *Result) UpdateRate() float64 {
+	return rate(r.Counters.UpdatesSent, r.Counters.DemandRefs())
+}
+
 // MissClassRate returns the given class's misses per demand reference.
 func (r *Result) MissClassRate(m MissClass) float64 {
 	return rate(r.Counters.CPUMisses[m], r.Counters.DemandRefs())
@@ -458,6 +470,13 @@ type simulator struct {
 	c      Counters
 	geom   memory.Geometry
 	uncont uint64 // MemLatency - TransferCycles
+
+	// proto is the coherence state machine every transition consults, rule
+	// its legality predicate, and updCycles the resolved bus occupancy of a
+	// word-update broadcast.
+	proto     coherence.Protocol
+	rule      check.LineRule
+	updCycles uint64
 
 	// err is the first fatal condition (invariant violation, bus misuse,
 	// watchdog trip) seen during the run; the engine aborts on it.
@@ -619,7 +638,13 @@ func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
 		barrs:          make(map[memory.Addr]*barrierState),
 		geom:           cfg.Geometry,
 		uncont:         uint64(cfg.MemLatency - cfg.TransferCycles),
+		proto:          coherence.ByKind(cfg.Protocol),
+		updCycles:      uint64(cfg.UpdateCycles),
 		watchdogCycles: cfg.WatchdogCycles,
+	}
+	s.rule = s.proto.Invariant()
+	if s.updCycles == 0 {
+		s.updCycles = uint64(cfg.InvalidateCycles + 2)
 	}
 	if s.watchdogCycles == 0 {
 		s.watchdogCycles = defaultWatchdogCycles
@@ -675,28 +700,24 @@ func (s *simulator) run() (*Result, error) {
 }
 
 // snoopFetch performs the coherence actions of a fetch at its bus grant time
-// and reports whether any other cache held a valid copy (which decides the
-// Illinois Shared-versus-Exclusive fill state). For exclusive fetches the
-// other copies are invalidated, recording word for false-sharing analysis.
+// and reports whether any other cache held a valid copy (which the protocol's
+// FillState consults). Remote copies take the protocol's SnoopRead or — for
+// exclusive fetches — SnoopWrite transition, recording word for false-sharing
+// analysis when a copy is invalidated.
 func (s *simulator) snoopFetch(requester int, la memory.Addr, excl bool, word int) (sharers bool) {
+	next, w := s.proto.SnoopRead, int(cache.NoInvalidatingWord)
+	if excl {
+		next, w = s.proto.SnoopWrite, word
+	}
 	for _, p := range s.procs {
 		if p.id == requester {
 			continue
 		}
-		if excl {
-			if p.cache.SnoopInvalidate(la, word) != cache.Invalid {
-				sharers = true
-			}
-			if p.victim != nil && p.victim.SnoopInvalidate(la, word) != cache.Invalid {
-				sharers = true
-			}
-		} else {
-			if p.cache.SnoopRead(la) != cache.Invalid {
-				sharers = true
-			}
-			if p.victim != nil && p.victim.SnoopRead(la) != cache.Invalid {
-				sharers = true
-			}
+		if p.cache.Snoop(la, w, next) != cache.Invalid {
+			sharers = true
+		}
+		if p.victim != nil && p.victim.Snoop(la, w, next) != cache.Invalid {
+			sharers = true
 		}
 		// The non-snooping prefetch buffer cannot track the line once another
 		// processor fetches it — even a read fill may enter private-clean and
@@ -706,17 +727,41 @@ func (s *simulator) snoopFetch(requester int, la memory.Addr, excl bool, word in
 	return sharers
 }
 
-// snoopInvalidate broadcasts an upgrade's invalidation.
+// snoopInvalidate broadcasts an upgrade's invalidation: remote copies take
+// the protocol's SnoopWrite transition.
 func (s *simulator) snoopInvalidate(requester int, la memory.Addr, word int) {
 	for _, p := range s.procs {
 		if p.id != requester {
-			p.cache.SnoopInvalidate(la, word)
+			p.cache.Snoop(la, word, s.proto.SnoopWrite)
 			if p.victim != nil {
-				p.victim.SnoopInvalidate(la, word)
+				p.victim.Snoop(la, word, s.proto.SnoopWrite)
 			}
 			p.dropBuffered(la)
 		}
 	}
+}
+
+// snoopUpdate broadcasts a word-update: every remote valid copy absorbs the
+// written word via the protocol's SnoopUpdate transition and stays resident.
+// It reports whether any remote data cache still holds the line, which
+// decides whether the writer remains the update-owner (more broadcasts to
+// come) or takes the line exclusive. The non-snooping prefetch buffer still
+// drops its entry — it has no way to fold the new word in.
+func (s *simulator) snoopUpdate(requester int, la memory.Addr) (sharers bool) {
+	for _, p := range s.procs {
+		if p.id == requester {
+			continue
+		}
+		if p.cache.Snoop(la, int(cache.NoInvalidatingWord), s.proto.SnoopUpdate) != cache.Invalid {
+			sharers = true
+			s.c.UpdatesReceived++
+		}
+		if p.victim != nil && p.victim.Snoop(la, int(cache.NoInvalidatingWord), s.proto.SnoopUpdate) != cache.Invalid {
+			sharers = true
+		}
+		p.dropBuffered(la)
+	}
+	return sharers
 }
 
 // releaseLock hands the lock to the next FCFS waiter, if any, at time now.
@@ -768,8 +813,9 @@ func (s *simulator) arriveBarrier(id memory.Addr, p *proc, now uint64) (blocked 
 	return true
 }
 
-// checkLine verifies the Illinois single-owner invariants for one line across
-// all caches (internal/check). Enabled by Config.CheckInvariants. It is
+// checkLine verifies the active protocol's ownership invariants for one line
+// across all caches (internal/check; the rule comes from
+// coherence.Protocol.Invariant). Enabled by Config.CheckInvariants. It is
 // called at each bus grant touching the line — the transaction's
 // serialization point, before snooping would repair a corrupted remote copy —
 // and again after a fill installs. A violation fails the run with a
@@ -786,7 +832,7 @@ func (s *simulator) checkLine(now uint64, la memory.Addr) {
 		}
 		states[i] = ps
 	}
-	if v := check.Coherence(now, la, states); v != nil {
+	if v := check.CheckLine(now, la, states, s.rule); v != nil {
 		s.fail(v)
 	}
 }

@@ -168,9 +168,3 @@ func Summarize(t *Trace, geom memory.Geometry) Stats {
 	return st
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
