@@ -18,6 +18,7 @@ import (
 
 	"busprefetch/internal/experiments"
 	"busprefetch/internal/memory"
+	"busprefetch/internal/obs"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/sim"
 	"busprefetch/internal/workload"
@@ -261,6 +262,49 @@ func BenchmarkSimulator(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tr.Events()*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkObsOverhead measures the observability recorder's cost on the
+// BenchmarkSimulator workload at each recording level. "disabled" is the
+// default everywhere (the suite grid, the goldens, the bench report) and is
+// required to stay within 2% of BenchmarkSimulator — the hot paths guard
+// every hook behind a nil check, and this benchmark is the regression gate
+// for that guarantee. Compare with:
+//
+//	go test -bench 'BenchmarkSimulator$|BenchmarkObsOverhead' -count 10
+func BenchmarkObsOverhead(b *testing.B) {
+	w, err := workload.ByName("mp3d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, _, err := w.Generate(workload.Params{Scale: 0.2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	tr, err := prefetch.Annotate(base, prefetch.Options{Strategy: prefetch.PREF, Geometry: cfg.Geometry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		rec  func() *obs.Recorder
+	}{
+		{"disabled", func() *obs.Recorder { return nil }},
+		{"summary", func() *obs.Recorder { return obs.New(tr.Procs(), obs.Options{}) }},
+		{"spans", func() *obs.Recorder { return obs.New(tr.Procs(), obs.Options{Spans: true}) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runCfg := cfg
+				runCfg.Obs = bc.rec()
+				if _, err := sim.Run(runCfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Events()*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }
 
 // BenchmarkAnnotate measures offline prefetch-insertion throughput.

@@ -7,7 +7,8 @@
 // bounded worker pool (-jobs) and reduced in canonical order, so stdout is
 // byte-identical for every worker count. -bench-out records the run's
 // wall-clock trajectory (per cell, total, trace-cache hit rate) as JSON for
-// cross-commit comparison.
+// cross-commit comparison; -metrics-out records the observability slice
+// (prefetch lifetimes, latency histograms, bus occupancy) the same way.
 //
 // Usage:
 //
@@ -18,41 +19,97 @@
 //	mkfigures -jobs 8         # shard cells across 8 workers
 //	mkfigures -out results.md # also write a Markdown report
 //	mkfigures -bench-out BENCH_suite.json  # record the perf trajectory
+//	mkfigures -metrics-out METRICS_suite.json  # record prefetch-lifetime metrics
+//	mkfigures -trace-out mp3d.json -trace-cell mp3d/PREF/8  # Perfetto trace
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"busprefetch/internal/buildinfo"
 	"busprefetch/internal/coherence"
 	"busprefetch/internal/experiments"
+	"busprefetch/internal/obs"
+	"busprefetch/internal/runner"
 )
 
 func main() {
-	var (
-		scale    = flag.Float64("scale", 1.0, "trace length multiplier")
-		seed     = flag.Int64("seed", 1, "workload generator seed")
-		only     = flag.String("only", "", "run one experiment: "+strings.Join(experiments.SectionNames(), ", "))
-		jobs     = flag.Int("jobs", 0, "worker pool size for sharding cells (0 = GOMAXPROCS)")
-		protoStr = flag.String("protocol", "illinois", "coherence protocol for the suite grid: illinois, msi, or dragon")
-		out      = flag.String("out", "", "also write the report to this file")
-		benchOut = flag.String("bench-out", "", "write a JSON benchmark report (wall-clock per cell, trace-cache hit rate) to this file")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "mkfigures:", err)
+		}
+		os.Exit(1)
+	}
+}
 
+// run is the whole command behind flag parsing; every failure comes back as
+// an error and turns into one diagnostic line and a non-zero exit.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mkfigures", flag.ContinueOnError)
+	var (
+		scale      = fs.Float64("scale", 1.0, "trace length multiplier")
+		seed       = fs.Int64("seed", 1, "workload generator seed")
+		only       = fs.String("only", "", "run one experiment: "+strings.Join(experiments.SectionNames(), ", "))
+		jobs       = fs.Int("jobs", 0, "worker pool size for sharding cells (0 = GOMAXPROCS)")
+		protoStr   = fs.String("protocol", "illinois", "coherence protocol for the suite grid: illinois, msi, or dragon")
+		out        = fs.String("out", "", "also write the report to this file")
+		benchOut   = fs.String("bench-out", "", "write a JSON benchmark report (wall-clock per cell, trace-cache hit rate) to this file")
+		metricsOut = fs.String("metrics-out", "", "write the observability slice (prefetch lifetimes, latency histograms) as JSON to this file")
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of one cell to this file")
+		traceCell  = fs.String("trace-cell", "mp3d/PREF/8", "the workload/strategy/transfer cell -trace-out records")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		execTrace  = fs.String("exectrace", "", "write a runtime/trace execution trace to this file")
+		version    = fs.Bool("version", false, "print version and exit")
+		quiet      = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("mkfigures"))
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
 	if *only != "" && !experiments.ValidSection(*only) {
-		fatal(fmt.Errorf("unknown experiment %q (valid: %s)", *only, strings.Join(experiments.SectionNames(), ", ")))
+		return fmt.Errorf("unknown experiment %q (valid: %s)", *only, strings.Join(experiments.SectionNames(), ", "))
+	}
+	if *traceOut == "" {
+		// Catch a -trace-cell with no -trace-out: silently ignoring it would
+		// hide a typo'd invocation.
+		cellSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "trace-cell" {
+				cellSet = true
+			}
+		})
+		if cellSet {
+			return fmt.Errorf("-trace-cell has no effect without -trace-out")
+		}
 	}
 	proto, err := coherence.Parse(*protoStr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+
+	prof := obs.Profiling{PprofAddr: *pprofAddr, CPUProfile: *cpuProfile, ExecTrace: *execTrace}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
+	if addr := prof.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "mkfigures: pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+
 	suite := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *jobs, Protocol: proto})
 
 	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
@@ -75,21 +132,21 @@ func main() {
 		// the report still renders. Anything else is fatal.
 		var cells *experiments.CellErrors
 		if !errors.As(err, &cells) {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintln(os.Stderr, "mkfigures: warning:", err)
 	}
 
 	reportText, err := suite.RenderSections(want)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(reportText)
+	fmt.Fprintln(stdout, reportText)
 
 	if *out != "" {
 		md := fmt.Sprintf("# Reproduction results (scale %.2f, seed %d)\n\n```\n%s\n```\n", *scale, *seed, reportText)
 		if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
-			fatal(err)
+			return err
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "mkfigures: wrote %s\n", *out)
@@ -99,16 +156,43 @@ func main() {
 	if *benchOut != "" {
 		bench := suite.Bench(time.Since(start))
 		if err := bench.WriteFile(*benchOut); err != nil {
-			fatal(err)
+			return err
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "mkfigures: wrote %s (%d cells, %.0fms total, %d/%d workers/cores, trace-cache hit rate %.2f)\n",
 				*benchOut, len(bench.Cells), bench.TotalMillis, bench.Workers, runtime.GOMAXPROCS(0), bench.TraceCacheHitRate)
 		}
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mkfigures:", err)
-	os.Exit(1)
+	if *metricsOut != "" {
+		cells, err := suite.Observability(nil)
+		if err != nil {
+			return err
+		}
+		metrics := runner.NewMetricsReport(*scale, *seed, experiments.MetricsCells(cells))
+		if err := metrics.WriteFile(*metricsOut); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "mkfigures: wrote %s (%d cells)\n", *metricsOut, len(metrics.Cells))
+		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		err = suite.RecordChromeTrace(*traceCell, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "mkfigures: wrote %s (cell %s)\n", *traceOut, *traceCell)
+		}
+	}
+	return nil
 }

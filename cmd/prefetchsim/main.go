@@ -9,6 +9,7 @@
 //	prefetchsim -workload pverify -all -transfer 4      # all five strategies
 //	prefetchsim -workload topopt -all -restructured
 //	prefetchsim -trace water.bptr -strategy PREF   # replay a saved trace
+//	prefetchsim -strategy PREF -trace-out run.json # export a Perfetto trace
 package main
 
 import (
@@ -20,7 +21,9 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"busprefetch/internal/buildinfo"
 	"busprefetch/internal/coherence"
+	"busprefetch/internal/obs"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/runner"
 	"busprefetch/internal/sim"
@@ -75,12 +78,33 @@ func run(args []string, stdout io.Writer) error {
 		distance     = fs.Int("distance", 0, "prefetch distance in cycles (0 = strategy default)")
 		regions      = fs.Bool("regions", false, "attribute CPU misses to workload data structures")
 		tracePath    = fs.String("trace", "", "replay a saved binary trace instead of generating a workload")
+		traceOut     = fs.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run to this file")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		execTrace    = fs.String("exectrace", "", "write a runtime/trace execution trace to this file")
+		version      = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("prefetchsim"))
+		return nil
+	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (flags only)", fs.Arg(0))
+	}
+	if *traceOut != "" && *all {
+		return fmt.Errorf("-trace-out records a single run; it cannot be combined with -all")
+	}
+
+	prof := obs.Profiling{PprofAddr: *pprofAddr, CPUProfile: *cpuProfile, ExecTrace: *execTrace}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
+	if addr := prof.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "prefetchsim: pprof listening on http://%s/debug/pprof/\n", addr)
 	}
 	if *tracePath != "" {
 		// Generation flags are meaningless when replaying a saved trace;
@@ -166,13 +190,21 @@ func run(args []string, stdout io.Writer) error {
 	// strategy order afterwards, so the output is identical at any -jobs.
 	results := make([]*sim.Result, len(strategies))
 	tasks := make([]runner.Task, len(strategies))
+	var rec *obs.Recorder
 	for i, s := range strategies {
 		tasks[i] = runner.Task{Label: s.String(), Run: func() error {
 			annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
 			if err != nil {
 				return err
 			}
-			res, err := sim.Run(cfg, annotated)
+			runCfg := cfg
+			if *traceOut != "" {
+				// -all is excluded above, so this is the only task and the
+				// recorder assignment is race-free.
+				rec = obs.New(annotated.Procs(), obs.Options{Spans: true})
+				runCfg.Obs = rec
+			}
+			res, err := sim.Run(runCfg, annotated)
 			if err != nil {
 				return fmt.Errorf("strategy %s: %w", s, err)
 			}
@@ -212,6 +244,21 @@ func run(args []string, stdout io.Writer) error {
 		if *regions {
 			printRegions(stdout, res)
 		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		err = rec.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "prefetchsim: wrote %s\n", *traceOut)
 	}
 	return nil
 }

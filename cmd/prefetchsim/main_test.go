@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -59,6 +60,7 @@ func TestRunBadFlagCombos(t *testing.T) {
 		{"-workload", "water", "-scale", "-1"},
 		{"-workload", "water", "-transfer", "0", "-scale", "0.05"},
 		{"-workload", "water", "-transfer", "999", "-scale", "0.05"},
+		{"-workload", "water", "-all", "-trace-out", "t.json", "-scale", "0.05"},
 		{"stray-arg"},
 	}
 	for _, args := range cases {
@@ -66,6 +68,63 @@ func TestRunBadFlagCombos(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "prefetchsim ") {
+		t.Errorf("-version output %q does not name the binary", out.String())
+	}
+}
+
+// TestRunTraceOut exercises the Perfetto export end to end: a small run with
+// -trace-out must leave a file that parses as a Chrome trace-event JSON
+// object with a non-empty traceEvents array.
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	var out bytes.Buffer
+	err := run([]string{"-workload", "water", "-strategy", "PREF", "-scale", "0.05", "-trace-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		}
+	}
+	if meta == 0 || complete == 0 {
+		t.Errorf("trace has %d metadata and %d complete events, want both > 0", meta, complete)
+	}
+
+	// The same run without -trace-out prints identical results: recording
+	// must not change what the simulator reports.
+	var plain bytes.Buffer
+	if err := run([]string{"-workload", "water", "-strategy", "PREF", "-scale", "0.05"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != out.String() {
+		t.Errorf("recording changed the printed results:\n--- recorded ---\n%s\n--- plain ---\n%s", out.String(), plain.String())
 	}
 }
 

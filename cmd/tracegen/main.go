@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"busprefetch/internal/buildinfo"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/trace"
@@ -29,8 +30,13 @@ func main() {
 		restructured = flag.Bool("restructured", false, "use the restructured layout")
 		stratName    = flag.String("strategy", "NP", "annotate with a prefetch strategy before reporting/saving")
 		outPath      = flag.String("o", "", "write the trace in binary format to this file")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("tracegen"))
+		return
+	}
 
 	w, err := workload.ByName(*wlName)
 	if err != nil {

@@ -1,0 +1,62 @@
+// Package buildinfo formats the one-line -version string the CLIs share,
+// from the build metadata the Go linker already embeds (debug/buildinfo).
+// No version constant to forget to bump: the module version, VCS revision
+// and toolchain come straight from the binary.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns "name version (go1.xx, rev abcdef12)" for the running
+// binary. Fields the build did not stamp (for example the VCS revision in a
+// non-git build, or the module version in a `go run` build) are omitted
+// rather than faked.
+func String(name string) string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return name + " (build info unavailable)"
+	}
+	return describe(name, info)
+}
+
+// describe is String on an explicit *debug.BuildInfo, split out for testing.
+func describe(name string, info *debug.BuildInfo) string {
+	version := info.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	var extras []string
+	if info.GoVersion != "" {
+		extras = append(extras, info.GoVersion)
+	}
+	if rev, dirty := vcs(info); rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		extras = append(extras, "rev "+rev)
+	}
+	s := fmt.Sprintf("%s %s", name, version)
+	if len(extras) > 0 {
+		s += " (" + strings.Join(extras, ", ") + ")"
+	}
+	return s
+}
+
+// vcs extracts the VCS revision and modified flag from the build settings.
+func vcs(info *debug.BuildInfo) (rev string, dirty bool) {
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}

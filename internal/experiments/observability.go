@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"busprefetch/internal/obs"
+	"busprefetch/internal/prefetch"
+	"busprefetch/internal/report"
+	"busprefetch/internal/runner"
+	"busprefetch/internal/sim"
+)
+
+// The observability section re-runs a focused slice of the grid — the
+// Figure 3 workloads under the four prefetching strategies at T=8 — with the
+// internal/obs recorder enabled, and reports what the end-of-run aggregates
+// cannot: the fate of each prefetch that reached the bus (the paper's §4
+// prefetch-fate discussion, cast in the coverage/accuracy/timeliness
+// taxonomy of the prefetching-survey literature) and the distribution — not
+// just the mean — of prefetch latencies, per the service-discipline
+// analyses of the related bus-modeling work. These cells are separate from
+// the memoized grid, which always runs with recording disabled, so the main
+// tables measure the machine the benchmark report times.
+
+// ObsStrategies lists the prefetching strategies the observability section
+// profiles: every discipline that actually issues prefetches.
+func ObsStrategies() []prefetch.Strategy {
+	return []prefetch.Strategy{prefetch.PREF, prefetch.EXCL, prefetch.LPD, prefetch.PWS}
+}
+
+// ObsTransfer is the data-transfer cost the observability section runs at —
+// the paper's headline T=8 point.
+const ObsTransfer = 8
+
+// ObsCell is one recorded cell: a (workload, strategy) pair's observability
+// summary plus the demand-miss count its coverage metric needs.
+type ObsCell struct {
+	Workload string
+	Strategy prefetch.Strategy
+	Transfer int
+	Summary  *obs.Summary
+	// AdjustedCPUMisses is the run's demand-miss count excluding
+	// prefetch-in-progress misses (the coverage denominator's second term).
+	AdjustedCPUMisses uint64
+}
+
+// Label returns the cell's metrics-report label, "workload/strategy/transfer".
+func (c ObsCell) Label() string {
+	return fmt.Sprintf("%s/%s/%d", c.Workload, c.Strategy, c.Transfer)
+}
+
+// Observability runs the recorded slice — the Figure 3 workloads (or the
+// given ones) under ObsStrategies at ObsTransfer — on the suite's worker
+// pool and returns cells in canonical (workload-major) order. Recording is
+// deterministic, so the cells are byte-identical at any worker count.
+func (s *Suite) Observability(workloads []string) ([]ObsCell, error) {
+	if len(workloads) == 0 {
+		workloads = Figure3Workloads()
+	}
+	var cells []ObsCell
+	for _, wl := range workloads {
+		for _, st := range ObsStrategies() {
+			cells = append(cells, ObsCell{Workload: wl, Strategy: st, Transfer: ObsTransfer})
+		}
+	}
+	tasks := make([]runner.Task, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		tasks[i] = runner.Task{
+			Label: "obs:" + c.Label(),
+			Run: func() error {
+				base, err := s.baseTrace(c.Workload, false)
+				if err != nil {
+					return err
+				}
+				cfg := sim.DefaultConfig()
+				cfg.MemLatency = s.cfg.MemLatency
+				cfg.TransferCycles = c.Transfer
+				cfg.Protocol = s.cfg.Protocol
+				if s.cfg.PerRun != nil {
+					s.cfg.PerRun(Key{Workload: c.Workload, Strategy: c.Strategy, Transfer: c.Transfer}, &cfg)
+				}
+				annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: c.Strategy, Geometry: cfg.Geometry})
+				if err != nil {
+					return err
+				}
+				cfg.Obs = obs.New(annotated.Procs(), obs.Options{})
+				res, err := sim.Run(cfg, annotated)
+				if err != nil {
+					return err
+				}
+				c.Summary = res.Obs
+				c.AdjustedCPUMisses = res.Counters.AdjustedCPUMisses()
+				return nil
+			},
+		}
+	}
+	errs, times := s.pool.Do(tasks, nil)
+	s.recordTimings(times)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cells[i].Label(), err)
+		}
+	}
+	return cells, nil
+}
+
+// RecordChromeTrace re-runs the single cell named by label —
+// "workload/strategy/transfer", for example "mp3d/PREF/8" — with full span
+// recording enabled and writes its Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing) to w. Span recording holds every phase and
+// bus interval in memory, so this is a one-cell export, not a suite mode.
+func (s *Suite) RecordChromeTrace(label string, w io.Writer) error {
+	parts := strings.Split(label, "/")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad trace cell %q (want workload/strategy/transfer, e.g. mp3d/PREF/8)", label)
+	}
+	strat, err := prefetch.ParseStrategy(parts[1])
+	if err != nil {
+		return fmt.Errorf("trace cell %q: %w", label, err)
+	}
+	transfer, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return fmt.Errorf("trace cell %q: bad transfer %q", label, parts[2])
+	}
+	base, err := s.baseTrace(parts[0], false)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MemLatency = s.cfg.MemLatency
+	cfg.TransferCycles = transfer
+	cfg.Protocol = s.cfg.Protocol
+	if s.cfg.PerRun != nil {
+		s.cfg.PerRun(Key{Workload: parts[0], Strategy: strat, Transfer: transfer}, &cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("trace cell %q: %w", label, err)
+	}
+	annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: strat, Geometry: cfg.Geometry})
+	if err != nil {
+		return err
+	}
+	rec := obs.New(annotated.Procs(), obs.Options{Spans: true})
+	cfg.Obs = rec
+	if _, err := sim.Run(cfg, annotated); err != nil {
+		return err
+	}
+	return rec.WriteChromeTrace(w)
+}
+
+// MetricsCells converts recorded cells to the metrics-report form.
+func MetricsCells(cells []ObsCell) []runner.CellMetrics {
+	out := make([]runner.CellMetrics, len(cells))
+	for i, c := range cells {
+		out[i] = runner.CellMetrics{Cell: c.Label(), Summary: c.Summary}
+	}
+	return out
+}
+
+// RenderObservability formats the observability section: one row per cell
+// with the lifetime-class shares, the taxonomy metrics, and issue→fill
+// latency percentiles interpolated from the fixed-bucket histograms.
+func RenderObservability(cells []ObsCell) string {
+	t := report.NewTable(
+		fmt.Sprintf("Observability: prefetch lifetimes and latency (T=%d)", ObsTransfer),
+		"Workload", "Strategy", "Fetched",
+		"Useful", "Late", "Evicted", "Inval", "Unused",
+		"Acc", "Timely", "Cover", "p50", "p90", "p99")
+	for _, c := range cells {
+		s := c.Summary
+		total := s.LifetimesTotal()
+		share := func(class obs.LifetimeClass) string {
+			if total == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.1f%%", 100*float64(s.LifetimeCount(class))/float64(total))
+		}
+		t.AddRow(c.Workload, c.Strategy.String(), fmt.Sprintf("%d", total),
+			share(obs.LifeUseful), share(obs.LifeLate), share(obs.LifeEvicted),
+			share(obs.LifeInvalidated), share(obs.LifeUnused),
+			fmt.Sprintf("%.2f", s.Accuracy()), fmt.Sprintf("%.2f", s.Timeliness()),
+			fmt.Sprintf("%.2f", s.Coverage(c.AdjustedCPUMisses)),
+			fmt.Sprintf("%.0f", s.IssueToFill.Quantile(0.50)),
+			fmt.Sprintf("%.0f", s.IssueToFill.Quantile(0.90)),
+			fmt.Sprintf("%.0f", s.IssueToFill.Quantile(0.99)))
+	}
+	return t.String()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// obsRender runs the observability slice on a reduced suite at the given
+// parallelism and returns the rendered section.
+func obsRender(t *testing.T, jobs int) string {
+	t.Helper()
+	s := NewSuite(Config{Scale: 0.05, Seed: 1, Transfers: []int{8}, Parallelism: jobs})
+	got, err := s.RenderSections(func(name string) bool { return name == "observability" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestObservabilityDeterministicAcrossWorkerCounts is the acceptance bar the
+// issue names: the recorded section is byte-identical at -jobs 1 and
+// -jobs 8.
+func TestObservabilityDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial := obsRender(t, 1)
+	parallel := obsRender(t, 8)
+	if serial != parallel {
+		t.Errorf("observability section differs across worker counts:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "Observability: prefetch lifetimes") {
+		t.Fatalf("section missing title:\n%s", serial)
+	}
+}
+
+func TestObservabilityCells(t *testing.T) {
+	s := NewSuite(Config{Scale: 0.05, Seed: 1, Transfers: []int{8}})
+	cells, err := s.Observability(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Figure3Workloads()) * len(ObsStrategies()); len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.Summary == nil {
+			t.Fatalf("%s: nil summary", c.Label())
+		}
+		if c.Summary.LifetimesTotal() == 0 {
+			t.Errorf("%s: no prefetch lifetimes recorded for a prefetching strategy", c.Label())
+		}
+		if c.Summary.IssueToFill.Samples == 0 {
+			t.Errorf("%s: no issue→fill samples", c.Label())
+		}
+	}
+	// Canonical order: workload-major over Figure3Workloads × ObsStrategies.
+	if cells[0].Label() != "topopt/PREF/8" || cells[len(cells)-1].Label() != "mp3d/PWS/8" {
+		t.Errorf("cells out of canonical order: first %s, last %s", cells[0].Label(), cells[len(cells)-1].Label())
+	}
+	m := MetricsCells(cells)
+	if len(m) != len(cells) || m[0].Cell != cells[0].Label() || m[0].Summary != cells[0].Summary {
+		t.Error("MetricsCells lost cells or reordered them")
+	}
+}
+
+// TestGoldenObsT8 pins the scale-1 observability section — prefetch-latency
+// percentiles and lifetime-class shares for PREF/EXCL/LPD/PWS at T=8 — the
+// way the other golden slices pin the paper tables.
+func TestGoldenObsT8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-1 observability slice in -short mode")
+	}
+	s := NewSuite(Config{Scale: 1, Seed: 1})
+	got, err := s.RenderSections(func(name string) bool { return name == "observability" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_obs_t8.txt", got)
+}

@@ -15,7 +15,7 @@ import (
 // SectionNames lists the report sections in presentation order; these are
 // also the valid values of mkfigures' -only flag.
 func SectionNames() []string {
-	return []string{"table1", "fig1", "table2", "fig2", "util", "fig3", "table3", "table4", "table5", "ablations", "protocols"}
+	return []string{"table1", "fig1", "table2", "fig2", "util", "fig3", "table3", "table4", "table5", "ablations", "protocols", "observability"}
 }
 
 // ValidSection reports whether name selects a known section
@@ -135,6 +135,14 @@ func (s *Suite) RenderSections(want func(name string) bool) (string, error) {
 		// re-running the other sweeps.
 		rows, err := s.AblationProtocol("mp3d", nil)
 		if err := add("ablation-protocol", RenderAblation("Ablation: coherence protocols (mp3d, T=8)", rows), err); err != nil {
+			return "", err
+		}
+	}
+	if want("observability") {
+		// Its own golden file (testdata/golden_obs_t8.txt) pins the recorded
+		// slice without re-running the main grid.
+		cells, err := s.Observability(nil)
+		if err := add("observability", RenderObservability(cells), err); err != nil {
 			return "", err
 		}
 	}

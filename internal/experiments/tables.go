@@ -232,6 +232,13 @@ func (s *Suite) Figure2() ([]Figure2Row, error) {
 					rows = append(rows, Figure2Row{Workload: wl, Strategy: st, Transfer: tr, Err: err.Error()})
 					continue
 				}
+				if np[tr] == 0 {
+					// A degenerate (empty) trace finishes in zero cycles;
+					// dividing by it would put NaN in the chart.
+					rows = append(rows, Figure2Row{Workload: wl, Strategy: st, Transfer: tr,
+						Err: "NP baseline ran 0 cycles"})
+					continue
+				}
 				rows = append(rows, Figure2Row{
 					Workload: wl, Strategy: st, Transfer: tr,
 					RelTime: float64(res.Cycles) / float64(np[tr]),
@@ -549,6 +556,13 @@ func (s *Suite) Table5() ([]Table5Row, error) {
 				res, err := s.Result(Key{Workload: wl, Strategy: st, Transfer: tr, Restructured: true})
 				if err != nil {
 					rows = append(rows, Table5Row{Workload: wl, Strategy: st, Transfer: tr, Err: err.Error()})
+					continue
+				}
+				if np[tr] == 0 {
+					// Same guard as Figure2: never divide by a zero-cycle
+					// baseline.
+					rows = append(rows, Table5Row{Workload: wl, Strategy: st, Transfer: tr,
+						Err: "NP baseline ran 0 cycles"})
 					continue
 				}
 				rows = append(rows, Table5Row{Workload: wl, Strategy: st, Transfer: tr,

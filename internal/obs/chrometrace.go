@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the recorder's spans serialized in the Trace
+// Event Format that chrome://tracing and Perfetto (ui.perfetto.dev) load
+// directly. Each processor becomes one thread track, the bus a final track,
+// and every span a complete ("X") event. Simulation cycles are emitted as
+// microseconds — the units are fictional but the proportions are exact, and
+// Perfetto's zoom/aggregate tooling works unchanged.
+
+// traceEvent is one entry of the Trace Event Format's traceEvents array.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Ts   uint64 `json:"ts"`
+	Dur  uint64 `json:"dur,omitempty"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Args any    `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object form of the Trace Event Format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the recorder's spans as Chrome trace-event
+// JSON. The recorder must have been created with Options{Spans: true};
+// without spans the output contains only the track-name metadata. A nil
+// recorder writes an empty but valid trace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if r != nil {
+		busTid := len(r.procs)
+		for tid := 0; tid < len(r.procs); tid++ {
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+				Args: map[string]string{"name": fmt.Sprintf("proc %d", tid)},
+			})
+		}
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: busTid,
+			Args: map[string]string{"name": "bus"},
+		})
+		for _, s := range r.Spans() {
+			ev := traceEvent{Name: s.Name, Ph: "X", Ts: s.Start, Dur: s.End - s.Start, Pid: 0, Tid: s.Track}
+			if s.Track == BusTrack {
+				ev.Tid = busTid
+			}
+			if s.Detail != "" {
+				ev.Args = map[string]string{"class": s.Detail}
+			}
+			f.TraceEvents = append(f.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}

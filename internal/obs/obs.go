@@ -1,0 +1,547 @@
+// Package obs is the simulator's observability layer: a per-run event
+// recorder that turns the end-of-run aggregates of internal/sim and
+// internal/bus into inspectable timelines and distributions.
+//
+// Three kinds of signal are captured:
+//
+//   - Per-processor phase intervals — compute time and each wait cause
+//     (memory, lock, barrier, prefetch-buffer slot) — as spans.
+//   - Bus occupancy intervals, tagged with the operation (fill, invalidate,
+//     writeback, update), arbitration class, and requesting processor.
+//   - Full prefetch lifetimes: issue → bus grant → fill → first demand use,
+//     or the early ends (demand merged with the fetch still in flight,
+//     eviction before use, remote invalidation before use, never used).
+//     The classes map onto the coverage / accuracy / timeliness taxonomy of
+//     the prefetching-survey literature and the paper's §4 discussion of
+//     prefetch fates.
+//
+// A nil *Recorder is the disabled state: every method is nil-safe, call
+// sites in the simulator additionally guard with a nil check, and a disabled
+// run performs zero observability allocations (guarded by a benchmark and an
+// allocation test). Recording never changes simulated behaviour — the
+// recorder only observes times the simulator already computed — so enabling
+// it cannot change a single reported number.
+//
+// Latency distributions use fixed bucket edges (LatencyBuckets, SlackBuckets)
+// so serialized summaries are deterministic across runs, worker counts, and
+// platforms.
+package obs
+
+import "sort"
+
+// Phase is a processor activity class for span recording.
+type Phase uint8
+
+const (
+	// PhaseCompute covers instruction execution and completed accesses.
+	PhaseCompute Phase = iota
+	// PhaseMemWait is a demand-miss, upgrade, or prefetch-in-progress stall.
+	PhaseMemWait
+	// PhaseLockWait is time queued on a held lock.
+	PhaseLockWait
+	// PhaseBarrierWait is time parked at a barrier.
+	PhaseBarrierWait
+	// PhaseBufferWait is time stalled for a prefetch issue-buffer slot.
+	PhaseBufferWait
+	// NumPhases is the number of phases.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{"compute", "mem-wait", "lock-wait", "barrier-wait", "buffer-wait"}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "phase(?)"
+}
+
+// LifetimeClass is the fate of one prefetch that reached the bus.
+type LifetimeClass uint8
+
+const (
+	// LifeUseful: the fill completed before the demand access arrived, and a
+	// demand access used the line while it was still resident — the prefetch
+	// the taxonomy calls accurate and timely.
+	LifeUseful LifetimeClass = iota
+	// LifeLate: a demand access merged with the prefetch while it was still
+	// in flight (the paper's prefetch-in-progress miss) — accurate but not
+	// timely; only part of the latency was hidden.
+	LifeLate
+	// LifeEvicted: the prefetched line (or its prefetch-buffer entry) was
+	// displaced by a later fill before any demand use — a wasted prefetch
+	// that also cost a conflict.
+	LifeEvicted
+	// LifeInvalidated: a remote processor's write invalidated the line (or
+	// dropped the non-snooping buffer entry) before any demand use — the
+	// sharing fate prefetching cannot win, §4.4's central observation.
+	LifeInvalidated
+	// LifeUnused: the line was still resident and untouched when the run
+	// ended (or the fetch never completed) — inaccurate speculation.
+	LifeUnused
+	// NumLifetimeClasses is the number of fates.
+	NumLifetimeClasses
+)
+
+var lifetimeNames = [NumLifetimeClasses]string{"useful", "late", "evicted", "invalidated", "unused"}
+
+func (c LifetimeClass) String() string {
+	if int(c) < len(lifetimeNames) {
+		return lifetimeNames[c]
+	}
+	return "lifetime(?)"
+}
+
+// LatencyBuckets is the fixed upper-edge set (in cycles, inclusive) for
+// issue→grant and issue→fill histograms. The paper's 100-cycle memory
+// latency sits mid-range; the tail buckets absorb bus-saturation queueing.
+// A final implicit +Inf bucket catches everything beyond the last edge.
+var LatencyBuckets = []uint64{25, 50, 75, 100, 150, 200, 300, 500, 1000, 5000}
+
+// SlackBuckets is the fixed upper-edge set for fill→first-use distances:
+// how long a useful prefetch sat resident before paying off. Short slack
+// means just-in-time; long slack means eviction exposure.
+var SlackBuckets = []uint64{10, 25, 50, 100, 200, 400, 800, 1600, 5000, 20000}
+
+// Histogram is a fixed-bucket latency distribution. Buckets[i] counts
+// samples <= Edges[i]; the final element of Counts is the overflow bucket.
+// With fixed edges the JSON form is deterministic for a deterministic run.
+type Histogram struct {
+	// Edges are the inclusive upper bucket edges in cycles.
+	Edges []uint64 `json:"edges"`
+	// Counts has len(Edges)+1 entries; the last is the overflow bucket.
+	Counts []uint64 `json:"counts"`
+	// Samples and Sum support exact means.
+	Samples uint64 `json:"samples"`
+	Sum     uint64 `json:"sum"`
+}
+
+// NewHistogram creates an empty histogram over the given edges.
+func NewHistogram(edges []uint64) Histogram {
+	return Histogram{Edges: edges, Counts: make([]uint64, len(edges)+1)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.Edges), func(i int) bool { return h.Edges[i] >= v })
+	h.Counts[i]++
+	h.Samples++
+	h.Sum += v
+}
+
+// Mean returns the exact sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Samples == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Samples)
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) by linear
+// interpolation inside the containing bucket. It is a pure function of the
+// bucket counts, so it is deterministic; with fixed edges it is accurate to
+// the bucket width. Overflow-bucket quantiles return the last finite edge.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Samples == 0 {
+		return 0
+	}
+	rank := q * float64(h.Samples)
+	var cum uint64
+	lo := uint64(0)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		hi := lo
+		if i < len(h.Edges) {
+			hi = h.Edges[i]
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.Edges) {
+				return float64(h.Edges[len(h.Edges)-1])
+			}
+			within := (rank - float64(cum)) / float64(c)
+			return float64(lo) + within*float64(hi-lo)
+		}
+		cum += c
+		lo = hi
+	}
+	return float64(h.Edges[len(h.Edges)-1])
+}
+
+// Span is one interval on the simulated timeline.
+type Span struct {
+	// Name labels the span ("compute", "fill", "prefetch mp3d", ...).
+	Name string
+	// Track is the timeline the span belongs to: a processor id, or BusTrack.
+	Track int
+	// Start and End are simulation cycles (End >= Start).
+	Start, End uint64
+	// Detail optionally refines the name ("proc 3", "demand", ...).
+	Detail string
+}
+
+// BusTrack is the Span.Track value for bus-occupancy spans.
+const BusTrack = -1
+
+// lifetime is one in-progress prefetch being tracked.
+type lifetime struct {
+	issue, grant, fill uint64
+	granted, filled    bool
+	// merged is set when a demand access caught the prefetch in flight.
+	merged bool
+}
+
+// procObs is the per-processor recording state.
+type procObs struct {
+	// pending tracks outstanding prefetch lifetimes by line address.
+	pending map[uint64]*lifetime
+	// lastSpanEnd is where the processor's previous span ended; the gap up
+	// to a wait's start is recorded as compute.
+	lastSpanEnd uint64
+}
+
+// BusOpCount aggregates one bus operation kind's grants and occupancy.
+type BusOpCount struct {
+	Grants uint64 `json:"grants"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// Summary is the reduced (histogram-level) view of one recorded run — what
+// the metrics report serializes and the observability report section reads.
+type Summary struct {
+	// Lifetimes counts completed prefetch lifetimes by fate, indexed by
+	// LifetimeClass (serialized as a name-keyed map for self-description).
+	Lifetimes map[string]uint64 `json:"lifetimes"`
+	// IssueToGrant is the arbitration-queue delay distribution of prefetch
+	// fetches (issue to bus grant).
+	IssueToGrant Histogram `json:"issue_to_grant"`
+	// IssueToFill is the full prefetch latency distribution (issue to line
+	// install).
+	IssueToFill Histogram `json:"issue_to_fill"`
+	// FillToUse is the resident-slack distribution of useful prefetches
+	// (install to first demand use).
+	FillToUse Histogram `json:"fill_to_use"`
+	// BusOps aggregates bus grants and occupancy cycles by operation name,
+	// split by arbitration class for fills ("fill/demand", "fill/prefetch").
+	BusOps map[string]BusOpCount `json:"bus_ops"`
+	// PhaseCycles sums each processor phase across the machine, keyed by
+	// phase name. Compute is busy cycles; the waits are stall cycles.
+	PhaseCycles map[string]uint64 `json:"phase_cycles"`
+}
+
+// LifetimeCount returns the count recorded for one fate.
+func (s *Summary) LifetimeCount(c LifetimeClass) uint64 {
+	return s.Lifetimes[c.String()]
+}
+
+// LifetimesTotal returns the number of classified prefetch lifetimes.
+func (s *Summary) LifetimesTotal() uint64 {
+	var n uint64
+	for _, v := range s.Lifetimes {
+		n += v
+	}
+	return n
+}
+
+// Accuracy returns the fraction of bus-reaching prefetches that were demand
+// used at all (useful + late), per the survey's accuracy metric.
+func (s *Summary) Accuracy() float64 {
+	total := s.LifetimesTotal()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LifetimeCount(LifeUseful)+s.LifetimeCount(LifeLate)) / float64(total)
+}
+
+// Timeliness returns, of the accurate prefetches, the fraction that
+// completed before their demand access arrived.
+func (s *Summary) Timeliness() float64 {
+	acc := s.LifetimeCount(LifeUseful) + s.LifetimeCount(LifeLate)
+	if acc == 0 {
+		return 0
+	}
+	return float64(s.LifetimeCount(LifeUseful)) / float64(acc)
+}
+
+// Coverage returns the fraction of would-be demand fetches that prefetching
+// absorbed: useful prefetches over useful prefetches plus the demand misses
+// that still initiated fetches. The caller supplies the run's adjusted CPU
+// miss count (sim.Counters.AdjustedCPUMisses).
+func (s *Summary) Coverage(adjustedCPUMisses uint64) float64 {
+	useful := s.LifetimeCount(LifeUseful)
+	if useful+adjustedCPUMisses == 0 {
+		return 0
+	}
+	return float64(useful) / float64(useful+adjustedCPUMisses)
+}
+
+// Recorder collects observability data for one simulation run. The zero
+// value is not useful; create one with New. A nil *Recorder is the disabled
+// recorder: every method no-ops.
+type Recorder struct {
+	withSpans bool
+	spans     []Span
+
+	procs []procObs
+
+	lifetimes [NumLifetimeClasses]uint64
+	issGrant  Histogram
+	issFill   Histogram
+	fillUse   Histogram
+
+	busOps map[string]BusOpCount
+
+	phaseCycles [NumPhases]uint64
+
+	finished bool
+	endAt    uint64
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// Spans retains every phase and bus interval for trace export. Off, the
+	// recorder keeps only histogram- and counter-level state, which is what
+	// the metrics report and the observability report section need.
+	Spans bool
+}
+
+// New creates a recorder for a run with the given processor count.
+func New(procs int, opt Options) *Recorder {
+	r := &Recorder{
+		withSpans: opt.Spans,
+		procs:     make([]procObs, procs),
+		issGrant:  NewHistogram(LatencyBuckets),
+		issFill:   NewHistogram(LatencyBuckets),
+		fillUse:   NewHistogram(SlackBuckets),
+		busOps:    make(map[string]BusOpCount),
+	}
+	for i := range r.procs {
+		r.procs[i].pending = make(map[uint64]*lifetime)
+	}
+	return r
+}
+
+// Enabled reports whether the recorder is live (non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// pend returns the pending lifetime for (proc, la), or nil.
+func (r *Recorder) pend(proc int, la uint64) *lifetime {
+	if proc < 0 || proc >= len(r.procs) {
+		return nil
+	}
+	return r.procs[proc].pending[la]
+}
+
+// PrefetchIssued opens a lifetime: a prefetch for line la left proc's issue
+// buffer for the bus at time now.
+func (r *Recorder) PrefetchIssued(proc int, la uint64, now uint64) {
+	if r == nil || proc < 0 || proc >= len(r.procs) {
+		return
+	}
+	r.procs[proc].pending[la] = &lifetime{issue: now}
+}
+
+// PrefetchGranted marks the lifetime's bus grant.
+func (r *Recorder) PrefetchGranted(proc int, la uint64, now uint64) {
+	if r == nil {
+		return
+	}
+	if lt := r.pend(proc, la); lt != nil && !lt.granted {
+		lt.grant, lt.granted = now, true
+		r.issGrant.Observe(now - lt.issue)
+	}
+}
+
+// PrefetchMerged marks that a demand access merged with the in-flight
+// prefetch: the lifetime will close as LifeLate when the fill lands.
+func (r *Recorder) PrefetchMerged(proc int, la uint64, now uint64) {
+	if r == nil {
+		return
+	}
+	if lt := r.pend(proc, la); lt != nil {
+		lt.merged = true
+	}
+}
+
+// PrefetchFilled marks the line install. A lifetime a demand access already
+// merged with closes here as LifeLate; otherwise it stays open awaiting its
+// first use or early death.
+func (r *Recorder) PrefetchFilled(proc int, la uint64, now uint64) {
+	if r == nil {
+		return
+	}
+	lt := r.pend(proc, la)
+	if lt == nil || lt.filled {
+		return
+	}
+	lt.fill, lt.filled = now, true
+	r.issFill.Observe(now - lt.issue)
+	if lt.merged {
+		r.close(proc, la, LifeLate)
+	}
+	if r.withSpans {
+		r.spans = append(r.spans, Span{Name: "prefetch-inflight", Track: proc, Start: lt.issue, End: now})
+	}
+}
+
+// PrefetchFirstUse closes a lifetime as LifeUseful: a demand access touched
+// the prefetched line while it was still resident.
+func (r *Recorder) PrefetchFirstUse(proc int, la uint64, now uint64) {
+	if r == nil {
+		return
+	}
+	if lt := r.pend(proc, la); lt != nil && lt.filled {
+		r.fillUse.Observe(now - lt.fill)
+		r.close(proc, la, LifeUseful)
+	}
+}
+
+// PrefetchEvicted closes a lifetime as LifeEvicted: the unused line (or its
+// buffer entry) was displaced.
+func (r *Recorder) PrefetchEvicted(proc int, la uint64, now uint64) {
+	if r == nil {
+		return
+	}
+	if lt := r.pend(proc, la); lt != nil && lt.filled {
+		r.close(proc, la, LifeEvicted)
+	}
+}
+
+// PrefetchInvalidated closes a lifetime as LifeInvalidated: a remote write
+// killed the unused copy.
+func (r *Recorder) PrefetchInvalidated(proc int, la uint64, now uint64) {
+	if r == nil {
+		return
+	}
+	if lt := r.pend(proc, la); lt != nil && lt.filled {
+		r.close(proc, la, LifeInvalidated)
+	}
+}
+
+// close retires a pending lifetime into its class counter.
+func (r *Recorder) close(proc int, la uint64, c LifetimeClass) {
+	delete(r.procs[proc].pending, la)
+	r.lifetimes[c]++
+}
+
+// Wait records one completed wait interval for a processor, attributing the
+// preceding gap (since the processor's previous recorded interval) to
+// compute. Phase totals always accumulate; the spans themselves are kept
+// only in span mode.
+func (r *Recorder) Wait(proc int, phase Phase, start, end uint64) {
+	if r == nil || proc < 0 || proc >= len(r.procs) || end < start {
+		return
+	}
+	p := &r.procs[proc]
+	if start > p.lastSpanEnd {
+		r.phaseCycles[PhaseCompute] += start - p.lastSpanEnd
+		if r.withSpans {
+			r.spans = append(r.spans, Span{Name: PhaseCompute.String(), Track: proc, Start: p.lastSpanEnd, End: start})
+		}
+	}
+	r.phaseCycles[phase] += end - start
+	if r.withSpans {
+		r.spans = append(r.spans, Span{Name: phase.String(), Track: proc, Start: start, End: end})
+	}
+	p.lastSpanEnd = end
+}
+
+// ProcFinished records a processor's final compute stretch, from its last
+// recorded interval to its finish time.
+func (r *Recorder) ProcFinished(proc int, finish uint64) {
+	if r == nil || proc < 0 || proc >= len(r.procs) {
+		return
+	}
+	p := &r.procs[proc]
+	if finish > p.lastSpanEnd {
+		r.phaseCycles[PhaseCompute] += finish - p.lastSpanEnd
+		if r.withSpans {
+			r.spans = append(r.spans, Span{Name: PhaseCompute.String(), Track: proc, Start: p.lastSpanEnd, End: finish})
+		}
+		p.lastSpanEnd = finish
+	}
+}
+
+// BusOccupied records one bus grant: the resource is held for
+// [grant, grant+occupancy) by proc's op transaction of the given
+// arbitration class.
+func (r *Recorder) BusOccupied(grant, occupancy uint64, op, class string, proc int) {
+	if r == nil {
+		return
+	}
+	key := op
+	if op == "fill" {
+		key = op + "/" + class
+	}
+	c := r.busOps[key]
+	c.Grants++
+	c.Cycles += occupancy
+	r.busOps[key] = c
+	if r.withSpans {
+		r.spans = append(r.spans, Span{Name: op, Track: BusTrack, Start: grant, End: grant + occupancy, Detail: class})
+	}
+}
+
+// Finish flushes end-of-run state: every still-pending lifetime closes as
+// LifeUnused (resident-but-never-used, or never completed). Idempotent.
+func (r *Recorder) Finish(end uint64) {
+	if r == nil || r.finished {
+		return
+	}
+	r.finished = true
+	r.endAt = end
+	for i := range r.procs {
+		p := &r.procs[i]
+		r.lifetimes[LifeUnused] += uint64(len(p.pending))
+		p.pending = nil
+	}
+}
+
+// Spans returns the retained spans (span mode only), ordered by start time,
+// then track, then name, so export is deterministic.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	s := append([]Span(nil), r.spans...)
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].Start != s[j].Start {
+			return s[i].Start < s[j].Start
+		}
+		if s[i].Track != s[j].Track {
+			return s[i].Track < s[j].Track
+		}
+		return s[i].Name < s[j].Name
+	})
+	return s
+}
+
+// Summary reduces the recording to its serializable form. Call after Finish.
+func (r *Recorder) Summary() *Summary {
+	if r == nil {
+		return nil
+	}
+	s := &Summary{
+		Lifetimes:    make(map[string]uint64, NumLifetimeClasses),
+		IssueToGrant: r.issGrant,
+		IssueToFill:  r.issFill,
+		FillToUse:    r.fillUse,
+		BusOps:       make(map[string]BusOpCount, len(r.busOps)),
+		PhaseCycles:  make(map[string]uint64, NumPhases),
+	}
+	for c := LifetimeClass(0); c < NumLifetimeClasses; c++ {
+		if r.lifetimes[c] > 0 {
+			s.Lifetimes[c.String()] = r.lifetimes[c]
+		}
+	}
+	for k, v := range r.busOps {
+		s.BusOps[k] = v
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if r.phaseCycles[p] > 0 {
+			s.PhaseCycles[p.String()] = r.phaseCycles[p]
+		}
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Profiling is the shared -pprof/-cpuprofile/-exectrace plumbing of the
+// CLIs: an optional pprof HTTP listener plus optional CPU-profile and
+// execution-trace files. Start it once after flag parsing; Stop flushes and
+// closes everything. The zero value (no options set) starts nothing.
+type Profiling struct {
+	// PprofAddr, when non-empty, serves net/http/pprof on the address
+	// (for example "localhost:6060").
+	PprofAddr string
+	// CPUProfile, when non-empty, writes a runtime/pprof CPU profile there.
+	CPUProfile string
+	// ExecTrace, when non-empty, writes a runtime/trace execution trace there.
+	ExecTrace string
+
+	ln         net.Listener
+	cpuFile    *os.File
+	traceFile  *os.File
+	cpuStarted bool
+}
+
+// Start opens the configured profiling outputs. On error everything already
+// started is stopped, so a failed Start never leaks files or listeners.
+func (p *Profiling) Start() error {
+	if p.PprofAddr != "" {
+		ln, err := net.Listen("tcp", p.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		p.ln = ln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) //nolint:errcheck // shut down by closing the listener
+	}
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			p.Stop()
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		p.cpuFile = f
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			p.Stop()
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		p.cpuStarted = true
+	}
+	if p.ExecTrace != "" {
+		f, err := os.Create(p.ExecTrace)
+		if err != nil {
+			p.Stop()
+			return fmt.Errorf("exec trace: %w", err)
+		}
+		p.traceFile = f
+		if err := rtrace.Start(f); err != nil {
+			p.Stop()
+			return fmt.Errorf("exec trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// Addr returns the pprof listener's bound address (useful with ":0"), or "".
+func (p *Profiling) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Stop flushes and closes everything Start opened. Safe to call multiple
+// times and on a Profiling whose Start failed partway.
+func (p *Profiling) Stop() {
+	if rtrace.IsEnabled() {
+		rtrace.Stop()
+	}
+	if p.traceFile != nil {
+		p.traceFile.Close()
+		p.traceFile = nil
+	}
+	if p.cpuStarted {
+		rpprof.StopCPUProfile()
+		p.cpuStarted = false
+	}
+	if p.cpuFile != nil {
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+	if p.ln != nil {
+		p.ln.Close()
+		p.ln = nil
+	}
+	// Keep the goroutine accounting honest in tests that start many servers.
+	runtime.Gosched()
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfilingZeroValueIsNoop(t *testing.T) {
+	var p Profiling
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr() != "" {
+		t.Errorf("Addr = %q, want empty", p.Addr())
+	}
+	p.Stop()
+	p.Stop() // idempotent
+}
+
+func TestProfilingPprofServer(t *testing.T) {
+	p := Profiling{PprofAddr: "127.0.0.1:0"}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", p.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint status %d", resp.StatusCode)
+	}
+}
+
+func TestProfilingFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := Profiling{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		ExecTrace:  filepath.Join(dir, "exec.trace"),
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = fmt.Sprintf("warm %d", i)
+	}
+	p.Stop()
+	for _, f := range []string{p.CPUProfile, p.ExecTrace} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestProfilingBadAddr(t *testing.T) {
+	p := Profiling{PprofAddr: "256.256.256.256:99999"}
+	if err := p.Start(); err == nil {
+		p.Stop()
+		t.Fatal("expected error for bad listen address")
+	}
+}

@@ -61,7 +61,13 @@ func (t *Table) Render(w io.Writer) error {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			b.WriteString(pad(c, width[i]))
+			// A row longer than the header list still renders: the extra
+			// cells print unpadded instead of indexing past width.
+			wd := 0
+			if i < len(width) {
+				wd = width[i]
+			}
+			b.WriteString(pad(c, wd))
 		}
 		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
 		return err

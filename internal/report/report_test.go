@@ -69,3 +69,69 @@ func TestChartFlatSeries(t *testing.T) {
 		t.Errorf("flat chart broken:\n%s", out)
 	}
 }
+
+// TestTableRaggedRows pins the width-guard in Render: rows shorter or longer
+// than the header list must render (extra cells unpadded), never panic on an
+// out-of-range width index.
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("ragged", "a", "b")
+	tbl.AddRow("only")                       // shorter than headers
+	tbl.AddRow("x", "y", "overflow", "more") // longer than headers
+	tbl.AddRow()                             // empty row
+	out := tbl.String()
+	for _, want := range []string{"only", "overflow", "more"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ragged table dropped %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableNoRows(t *testing.T) {
+	tbl := NewTable("empty", "a", "b")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // title + header + separator
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoColumns(t *testing.T) {
+	tbl := NewTable("bare")
+	tbl.AddRow("stray")
+	out := tbl.String() // must not panic
+	if !strings.Contains(out, "stray") {
+		t.Errorf("column-less table dropped its row:\n%s", out)
+	}
+}
+
+func TestChartBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		series []Series
+		lo, hi float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single point", []Series{{Points: []float64{2.5}}}, 2.5, 2.5},
+		{"all equal", []Series{{Points: []float64{3, 3}}, {Points: []float64{3}}}, 3, 3},
+		{"spread", []Series{{Points: []float64{1, 5}}, {Points: []float64{-2, 4}}}, -2, 5},
+		{"negative only", []Series{{Points: []float64{-3, -1}}}, -3, -1},
+	}
+	for _, tc := range cases {
+		c := &Chart{Series: tc.series}
+		lo, hi := c.bounds()
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("%s: bounds() = (%v, %v), want (%v, %v)", tc.name, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestChartEmptyAndSinglePoint(t *testing.T) {
+	empty := &Chart{Title: "empty"}
+	if out := empty.String(); !strings.Contains(out, "empty") {
+		t.Errorf("empty chart lost its title:\n%s", out)
+	}
+	single := &Chart{Title: "one", Series: []Series{{Name: "s", Points: []float64{0.5}}}}
+	if out := single.String(); !strings.Contains(out, "0.500") {
+		t.Errorf("single-point chart broken:\n%s", out)
+	}
+}

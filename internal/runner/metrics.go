@@ -1,0 +1,92 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"busprefetch/internal/obs"
+)
+
+// MetricsSchema versions the observability-metrics report format.
+const MetricsSchema = "busprefetch-metrics/v1"
+
+// CellMetrics is one suite cell's observability summary: the prefetch
+// lifetime classes, latency histograms (fixed bucket edges, so the JSON is
+// deterministic for a deterministic run) and bus/phase aggregates recorded
+// for that cell.
+type CellMetrics struct {
+	// Cell labels the cell, "workload/strategy/transfer" (for example
+	// "mp3d/PREF/8").
+	Cell    string       `json:"cell"`
+	Summary *obs.Summary `json:"summary"`
+}
+
+// MetricsReport is the per-cell observability companion to BenchReport,
+// written alongside BENCH_suite.json by mkfigures -metrics-out. Where the
+// bench report answers "how long did each cell take to simulate", this one
+// answers "what did the machine do during each cell" — lifetime-class
+// shares, issue→grant/issue→fill/fill→use distributions, bus occupancy by
+// op, and processor phase totals.
+type MetricsReport struct {
+	Schema string `json:"schema"`
+	// Scale and Seed identify the suite configuration measured.
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+	// Cells is sorted by label so reports diff cleanly.
+	Cells []CellMetrics `json:"cells"`
+}
+
+// NewMetricsReport assembles a report; cells are sorted by label.
+func NewMetricsReport(scale float64, seed int64, cells []CellMetrics) *MetricsReport {
+	r := &MetricsReport{Schema: MetricsSchema, Scale: scale, Seed: seed}
+	r.Cells = append(r.Cells, cells...)
+	sort.Slice(r.Cells, func(i, j int) bool { return r.Cells[i].Cell < r.Cells[j].Cell })
+	return r
+}
+
+// WriteFile writes the report as indented JSON, atomically, mirroring
+// BenchReport.WriteFile: the file lands complete or not at all.
+func (r *MetricsReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encoding metrics report: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runner: writing metrics report: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runner: writing metrics report: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runner: writing metrics report: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("runner: writing metrics report: %w", err)
+	}
+	return nil
+}
+
+// ReadMetricsReport loads a report written by WriteFile and rejects unknown
+// schemas.
+func ReadMetricsReport(path string) (*MetricsReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r MetricsReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("runner: parsing metrics report %s: %w", path, err)
+	}
+	if r.Schema != MetricsSchema {
+		return nil, fmt.Errorf("runner: metrics report %s has schema %q, want %q", path, r.Schema, MetricsSchema)
+	}
+	return &r, nil
+}

@@ -6,6 +6,7 @@ import (
 	"busprefetch/internal/check"
 	"busprefetch/internal/coherence"
 	"busprefetch/internal/memory"
+	"busprefetch/internal/obs"
 	"busprefetch/internal/trace"
 )
 
@@ -110,11 +111,16 @@ func newProc(s *simulator, id int, stream trace.Stream) *proc {
 
 // dropBuffered removes la from the non-snooping prefetch buffer; a remote
 // bus operation on the line means the buffered copy can no longer be trusted.
-func (p *proc) dropBuffered(la memory.Addr) {
+func (p *proc) dropBuffered(la memory.Addr, now uint64) {
 	for i, b := range p.streamBuf {
 		if b.la == la {
 			p.streamBuf = append(p.streamBuf[:i], p.streamBuf[i+1:]...)
 			p.s.c.StreamBufferDrops++
+			// The remote action killed the buffered copy before any use — the
+			// conservative drop is the buffer's form of invalidation.
+			if r := p.s.rec; r != nil {
+				r.PrefetchInvalidated(p.id, uint64(la), now)
+			}
 			return
 		}
 	}
@@ -218,6 +224,9 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 			p.missCounted = true
 			p.s.c.CPUMisses[PrefetchInProgress]++
 			p.s.attributeMiss(la, PrefetchInProgress, false)
+			if r := p.s.rec; r != nil && inf.isPrefetch {
+				r.PrefetchMerged(p.id, uint64(la), p.clock)
+			}
 		}
 		inf.cpuWaiting = true
 		p.waitStart = p.clock
@@ -266,6 +275,9 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 	if idx := p.bufferIndex(la); idx >= 0 {
 		entry := p.streamBuf[idx]
 		p.streamBuf = append(p.streamBuf[:idx], p.streamBuf[idx+1:]...)
+		if r := p.s.rec; r != nil {
+			r.PrefetchFirstUse(p.id, uint64(la), p.clock)
+		}
 		nl, ev := p.cache.Allocate(la)
 		// The install state is whatever the protocol gives the original
 		// (read) prefetch fill, given the sharers observed at its grant.
@@ -298,7 +310,12 @@ func (p *proc) finishHit(line *cache.Line, a memory.Addr, isWrite bool) {
 	p.clock++
 	p.stats.BusyCycles++
 	line.WordsAccessed |= p.s.geom.WordMask(a)
-	line.PrefetchedUnused = false
+	if line.PrefetchedUnused {
+		line.PrefetchedUnused = false
+		if r := p.s.rec; r != nil {
+			r.PrefetchFirstUse(p.id, uint64(p.s.geom.LineAddr(a)), p.clock)
+		}
+	}
 	if isWrite {
 		if act, next := p.s.proto.WriteHit(line.State); act == coherence.WriteSilent {
 			line.State = next
@@ -357,7 +374,10 @@ func (p *proc) startFetch(la memory.Addr, excl bool, word int, isPrefetch bool, 
 			if p.s.cfg.CheckInvariants {
 				p.s.checkLine(g, la)
 			}
-			inf.sharers = p.s.snoopFetch(p.id, la, excl, word)
+			if r := p.s.rec; r != nil && isPrefetch {
+				r.PrefetchGranted(p.id, uint64(la), g)
+			}
+			inf.sharers = p.s.snoopFetch(g, p.id, la, excl, word)
 		},
 		OnComplete: func(t uint64) { p.completeFetch(inf, t) },
 	}
@@ -366,6 +386,9 @@ func (p *proc) startFetch(la memory.Addr, excl bool, word int, isPrefetch bool, 
 	if isPrefetch {
 		p.s.c.PrefetchFetches++
 		p.outstandingPrefetch++
+		if r := p.s.rec; r != nil {
+			r.PrefetchIssued(p.id, uint64(la), p.clock)
+		}
 	}
 	if err := p.s.bus.Submit(p.clock, req); err != nil {
 		p.s.fail(err)
@@ -385,8 +408,14 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 		if cap == 0 {
 			cap = 16
 		}
+		if r := p.s.rec; r != nil {
+			r.PrefetchFilled(p.id, uint64(inf.la), t)
+		}
 		if p.bufferIndex(inf.la) < 0 {
 			if len(p.streamBuf) >= cap {
+				if r := p.s.rec; r != nil {
+					r.PrefetchEvicted(p.id, uint64(p.streamBuf[0].la), t)
+				}
 				p.streamBuf = p.streamBuf[1:] // FIFO eviction
 			}
 			p.streamBuf = append(p.streamBuf, buffered{la: inf.la, sharers: inf.sharers})
@@ -394,6 +423,9 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 		if p.waitingForSlot {
 			p.waitingForSlot = false
 			p.stats.BufferWait += t - p.waitStart
+			if r := p.s.rec; r != nil {
+				r.Wait(p.id, obs.PhaseBufferWait, p.waitStart, t)
+			}
 			p.run(t)
 		}
 		return
@@ -411,6 +443,9 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 	if inf.isPrefetch {
 		line.PrefetchedUnused = true
 		p.outstandingPrefetch--
+		if r := p.s.rec; r != nil {
+			r.PrefetchFilled(p.id, uint64(inf.la), t)
+		}
 	}
 	// Fault injection: force the configured state onto the configured line
 	// after this fill, bypassing the protocol. The invariant check below (or
@@ -437,10 +472,16 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 	switch {
 	case inf.cpuWaiting:
 		p.stats.MemWait += t - p.waitStart
+		if r := p.s.rec; r != nil {
+			r.Wait(p.id, obs.PhaseMemWait, p.waitStart, t)
+		}
 		p.run(t)
 	case inf.isPrefetch && p.waitingForSlot:
 		p.waitingForSlot = false
 		p.stats.BufferWait += t - p.waitStart
+		if r := p.s.rec; r != nil {
+			r.Wait(p.id, obs.PhaseBufferWait, p.waitStart, t)
+		}
 		p.run(t)
 	}
 }
@@ -454,6 +495,9 @@ func (p *proc) handleEviction(ev cache.Eviction, t uint64) {
 	}
 	if ev.PrefetchedUnused {
 		p.wasted[ev.LineAddr] = true
+		if r := p.s.rec; r != nil {
+			r.PrefetchEvicted(p.id, uint64(ev.LineAddr), t)
+		}
 	}
 	// With a victim cache, valid victims move there instead of leaving the
 	// chip; only a dirty line falling out of the victim cache itself is
@@ -515,10 +559,10 @@ func (p *proc) startWriteOp(a, la memory.Addr, action coherence.WriteAction) {
 			}
 			var sharers bool
 			if action == coherence.WriteUpdate {
-				sharers = p.s.snoopUpdate(p.id, la)
+				sharers = p.s.snoopUpdate(g, p.id, la)
 				p.s.c.UpdatesSent++
 			} else {
-				p.s.snoopInvalidate(p.id, la, word)
+				p.s.snoopInvalidate(g, p.id, la, word)
 			}
 			l.State = p.s.proto.WriterState(action, sharers)
 			if p.s.cfg.CheckInvariants {
@@ -527,6 +571,9 @@ func (p *proc) startWriteOp(a, la memory.Addr, action coherence.WriteAction) {
 		},
 		OnComplete: func(t uint64) {
 			p.stats.MemWait += t - p.waitStart
+			if r := p.s.rec; r != nil {
+				r.Wait(p.id, obs.PhaseMemWait, p.waitStart, t)
+			}
 			if failed {
 				p.s.c.UpgradeRetries++
 			}

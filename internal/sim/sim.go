@@ -35,6 +35,7 @@ import (
 	"busprefetch/internal/coherence"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/names"
+	"busprefetch/internal/obs"
 	"busprefetch/internal/trace"
 )
 
@@ -142,6 +143,12 @@ type Config struct {
 	// watchdog and the invariant checker catch real failures; nil for normal
 	// simulation.
 	Faults *check.Plan
+	// Obs, when non-nil, records the run's observability events — processor
+	// phase spans, bus occupancy, full prefetch lifetimes — into the
+	// recorder, and Result.Obs carries the reduced summary. Recording only
+	// observes times the simulator already computed, so it never changes a
+	// reported number; nil (the default) disables it at zero cost.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the paper's machine: 32 KB direct-mapped caches with
@@ -344,6 +351,9 @@ type Result struct {
 	// RegionMisses attributes CPU misses to data structures when
 	// Config.Regions was supplied (nil otherwise).
 	RegionMisses map[string]RegionMisses
+	// Obs is the observability summary when Config.Obs was set (nil
+	// otherwise).
+	Obs *obs.Summary
 }
 
 // CPUMissRate returns CPU misses (including prefetch-in-progress) per demand
@@ -477,6 +487,10 @@ type simulator struct {
 	proto     coherence.Protocol
 	rule      check.LineRule
 	updCycles uint64
+
+	// rec is the observability recorder (Config.Obs); nil when disabled.
+	// Every use is behind a nil check so a disabled run allocates nothing.
+	rec *obs.Recorder
 
 	// err is the first fatal condition (invariant violation, bus misuse,
 	// watchdog trip) seen during the run; the engine aborts on it.
@@ -659,6 +673,13 @@ func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
 		return nil, err
 	}
 	s.bus = b
+	if cfg.Obs != nil {
+		s.rec = cfg.Obs
+		rec := s.rec
+		b.SetObserver(func(grant, occupancy uint64, op bus.Op, class bus.Class, proc int) {
+			rec.BusOccupied(grant, occupancy, op.String(), class.String(), proc)
+		})
+	}
 	s.procs = make([]*proc, t.Procs())
 	for i := range s.procs {
 		s.procs[i] = newProc(s, i, t.Streams[i])
@@ -696,6 +717,13 @@ func (s *simulator) run() (*Result, error) {
 			res.Cycles = p.stats.FinishTime
 		}
 	}
+	if s.rec != nil {
+		for _, p := range s.procs {
+			s.rec.ProcFinished(p.id, p.stats.FinishTime)
+		}
+		s.rec.Finish(res.Cycles)
+		res.Obs = s.rec.Summary()
+	}
 	return res, nil
 }
 
@@ -704,7 +732,7 @@ func (s *simulator) run() (*Result, error) {
 // FillState consults). Remote copies take the protocol's SnoopRead or — for
 // exclusive fetches — SnoopWrite transition, recording word for false-sharing
 // analysis when a copy is invalidated.
-func (s *simulator) snoopFetch(requester int, la memory.Addr, excl bool, word int) (sharers bool) {
+func (s *simulator) snoopFetch(now uint64, requester int, la memory.Addr, excl bool, word int) (sharers bool) {
 	next, w := s.proto.SnoopRead, int(cache.NoInvalidatingWord)
 	if excl {
 		next, w = s.proto.SnoopWrite, word
@@ -715,6 +743,9 @@ func (s *simulator) snoopFetch(requester int, la memory.Addr, excl bool, word in
 		}
 		if p.cache.Snoop(la, w, next) != cache.Invalid {
 			sharers = true
+			if s.rec != nil {
+				s.observeSnoopKill(now, p, la)
+			}
 		}
 		if p.victim != nil && p.victim.Snoop(la, w, next) != cache.Invalid {
 			sharers = true
@@ -722,21 +753,36 @@ func (s *simulator) snoopFetch(requester int, la memory.Addr, excl bool, word in
 		// The non-snooping prefetch buffer cannot track the line once another
 		// processor fetches it — even a read fill may enter private-clean and
 		// be written silently later — so any remote fill drops the entry.
-		p.dropBuffered(la)
+		p.dropBuffered(la, now)
 	}
 	return sharers
 }
 
+// observeSnoopKill reports to the recorder a snoop that just invalidated a
+// prefetched-but-unused copy — the lifetime the taxonomy scores against
+// sharing. Callers guard with s.rec != nil so the disabled path pays a
+// branch, not a call; the re-lookup runs only with recording enabled and
+// mutates nothing.
+func (s *simulator) observeSnoopKill(now uint64, p *proc, la memory.Addr) {
+	if l := p.cache.Lookup(la); l != nil && !l.State.Valid() && l.PrefetchedUnused {
+		s.rec.PrefetchInvalidated(p.id, uint64(la), now)
+	}
+}
+
 // snoopInvalidate broadcasts an upgrade's invalidation: remote copies take
 // the protocol's SnoopWrite transition.
-func (s *simulator) snoopInvalidate(requester int, la memory.Addr, word int) {
+func (s *simulator) snoopInvalidate(now uint64, requester int, la memory.Addr, word int) {
 	for _, p := range s.procs {
 		if p.id != requester {
-			p.cache.Snoop(la, word, s.proto.SnoopWrite)
+			if p.cache.Snoop(la, word, s.proto.SnoopWrite) != cache.Invalid {
+				if s.rec != nil {
+					s.observeSnoopKill(now, p, la)
+				}
+			}
 			if p.victim != nil {
 				p.victim.Snoop(la, word, s.proto.SnoopWrite)
 			}
-			p.dropBuffered(la)
+			p.dropBuffered(la, now)
 		}
 	}
 }
@@ -747,7 +793,7 @@ func (s *simulator) snoopInvalidate(requester int, la memory.Addr, word int) {
 // decides whether the writer remains the update-owner (more broadcasts to
 // come) or takes the line exclusive. The non-snooping prefetch buffer still
 // drops its entry — it has no way to fold the new word in.
-func (s *simulator) snoopUpdate(requester int, la memory.Addr) (sharers bool) {
+func (s *simulator) snoopUpdate(now uint64, requester int, la memory.Addr) (sharers bool) {
 	for _, p := range s.procs {
 		if p.id == requester {
 			continue
@@ -759,7 +805,7 @@ func (s *simulator) snoopUpdate(requester int, la memory.Addr) (sharers bool) {
 		if p.victim != nil && p.victim.Snoop(la, int(cache.NoInvalidatingWord), s.proto.SnoopUpdate) != cache.Invalid {
 			sharers = true
 		}
-		p.dropBuffered(la)
+		p.dropBuffered(la, now)
 	}
 	return sharers
 }
@@ -778,6 +824,9 @@ func (s *simulator) releaseLock(a memory.Addr, now uint64) {
 	ls.holder = next
 	p := s.procs[next]
 	p.stats.LockWait += now - p.waitStart
+	if s.rec != nil {
+		s.rec.Wait(p.id, obs.PhaseLockWait, p.waitStart, now)
+	}
 	s.eng.At(now, p.run)
 }
 
@@ -803,12 +852,18 @@ func (s *simulator) arriveBarrier(id memory.Addr, p *proc, now uint64) (blocked 
 	for _, wid := range bs.waiting {
 		w := s.procs[wid]
 		w.stats.BarrierWait += release - w.waitStart
+		if s.rec != nil {
+			s.rec.Wait(w.id, obs.PhaseBarrierWait, w.waitStart, release)
+		}
 		s.eng.At(release, w.run)
 	}
 	bs.arrived = 0
 	bs.maxArrival = 0
 	bs.waiting = bs.waiting[:0]
 	p.stats.BarrierWait += release - now
+	if s.rec != nil {
+		s.rec.Wait(p.id, obs.PhaseBarrierWait, now, release)
+	}
 	s.eng.At(release, p.run)
 	return true
 }
