@@ -1,0 +1,78 @@
+package busprefetch
+
+// Documentation gates, run as part of the normal test suite and by the CI
+// docs job: every internal package must carry its godoc overview in a
+// dedicated doc.go, and every relative link in the top-level markdown
+// documents must resolve to a real file.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestInternalPackagesHaveDocGo enforces the documentation layout: each
+// internal/* package keeps its package-level godoc overview in doc.go, so
+// the overview has one predictable home and code files start at the code.
+func TestInternalPackagesHaveDocGo(t *testing.T) {
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no internal packages found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg := e.Name()
+		path := filepath.Join("internal", pkg, "doc.go")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("package internal/%s has no doc.go: %v", pkg, err)
+			continue
+		}
+		text := string(data)
+		if !strings.HasPrefix(text, "// Package "+pkg+" ") && !strings.HasPrefix(text, "// Package "+pkg+"\n") {
+			t.Errorf("internal/%s/doc.go does not open with a %q godoc comment", pkg, "Package "+pkg)
+		}
+		if !strings.Contains(text, "\npackage "+pkg+"\n") && !strings.HasSuffix(text, "\npackage "+pkg) {
+			t.Errorf("internal/%s/doc.go does not declare package %s", pkg, pkg)
+		}
+	}
+}
+
+// markdownLink matches [text](target) links, including image links.
+var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinksResolve checks every relative link in the top-level
+// documents: a renamed or deleted file must break the build, not the reader.
+func TestMarkdownLinksResolve(t *testing.T) {
+	docs := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "PERFORMANCE.md", "ROADMAP.md", "CHANGES.md"}
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s links to %q, which does not exist", doc, m[1])
+			}
+		}
+	}
+}

@@ -1,7 +1,3 @@
-// Package buildinfo formats the one-line -version string the CLIs share,
-// from the build metadata the Go linker already embeds (debug/buildinfo).
-// No version constant to forget to bump: the module version, VCS revision
-// and toolchain come straight from the binary.
 package buildinfo
 
 import (

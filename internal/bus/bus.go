@@ -1,18 +1,3 @@
-// Package bus models the contended memory resource of the paper's
-// split-transaction bus architecture.
-//
-// The paper separates the fixed 100-cycle memory latency into an uncontended
-// portion (address transmission and memory lookup, assumed pipelined across
-// processors) and a contended portion — the data-bus transfer of 4 to 32
-// cycles that serializes on a single shared resource and is the machine's
-// potential bottleneck. This package implements only the contended resource:
-// callers submit a request that becomes Ready after its uncontended phase,
-// the bus grants requests one at a time, and each grant occupies the resource
-// for the request's Occupancy cycles.
-//
-// Arbitration is round-robin across processors and "favors blocking loads
-// over prefetches" (paper §3.3): all Demand-class requests are considered
-// before any Prefetch-class request, and writebacks come last.
 package bus
 
 import (
@@ -40,6 +25,7 @@ const (
 	Prefetch
 	// Writeback requests drain dirty victims; nobody waits on them.
 	Writeback
+	numClasses
 )
 
 var classNames = []string{"demand", "prefetch", "writeback"}
@@ -81,6 +67,9 @@ type Request struct {
 	// Op classifies the transaction for traffic accounting.
 	Op Op
 	// Proc is the requesting processor, used for round-robin fairness.
+	// While the request is pending, Class and Proc index the bus's internal
+	// queues and must not be mutated directly; use Promote to raise a
+	// pending request's class.
 	Proc int
 	// OnGrant, if non-nil, runs at the grant time — the transaction's
 	// serialization point, where the simulator performs snooping.
@@ -96,6 +85,19 @@ type Request struct {
 
 // Granted reports whether the request has been granted the bus.
 func (r *Request) Granted() bool { return r.granted }
+
+// Reset clears a completed (or never-submitted) request's bookkeeping so the
+// same allocation can carry a new transaction — internal/sim pools its
+// request structs to keep the per-fetch path allocation-free. Resetting a
+// still-pending request is ignored; the subsequent Submit then fails with
+// the double-submission error.
+func (r *Request) Reset() {
+	if r.pending {
+		return
+	}
+	r.granted = false
+	r.seq = 0
+}
 
 // Stats counts bus traffic.
 type Stats struct {
@@ -126,14 +128,32 @@ func (s *Stats) TotalOps() uint64 {
 type Observer func(grant, occupancy uint64, op Op, class Class, proc int)
 
 // Bus is the contended resource.
+//
+// Pending requests live in per-class, per-processor queues rather than one
+// scanned slice: arbitration order is (class, round-robin distance from the
+// last winner, submission order), so the winner is found by walking the
+// processors of the highest non-empty class in round-robin order and taking
+// the first ready request — no full scan, no mid-slice splice. Each queue
+// holds one processor's same-class requests in submission (seq) order; the
+// queues are tiny (a processor has at most one outstanding demand fetch, a
+// prefetch-buffer-depth of prefetches, and a handful of writebacks), so the
+// occasional mid-queue removal is a short copy within one small slice.
 type Bus struct {
 	sched    Scheduler
 	nproc    int
 	freeAt   uint64
-	pending  []*Request
 	lastWin  int // processor that won the previous arbitration
 	observer Observer
 	seq      uint64
+
+	// queues[class][proc] holds that processor's pending requests of that
+	// class in submission order. classCount tracks entries per class so
+	// arbitration skips empty classes without touching their queues;
+	// npending is the total.
+	queues     [numClasses][]procQueue
+	classCount [numClasses]int
+	npending   int
+
 	// attemptAt is the earliest outstanding grant-attempt event, or noAttempt.
 	attemptAt uint64
 	// completionDone guards the cycle at which the in-service transaction
@@ -142,9 +162,22 @@ type Bus struct {
 	// results, and a grant issued then would snoop stale cache state. No
 	// grant may happen at freeAt until the completion callback has run.
 	completionDone bool
+	// inService is the granted transaction whose occupancy is running; its
+	// completion event is the single outstanding call of completeFn.
+	inService *Request
+
+	// attemptFn and completeFn are the bus's event callbacks bound once at
+	// construction, so scheduling them does not allocate a method-value
+	// closure per event.
+	attemptFn  func(uint64)
+	completeFn func(uint64)
 
 	stats Stats
 }
+
+// procQueue is one processor's pending requests of one class, in submission
+// order.
+type procQueue []*Request
 
 const noAttempt = ^uint64(0)
 
@@ -156,7 +189,13 @@ func New(sched Scheduler, nproc int) (*Bus, error) {
 	if nproc <= 0 {
 		return nil, fmt.Errorf("bus: processor count %d must be positive", nproc)
 	}
-	return &Bus{sched: sched, nproc: nproc, lastWin: nproc - 1, attemptAt: noAttempt, completionDone: true}, nil
+	b := &Bus{sched: sched, nproc: nproc, lastWin: nproc - 1, attemptAt: noAttempt, completionDone: true}
+	for c := range b.queues {
+		b.queues[c] = make([]procQueue, nproc)
+	}
+	b.attemptFn = b.attempt
+	b.completeFn = b.complete
+	return b, nil
 }
 
 // Stats returns the traffic counters accumulated so far.
@@ -166,7 +205,7 @@ func (b *Bus) Stats() Stats { return b.stats }
 func (b *Bus) SetObserver(fn Observer) { b.observer = fn }
 
 // Pending returns the number of requests awaiting a grant.
-func (b *Bus) Pending() int { return len(b.pending) }
+func (b *Bus) Pending() int { return b.npending }
 
 // FreeAt returns the time the bus next becomes free.
 func (b *Bus) FreeAt() uint64 { return b.freeAt }
@@ -192,17 +231,54 @@ func (b *Bus) Submit(now uint64, r *Request) error {
 	b.seq++
 	r.seq = b.seq
 	r.pending = true
-	b.pending = append(b.pending, r)
+	q := &b.queues[r.Class][r.Proc]
+	*q = append(*q, r)
+	b.classCount[r.Class]++
+	b.npending++
 	b.scheduleAttempt(now, max(r.Ready, b.freeAt))
 	return nil
+}
+
+// remove drops the request at index i of the given class/proc queue. The
+// queue is small (bounded by one processor's outstanding requests of one
+// class), so the copy is a few pointer moves; the vacated tail slot is
+// cleared so the queue does not pin the request for the GC.
+func (b *Bus) remove(class Class, proc, i int) {
+	q := b.queues[class][proc]
+	copy(q[i:], q[i+1:])
+	q[len(q)-1] = nil
+	b.queues[class][proc] = q[:len(q)-1]
+	b.classCount[class]--
+	b.npending--
 }
 
 // Promote raises a still-pending request to Demand class (a CPU is now
 // blocked on a previously speculative prefetch). It is a no-op once granted.
 func (b *Bus) Promote(r *Request) {
-	if r.pending {
-		r.Class = Demand
+	if !r.pending || r.Class == Demand {
+		return
 	}
+	q := b.queues[r.Class][r.Proc]
+	for i, p := range q {
+		if p == r {
+			b.remove(r.Class, r.Proc, i)
+			break
+		}
+	}
+	r.Class = Demand
+	// Re-queue in submission order: the promoted request keeps its original
+	// seq, so it slots in ahead of any demand request submitted after it.
+	dq := b.queues[Demand][r.Proc]
+	at := len(dq)
+	for at > 0 && dq[at-1].seq > r.seq {
+		at--
+	}
+	dq = append(dq, nil)
+	copy(dq[at+1:], dq[at:])
+	dq[at] = r
+	b.queues[Demand][r.Proc] = dq
+	b.classCount[Demand]++
+	b.npending++
 }
 
 // Cancel removes a still-pending request (unused by the core simulator but
@@ -212,9 +288,9 @@ func (b *Bus) Cancel(r *Request) bool {
 	if !r.pending {
 		return false
 	}
-	for i, p := range b.pending {
+	for i, p := range b.queues[r.Class][r.Proc] {
 		if p == r {
-			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			b.remove(r.Class, r.Proc, i)
 			r.pending = false
 			return true
 		}
@@ -230,7 +306,7 @@ func (b *Bus) scheduleAttempt(now, t uint64) {
 		return // an earlier or equal attempt is already outstanding
 	}
 	b.attemptAt = t
-	b.sched.At(t, b.attempt)
+	b.sched.At(t, b.attemptFn)
 }
 
 // attempt runs one arbitration round at time now.
@@ -243,13 +319,20 @@ func (b *Bus) attempt(now uint64) {
 		// installed its results yet; its completion will re-arm arbitration.
 		return
 	}
-	idx := b.pick(now)
-	if idx < 0 {
+	r, class, proc, idx := b.pick(now)
+	if r == nil {
 		// Nothing ready yet: re-arm at the earliest future Ready.
 		earliest := noAttempt
-		for _, r := range b.pending {
-			if r.Ready < earliest {
-				earliest = r.Ready
+		for c := range b.queues {
+			if b.classCount[c] == 0 {
+				continue
+			}
+			for _, q := range b.queues[c] {
+				for _, p := range q {
+					if p.Ready < earliest {
+						earliest = p.Ready
+					}
+				}
 			}
 		}
 		if earliest != noAttempt {
@@ -257,8 +340,7 @@ func (b *Bus) attempt(now uint64) {
 		}
 		return
 	}
-	r := b.pending[idx]
-	b.pending = append(b.pending[:idx], b.pending[idx+1:]...)
+	b.remove(class, proc, idx)
 	r.pending = false
 	r.granted = true
 	b.lastWin = r.Proc
@@ -279,51 +361,49 @@ func (b *Bus) attempt(now uint64) {
 	if r.OnGrant != nil {
 		r.OnGrant(now)
 	}
-	complete := b.freeAt
-	b.sched.At(complete, func(t uint64) {
-		b.completionDone = true
-		if r.OnComplete != nil {
-			r.OnComplete(t)
-		}
-		// The bus is free again; run the next arbitration round after the
-		// completion has installed its results (fills before snoops).
-		b.attempt(t)
-	})
+	b.inService = r
+	b.sched.At(b.freeAt, b.completeFn)
 }
 
-// pick selects the winning pending request at time now, or -1. Selection
+// complete ends the in-service transaction's occupancy: it runs the
+// transaction's OnComplete (fills install their line here, before any snoop
+// of the next grant can observe the cache), then runs the next arbitration
+// round. Exactly one completion event is outstanding per grant, so the
+// single inService field and the bound completeFn replace the per-grant
+// closure the old implementation allocated.
+func (b *Bus) complete(t uint64) {
+	r := b.inService
+	b.inService = nil
+	b.completionDone = true
+	if r.OnComplete != nil {
+		r.OnComplete(t)
+	}
+	b.attempt(t)
+}
+
+// pick selects the winning pending request at time now, or nil. Selection
 // order: highest class (Demand < Prefetch < Writeback numerically), then
-// round-robin distance from the last winner, then submission order.
-func (b *Bus) pick(now uint64) int {
-	best := -1
-	for i, r := range b.pending {
-		if r.Ready > now {
+// round-robin distance from the last winner, then submission order. With
+// per-class per-proc queues that order is positional: walk the processors of
+// the first non-empty class starting just past the last winner, and within a
+// processor's queue (kept in submission order) take the first ready entry.
+func (b *Bus) pick(now uint64) (*Request, Class, int, int) {
+	for c := Class(0); c < numClasses; c++ {
+		if b.classCount[c] == 0 {
 			continue
 		}
-		if best < 0 || b.better(r, b.pending[best]) {
-			best = i
+		qs := b.queues[c]
+		for k := 1; k <= b.nproc; k++ {
+			p := b.lastWin + k
+			if p >= b.nproc {
+				p -= b.nproc
+			}
+			for i, r := range qs[p] {
+				if r.Ready <= now {
+					return r, c, p, i
+				}
+			}
 		}
 	}
-	return best
-}
-
-func (b *Bus) better(a, c *Request) bool {
-	if a.Class != c.Class {
-		return a.Class < c.Class
-	}
-	da, dc := b.robinDist(a.Proc), b.robinDist(c.Proc)
-	if da != dc {
-		return da < dc
-	}
-	return a.seq < c.seq
-}
-
-// robinDist returns how far proc is past the last winner in cyclic order;
-// the last winner itself gets the largest distance.
-func (b *Bus) robinDist(proc int) int {
-	d := proc - b.lastWin
-	if d <= 0 {
-		d += b.nproc
-	}
-	return d
+	return nil, 0, 0, 0
 }

@@ -1,0 +1,182 @@
+package bus
+
+import "testing"
+
+// These tests pin the removal semantics of the pending-request structure.
+//
+// Audit (pre-queue-rewrite): the repository had two mid-slice removal sites
+// using the append(s[:i], s[i+1:]...) idiom inside a loop — Bus.Cancel here
+// and proc.dropBuffered in internal/sim. Both return immediately after the
+// splice, so the classic index-skip (the element shifted into position i is
+// never visited) could not fire. The hazard was latent, not live: any future
+// change that keeps iterating after the splice — a "cancel all prefetches"
+// sweep, a multi-match removal — would silently skip the successor of every
+// removed element. The tests below pin the observable contract (every
+// surviving request is granted exactly once, in arbitration order, whatever
+// was removed around it) so both the old scan-and-splice structure and the
+// indexed-queue rewrite are held to the same behaviour.
+
+// cancelAll removes every pending request matching pred, the shape of sweep
+// a future extension would write. It must be correct in the face of the
+// underlying container's removal semantics (this is where the index-skip
+// hazard would bite a slice-splice implementation that iterated by index).
+func cancelAll(b *Bus, reqs []*Request, pred func(*Request) bool) int {
+	n := 0
+	for _, r := range reqs {
+		if pred(r) && b.Cancel(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCancelAdjacentRequests cancels two adjacent same-proc requests in
+// submission order — the exact pattern that skips an element when a removal
+// loop keeps iterating after a splice — and verifies the survivors are all
+// granted exactly once.
+func TestCancelAdjacentRequests(t *testing.T) {
+	s := &testSched{}
+	b := mustNew(t, s, 2)
+	var grants []grantRecord
+	reqs := []*Request{
+		mkReq(0, 4, Prefetch, 0, &grants, "pf0"),
+		mkReq(0, 4, Prefetch, 0, &grants, "pf1"),
+		mkReq(0, 4, Prefetch, 0, &grants, "pf2"),
+		mkReq(0, 4, Prefetch, 0, &grants, "pf3"),
+	}
+	for _, r := range reqs {
+		if err := b.Submit(0, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cancel pf1 and pf2 — adjacent in the pending structure. A splice that
+	// kept iterating would skip pf2 after removing pf1.
+	if got := cancelAll(b, reqs[1:3], func(*Request) bool { return true }); got != 2 {
+		t.Fatalf("cancelled %d requests, want 2", got)
+	}
+	if got := b.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d after cancelling 2 of 4, want 2", got)
+	}
+	s.run()
+	if len(grants) != 2 || grants[0].name != "pf0" || grants[1].name != "pf3" {
+		t.Fatalf("grants = %v, want [pf0 pf3]", grants)
+	}
+}
+
+// TestCancelHeadSameProcSuccessorStillGranted cancels the head request of a
+// two-deep same-processor queue: the successor slides into the head slot and
+// must still win the next arbitration.
+func TestCancelHeadSameProcSuccessorStillGranted(t *testing.T) {
+	s := &testSched{}
+	b := mustNew(t, s, 2)
+	var grants []grantRecord
+	head := mkReq(0, 4, Demand, 0, &grants, "head")
+	succ := mkReq(0, 4, Demand, 0, &grants, "succ")
+	b.Submit(0, head)
+	b.Submit(0, succ)
+	if !b.Cancel(head) {
+		t.Fatal("Cancel(head) failed")
+	}
+	s.run()
+	if len(grants) != 1 || grants[0].name != "succ" || grants[0].grant != 0 {
+		t.Fatalf("grants = %v, want succ@0", grants)
+	}
+	if head.Granted() {
+		t.Error("cancelled request was granted")
+	}
+}
+
+// TestCancelFromGrantCallback cancels a pending prefetch from inside another
+// request's OnGrant — removal re-entering the bus mid-arbitration. The
+// cancelled request must never be granted and the remaining ones must be.
+func TestCancelFromGrantCallback(t *testing.T) {
+	s := &testSched{}
+	b := mustNew(t, s, 4)
+	var grants []grantRecord
+	victim := mkReq(0, 4, Prefetch, 2, &grants, "victim")
+	survivor := mkReq(0, 4, Prefetch, 3, &grants, "survivor")
+	killer := &Request{Ready: 0, Occupancy: 4, Class: Demand, Op: OpFill, Proc: 0}
+	killer.OnGrant = func(g uint64) {
+		grants = append(grants, grantRecord{"killer", g})
+		if !b.Cancel(victim) {
+			t.Error("Cancel(victim) from OnGrant failed")
+		}
+	}
+	b.Submit(0, killer)
+	b.Submit(0, victim)
+	b.Submit(0, survivor)
+	s.run()
+	want := []grantRecord{{"killer", 0}, {"survivor", 4}}
+	if len(grants) != len(want) {
+		t.Fatalf("grants = %v, want %v", grants, want)
+	}
+	for i := range want {
+		if grants[i] != want[i] {
+			t.Fatalf("grants = %v, want %v", grants, want)
+		}
+	}
+	if victim.Granted() {
+		t.Error("victim was granted after cancellation")
+	}
+}
+
+// TestCancelEveryPendingThenResubmit drains the whole pending structure by
+// cancellation and verifies a fresh submission still arms arbitration (the
+// bus must not be left waiting on a stale attempt for removed work).
+func TestCancelEveryPendingThenResubmit(t *testing.T) {
+	s := &testSched{}
+	b := mustNew(t, s, 2)
+	var grants []grantRecord
+	reqs := []*Request{
+		mkReq(10, 4, Prefetch, 0, &grants, "a"),
+		mkReq(10, 4, Prefetch, 1, &grants, "b"),
+		mkReq(10, 4, Writeback, 0, &grants, "c"),
+	}
+	for _, r := range reqs {
+		b.Submit(0, r)
+	}
+	if got := cancelAll(b, reqs, func(*Request) bool { return true }); got != 3 {
+		t.Fatalf("cancelled %d, want 3", got)
+	}
+	if got := b.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d, want 0", got)
+	}
+	fresh := mkReq(20, 4, Demand, 1, &grants, "fresh")
+	b.Submit(0, fresh)
+	s.run()
+	if len(grants) != 1 || grants[0].name != "fresh" || grants[0].grant != 20 {
+		t.Fatalf("grants = %v, want fresh@20", grants)
+	}
+}
+
+// TestCancelInterleavedWithGrants alternates grants and cancellations across
+// classes and processors and checks the exact surviving grant order against
+// the arbitration rule (class, then round-robin distance, then submission
+// order).
+func TestCancelInterleavedWithGrants(t *testing.T) {
+	s := &testSched{}
+	b := mustNew(t, s, 3)
+	var grants []grantRecord
+	d0 := mkReq(0, 4, Demand, 0, &grants, "d0")
+	d1 := mkReq(0, 4, Demand, 1, &grants, "d1")
+	p0 := mkReq(0, 4, Prefetch, 0, &grants, "p0")
+	p2 := mkReq(0, 4, Prefetch, 2, &grants, "p2")
+	w1 := mkReq(0, 4, Writeback, 1, &grants, "w1")
+	for _, r := range []*Request{d0, d1, p0, p2, w1} {
+		b.Submit(0, r)
+	}
+	// Cancel d1 (mid-structure, between d0 and the prefetches) and p0.
+	b.Cancel(d1)
+	b.Cancel(p0)
+	s.run()
+	// lastWin starts at nproc-1=2, so round-robin favors proc 0 first.
+	want := []grantRecord{{"d0", 0}, {"p2", 4}, {"w1", 8}}
+	if len(grants) != len(want) {
+		t.Fatalf("grants = %v, want %v", grants, want)
+	}
+	for i := range want {
+		if grants[i] != want[i] {
+			t.Fatalf("grants = %v, want %v", grants, want)
+		}
+	}
+}

@@ -1,19 +1,8 @@
-// Package cache implements the per-processor data cache simulated in the
-// paper: direct-mapped, copy-back, 32 KB with 32-byte lines. The same
-// structure doubles, with different geometry, as the offline uniprocessor
-// cache filter and as the 16-line fully-associative temporal-locality filter
-// used by the PWS prefetching strategy.
-//
-// The package stores cache state and per-line bookkeeping; the coherence
-// state machine itself lives in internal/coherence (one Protocol
-// implementation per protocol), and the protocol's bus side (who supplies
-// data, when invalidations are posted) in internal/sim, which sees all
-// caches at once. Snoop applies a protocol-supplied transition; the
-// SnoopInvalidate and SnoopRead conveniences bake in the write-invalidate
-// transitions shared by Illinois and MSI.
 package cache
 
 import (
+	"math/bits"
+
 	"busprefetch/internal/memory"
 	"busprefetch/internal/names"
 )
@@ -43,6 +32,10 @@ const (
 	// update-owner responsible for supplying data and the eventual
 	// writeback. Unreachable under the write-invalidate protocols.
 	SharedMod
+	// NumStates is the number of coherence states. Dense per-state transition
+	// tables (see SnoopTable and internal/sim's protocol tables) are indexed
+	// [NumStates]State.
+	NumStates
 )
 
 var stateNames = []string{"I", "S", "E", "M", "Sm"}
@@ -118,6 +111,14 @@ type Cache struct {
 	sets  int
 	lines []Line // sets*ways entries, set-major
 	clock uint64
+
+	// lineShift and setMask are the geometry's index arithmetic resolved
+	// once at construction (LineSize and Sets are validated powers of two).
+	// The per-reference lookup path must not re-derive them: Geometry's
+	// methods divide by non-constant field values, which the profiler showed
+	// dominating Lookup before these were cached.
+	lineShift uint
+	setMask   uint64
 }
 
 // New builds an empty cache with the given geometry. It panics on an invalid
@@ -128,9 +129,11 @@ func New(geom memory.Geometry) *Cache {
 		panic(err)
 	}
 	c := &Cache{
-		geom: geom,
-		ways: geom.Ways(),
-		sets: geom.Sets(),
+		geom:      geom,
+		ways:      geom.Ways(),
+		sets:      geom.Sets(),
+		lineShift: uint(bits.TrailingZeros64(uint64(geom.LineSize))),
+		setMask:   uint64(geom.Sets() - 1),
 	}
 	c.lines = make([]Line, c.sets*c.ways)
 	for i := range c.lines {
@@ -143,15 +146,16 @@ func New(geom memory.Geometry) *Cache {
 func (c *Cache) Geometry() memory.Geometry { return c.geom }
 
 func (c *Cache) set(a memory.Addr) []Line {
-	s := c.geom.SetIndex(a)
+	s := int((uint64(a) >> c.lineShift) & c.setMask)
 	return c.lines[s*c.ways : (s+1)*c.ways]
 }
 
 // Lookup returns the line whose tag matches a (valid or invalidated), or nil.
 // It does not update recency.
 func (c *Cache) Lookup(a memory.Addr) *Line {
-	tag := c.geom.LineNumber(a)
-	set := c.set(a)
+	tag := uint64(a) >> c.lineShift
+	si := int(tag&c.setMask) * c.ways
+	set := c.lines[si : si+c.ways]
 	for i := range set {
 		if set[i].tagValid && set[i].Tag == tag {
 			return &set[i]
@@ -244,6 +248,28 @@ func (c *Cache) Snoop(a memory.Addr, word int, next func(State) State) State {
 	}
 	prior := l.State
 	l.State = next(prior)
+	if l.State == Invalid {
+		if word >= 0 && word < 64 {
+			l.InvalidatingWord = int8(word)
+		} else {
+			l.InvalidatingWord = NoInvalidatingWord
+		}
+	}
+	return prior
+}
+
+// SnoopTable is Snoop with the transition supplied as a dense state table
+// instead of a function: next[s] is the post-snoop state of a copy held in
+// state s. It is the simulation kernel's hot snoop path — a table lookup
+// instead of an indirect call per resident copy — and is otherwise identical
+// to Snoop, including the invalidating-word bookkeeping.
+func (c *Cache) SnoopTable(a memory.Addr, word int, next *[NumStates]State) State {
+	l := c.Lookup(a)
+	if l == nil || !l.State.Valid() {
+		return Invalid
+	}
+	prior := l.State
+	l.State = next[prior]
 	if l.State == Invalid {
 		if word >= 0 && word < 64 {
 			l.InvalidatingWord = int8(word)

@@ -1,0 +1,14 @@
+// Package cache implements the per-processor data cache simulated in the
+// paper: direct-mapped, copy-back, 32 KB with 32-byte lines. The same
+// structure doubles, with different geometry, as the offline uniprocessor
+// cache filter and as the 16-line fully-associative temporal-locality filter
+// used by the PWS prefetching strategy.
+//
+// The package stores cache state and per-line bookkeeping; the coherence
+// state machine itself lives in internal/coherence (one Protocol
+// implementation per protocol), and the protocol's bus side (who supplies
+// data, when invalidations are posted) in internal/sim, which sees all
+// caches at once. Snoop applies a protocol-supplied transition; the
+// SnoopInvalidate and SnoopRead conveniences bake in the write-invalidate
+// transitions shared by Illinois and MSI.
+package cache

@@ -1,26 +1,3 @@
-// Package coherence is the simulator's pluggable coherence-protocol kernel.
-//
-// A Protocol owns the full per-line state machine the paper's Charlie
-// simulator hardwired: what a write hitting a valid line must do on the bus
-// (nothing, an address-only invalidation upgrade, or a word-update
-// broadcast), which state a completing fetch installs given whether remote
-// sharers were observed at the bus grant, how a resident copy reacts to each
-// snooped bus operation, and which cross-cache line states are legal (the
-// predicate internal/check enforces).
-//
-// internal/sim drives the machine — bus arbitration, snoop ordering, miss
-// classification — and consults the Protocol at every transition, so a new
-// protocol is one implementation of this interface instead of another
-// `if protocol ==` threaded through four packages. Three protocols ship:
-//
-//   - Illinois, the paper's write-invalidate protocol (Papamarcos & Patel),
-//     whose private-clean Exclusive state lets the first write to an
-//     unshared line proceed without a bus operation;
-//   - MSI, the ablation without the private-clean state, where every first
-//     write costs an invalidation;
-//   - Dragon, a write-update ablation: writes to shared lines broadcast
-//     word updates (bus.OpUpdate) instead of invalidating, eliminating
-//     invalidation misses at the price of sustained update traffic.
 package coherence
 
 import (

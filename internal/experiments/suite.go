@@ -1,16 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§4): workload characteristics (Table 1), miss rates under the
-// five prefetching strategies (Figure 1), bus utilizations (Table 2),
-// relative execution times across the memory-architecture sweep (Figure 2),
-// processor utilizations (§4.2), the CPU-miss component breakdown (Figure 3),
-// invalidation and false-sharing rates (Table 3), and the restructured-
-// program results (Tables 4 and 5).
-//
-// A Suite memoizes simulation results so experiments that share runs (for
-// example Figure 1, Table 2 and Figure 2 all need the strategy x transfer
-// grid) simulate each configuration once. Runs are independent and execute
-// in parallel across CPUs; results are deterministic regardless of
-// parallelism.
 package experiments
 
 import (

@@ -1,0 +1,17 @@
+// Package filter implements the offline cache filters the paper's prefetch
+// insertion uses.
+//
+// The baseline ("oracle") prefetcher identifies candidates by running each
+// processor's address stream through a uniprocessor cache filter of the same
+// geometry as the simulated cache and marking the data misses (paper §3.1).
+// Because the filter sees only one processor's stream, it predicts
+// non-sharing misses — first uses, capacity and conflict misses — perfectly,
+// and invalidation misses not at all, which is exactly the oracle the paper
+// studies.
+//
+// The PWS strategy additionally runs the write-shared references through a
+// small (16-line) fully-associative filter as "a first-order approximation of
+// temporal locality": the longer a shared line has not been touched, the more
+// likely it has been invalidated, so accesses that miss in the small filter
+// become extra prefetch candidates (paper §4.1).
+package filter

@@ -1,0 +1,11 @@
+// Package memory provides address arithmetic and address-space layout for the
+// simulated machine.
+//
+// The simulator and the offline prefetch tools all reason about 32-byte cache
+// lines and 4-byte words, mirroring the configuration studied by Tullsen and
+// Eggers (32 KB direct-mapped caches, 32-byte blocks, on a 32-bit Sequent
+// Symmetry). The geometry is configurable, but every address consumer in this
+// repository shares the definitions in this package so the trace generators,
+// cache filter and multiprocessor simulator can never disagree about which
+// word falls in which line.
+package memory

@@ -1,0 +1,28 @@
+// Package obs is the simulator's observability layer: a per-run event
+// recorder that turns the end-of-run aggregates of internal/sim and
+// internal/bus into inspectable timelines and distributions.
+//
+// Three kinds of signal are captured:
+//
+//   - Per-processor phase intervals — compute time and each wait cause
+//     (memory, lock, barrier, prefetch-buffer slot) — as spans.
+//   - Bus occupancy intervals, tagged with the operation (fill, invalidate,
+//     writeback, update), arbitration class, and requesting processor.
+//   - Full prefetch lifetimes: issue → bus grant → fill → first demand use,
+//     or the early ends (demand merged with the fetch still in flight,
+//     eviction before use, remote invalidation before use, never used).
+//     The classes map onto the coverage / accuracy / timeliness taxonomy of
+//     the prefetching-survey literature and the paper's §4 discussion of
+//     prefetch fates.
+//
+// A nil *Recorder is the disabled state: every method is nil-safe, call
+// sites in the simulator additionally guard with a nil check, and a disabled
+// run performs zero observability allocations (guarded by a benchmark and an
+// allocation test). Recording never changes simulated behaviour — the
+// recorder only observes times the simulator already computed — so enabling
+// it cannot change a single reported number.
+//
+// Latency distributions use fixed bucket edges (LatencyBuckets, SlackBuckets)
+// so serialized summaries are deterministic across runs, worker counts, and
+// platforms.
+package obs

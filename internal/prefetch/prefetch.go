@@ -1,18 +1,3 @@
-// Package prefetch implements the paper's offline prefetch insertion: the
-// "ideal for current compiler-directed prefetching technology", an oracle
-// that perfectly predicts non-sharing misses and places a prefetch
-// instruction a fixed number of estimated CPU cycles ahead of each predicted
-// miss (paper §3.1).
-//
-// The five disciplines of §4.1 are reproduced exactly:
-//
-//	NP    no prefetching (the annotation is the identity).
-//	PREF  prefetch every access the uniprocessor cache filter predicts to
-//	      miss, 100 cycles ahead, in shared mode.
-//	EXCL  as PREF, but predicted write misses prefetch in exclusive mode.
-//	LPD   as PREF with a 400-cycle prefetch distance.
-//	PWS   as PREF, plus redundant prefetches of write-shared lines chosen
-//	      by a 16-line associative temporal-locality filter.
 package prefetch
 
 import (

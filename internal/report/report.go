@@ -1,5 +1,3 @@
-// Package report renders experiment results as fixed-width text tables and
-// simple ASCII charts, the formats cmd/mkfigures and the examples print.
 package report
 
 import (

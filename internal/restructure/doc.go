@@ -1,0 +1,12 @@
+// Package restructure implements the shared-data layout transformations the
+// paper applies to Topopt and Pverify (§4.4, Tables 4 and 5), following
+// Jeremiassen & Eggers' restructuring algorithm: false sharing is removed by
+// (a) padding records so independently-written records never share a cache
+// line, and (b) grouping data by the processor that writes it so each
+// processor's data occupies its own lines.
+//
+// Workload generators describe their arrays through Mapper so the same
+// kernel can run with the original (false-sharing-prone) layout or the
+// restructured one; the choice is the only difference between the paper's
+// "before" and "after" programs.
+package restructure

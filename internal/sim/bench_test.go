@@ -1,0 +1,79 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"busprefetch/internal/prefetch"
+	"busprefetch/internal/sim"
+	"busprefetch/internal/trace"
+	"busprefetch/internal/workload"
+)
+
+// BenchmarkFullCell is the kernel's headline microbenchmark: one full
+// experiment cell (mp3d, PREF annotation, 8-cycle transfer) simulated end to
+// end, the unit of work every table and figure of the paper is assembled
+// from. The perf CI job gates on this benchmark regressing more than 10%
+// against bench/baseline.txt, and PERFORMANCE.md records its trajectory.
+//
+// The benchmark body is benchCell, a plain function; TestFullCellBodyMatchesSim
+// asserts in normal `go test` mode that it returns a Result byte-identical to
+// the non-benchmark path, so the benchmarked cell can never drift from the
+// simulated semantics.
+
+// benchCellTrace generates the benchmark cell's annotated trace: the mp3d
+// workload at scale 0.2, seed 1, annotated with the PREF discipline.
+func benchCellTrace(tb testing.TB) (*trace.Trace, sim.Config) {
+	tb.Helper()
+	w, err := workload.ByName("mp3d")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	base, _, err := w.Generate(workload.Params{Scale: 0.2, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.TransferCycles = 8
+	tr, err := prefetch.Annotate(base, prefetch.Options{Strategy: prefetch.PREF, Geometry: cfg.Geometry})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr, cfg
+}
+
+func BenchmarkFullCell(b *testing.B) {
+	tr, cfg := benchCellTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cycles == 0 {
+			b.Fatal("empty simulation")
+		}
+	}
+	b.ReportMetric(float64(tr.Events()*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// TestFullCellBodyMatchesSim runs the benchmark body once under normal `go
+// test` and asserts its Result is identical to the non-benchmark path — a
+// fresh sim.Run on an independently generated trace of the same cell. Any
+// drift between what BenchmarkFullCell times and what the experiment suite
+// simulates fails here, not in a timing report.
+func TestFullCellBodyMatchesSim(t *testing.T) {
+	tr, cfg := benchCellTrace(t)
+	bench, err := sim.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, cfg2 := benchCellTrace(t)
+	direct, err := sim.Run(cfg2, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bench, direct) {
+		t.Errorf("benchmark-path Result differs from non-benchmark path:\nbench:  %+v\ndirect: %+v", bench, direct)
+	}
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // event is a scheduled callback on the simulation's time line.
 type event struct {
 	t   uint64
@@ -9,29 +7,16 @@ type event struct {
 	fn  func(now uint64)
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // engine is a deterministic discrete-event scheduler. Same-time events run in
 // scheduling order, which makes whole simulations reproducible bit for bit.
+//
+// The queue is a hand-rolled binary min-heap over a typed slice rather than
+// container/heap: the standard library's interface{}-based API boxes every
+// pushed event into a heap allocation, and the push/pop pair runs once per
+// simulated bus transaction and processor resumption — the kernel's hottest
+// allocation site before the heap was typed.
 type engine struct {
-	h   eventHeap
+	h   []event
 	now uint64
 	seq uint64
 }
@@ -42,7 +27,59 @@ func (e *engine) At(t uint64, fn func(now uint64)) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.h, event{t: t, seq: e.seq, fn: fn})
+	e.h = append(e.h, event{t: t, seq: e.seq, fn: fn})
+	e.up(len(e.h) - 1)
+}
+
+func (e *engine) less(i, j int) bool {
+	if e.h[i].t != e.h[j].t {
+		return e.h[i].t < e.h[j].t
+	}
+	return e.h[i].seq < e.h[j].seq
+}
+
+func (e *engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.h[i], e.h[parent] = e.h[parent], e.h[i]
+		i = parent
+	}
+}
+
+func (e *engine) down(i int) {
+	n := len(e.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		next := l
+		if r := l + 1; r < n && e.less(r, l) {
+			next = r
+		}
+		if !e.less(next, i) {
+			break
+		}
+		e.h[i], e.h[next] = e.h[next], e.h[i]
+		i = next
+	}
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so the heap does not pin the popped closure for the GC.
+func (e *engine) pop() event {
+	top := e.h[0]
+	n := len(e.h) - 1
+	e.h[0] = e.h[n]
+	e.h[n] = event{}
+	e.h = e.h[:n]
+	if n > 0 {
+		e.down(0)
+	}
+	return top
 }
 
 // run drains the event queue. When watch is non-nil it runs before every
@@ -50,8 +87,8 @@ func (e *engine) At(t uint64, fn func(now uint64)) {
 // remaining events are discarded — and is returned. The simulator uses this
 // hook for its progress watchdog and for first-error abort.
 func (e *engine) run(watch func(now uint64) error) error {
-	for e.h.Len() > 0 {
-		ev := heap.Pop(&e.h).(event)
+	for len(e.h) > 0 {
+		ev := e.pop()
 		e.now = ev.t
 		if watch != nil {
 			if err := watch(ev.t); err != nil {

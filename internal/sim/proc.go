@@ -17,18 +17,36 @@ import (
 // comfortably inside the 100-cycle memory latency.
 const yieldQuantum = 64
 
-// inflight is an outstanding fetch (demand or prefetch) for one line.
+// inflight is an outstanding fetch (demand or prefetch) for one line. The
+// bus request is embedded, and completed inflights return to a per-processor
+// free list (with their OnGrant/OnComplete closures bound once, at first
+// allocation), so the per-fetch hot path allocates nothing after the pool
+// warms up — a processor's outstanding fetches are bounded by the prefetch
+// buffer depth plus one blocked demand fetch.
 type inflight struct {
 	la         memory.Addr
+	word       int
 	excl       bool
 	isPrefetch bool
-	req        *bus.Request
+	req        bus.Request
 	// cpuWaiting is true when the CPU is blocked on this fetch: always for
 	// demand fetches, and for prefetches a demand access has merged into.
 	cpuWaiting bool
 	// sharers records, at the bus grant (the coherence point), whether any
 	// other cache held the line; it picks Shared vs Exclusive on fill.
 	sharers bool
+}
+
+// writeOp is the bus operation a blocked write owes (invalidation upgrade or
+// word-update broadcast). The CPU blocks until it completes, so one reusable
+// struct per processor — its request callbacks bound at construction —
+// serves every write op without allocating.
+type writeOp struct {
+	la     memory.Addr
+	word   int
+	action coherence.WriteAction
+	failed bool
+	req    bus.Request
 }
 
 // buffered is one line in the non-snooping prefetch buffer. sharers records
@@ -52,9 +70,21 @@ type proc struct {
 	clock  uint64
 	stats  ProcStats
 
-	inflight            map[memory.Addr]*inflight
+	// inflight holds the outstanding fetches (at most the prefetch buffer
+	// depth plus one blocked demand fetch — a dozen and change), so lookup
+	// by line address is a short linear scan, cheaper and allocation-free
+	// compared to the map it replaces. inflightFree pools completed entries
+	// for reuse; wop is the single reusable write-op; wbFree pools
+	// writeback requests, each returning itself on completion.
+	inflight            []*inflight
+	inflightFree        []*inflight
+	wop                 writeOp
+	wbFree              []*bus.Request
 	outstandingPrefetch int
 	waitingForSlot      bool
+	// runFn is the run method bound once, so scheduling a continuation does
+	// not allocate a method value per event.
+	runFn func(uint64)
 	// victim is the optional fully-associative victim cache.
 	victim *cache.Cache
 	// streamBuf is the FIFO prefetch buffer of PrefetchToBuffer mode, in
@@ -92,13 +122,15 @@ type proc struct {
 
 func newProc(s *simulator, id int, stream trace.Stream) *proc {
 	p := &proc{
-		s:        s,
-		id:       id,
-		stream:   stream,
-		cache:    cache.New(s.cfg.Geometry),
-		inflight: make(map[memory.Addr]*inflight),
-		wasted:   make(map[memory.Addr]bool),
+		s:      s,
+		id:     id,
+		stream: stream,
+		cache:  cache.New(s.cfg.Geometry),
+		wasted: make(map[memory.Addr]bool),
 	}
+	p.runFn = p.run
+	p.wop.req.OnGrant = func(g uint64) { p.grantWriteOp(g) }
+	p.wop.req.OnComplete = func(t uint64) { p.completeWriteOp(t) }
 	if n := s.cfg.VictimCacheLines; n > 0 {
 		p.victim = cache.New(memory.Geometry{
 			CacheSize: n * s.cfg.Geometry.LineSize,
@@ -107,6 +139,47 @@ func newProc(s *simulator, id int, stream trace.Stream) *proc {
 		})
 	}
 	return p
+}
+
+// findInflight returns the outstanding fetch for line la, or nil.
+func (p *proc) findInflight(la memory.Addr) *inflight {
+	for _, inf := range p.inflight {
+		if inf.la == la {
+			return inf
+		}
+	}
+	return nil
+}
+
+// newInflight takes an entry from the free list or allocates one, binding
+// its bus-request callbacks exactly once per allocation.
+func (p *proc) newInflight() *inflight {
+	if n := len(p.inflightFree); n > 0 {
+		inf := p.inflightFree[n-1]
+		p.inflightFree[n-1] = nil
+		p.inflightFree = p.inflightFree[:n-1]
+		return inf
+	}
+	inf := &inflight{}
+	inf.req.OnGrant = func(g uint64) { p.grantFetch(inf, g) }
+	inf.req.OnComplete = func(t uint64) { p.completeFetch(inf, t) }
+	return inf
+}
+
+// releaseInflight removes inf from the outstanding list and returns it to
+// the free list. The caller must be done reading its fields: the next
+// startFetch may reuse the struct immediately.
+func (p *proc) releaseInflight(inf *inflight) {
+	for i, o := range p.inflight {
+		if o == inf {
+			last := len(p.inflight) - 1
+			copy(p.inflight[i:], p.inflight[i+1:])
+			p.inflight[last] = nil
+			p.inflight = p.inflight[:last]
+			break
+		}
+	}
+	p.inflightFree = append(p.inflightFree, inf)
 }
 
 // dropBuffered removes la from the non-snooping prefetch buffer; a remote
@@ -163,7 +236,7 @@ func (p *proc) run(now uint64) {
 			// global clock; yield before touching memory so remote coherence
 			// actions scheduled in the meantime are visible to this access.
 			if p.clock >= entry+yieldQuantum {
-				p.s.eng.At(p.clock, p.run)
+				p.s.eng.At(p.clock, p.runFn)
 				return
 			}
 		}
@@ -191,7 +264,7 @@ func (p *proc) run(now uint64) {
 		p.s.progress++
 		p.gapDone, p.refCounted, p.missCounted, p.atBarrier = false, false, false, false
 		if p.clock >= entry+yieldQuantum {
-			p.s.eng.At(p.clock, p.run)
+			p.s.eng.At(p.clock, p.runFn)
 			return
 		}
 	}
@@ -213,7 +286,7 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 		}
 	}
 	la := p.s.geom.LineAddr(a)
-	if inf := p.inflight[la]; inf != nil {
+	if inf := p.findInflight(la); inf != nil {
 		// A prefetch for this line is still in flight: merge with it and
 		// stall until it completes. The transaction keeps its prefetch
 		// arbitration class — the paper's round-robin arbiter prioritizes
@@ -244,7 +317,7 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 			// The protocol decides what the write owes the bus: nothing
 			// (ownership held), an invalidation upgrade, or a word-update
 			// broadcast.
-			if act, _ := p.s.proto.WriteHit(line.State); act != coherence.WriteSilent {
+			if act := p.s.tab.writeAct[line.State]; act != coherence.WriteSilent {
 				p.startWriteOp(a, la, act)
 				return true
 			}
@@ -281,7 +354,7 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 		nl, ev := p.cache.Allocate(la)
 		// The install state is whatever the protocol gives the original
 		// (read) prefetch fill, given the sharers observed at its grant.
-		nl.State = p.s.proto.FillState(coherence.Fill{IsPrefetch: true, Sharers: entry.sharers})
+		nl.State = p.s.tab.fill[fillIndex(false, true, entry.sharers)]
 		p.handleEviction(ev, p.clock)
 		p.s.c.StreamBufferHits++
 		p.clock++ // the move penalty
@@ -290,7 +363,7 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 		if isWrite {
 			// A non-exclusive install still owes the write its bus
 			// operation (invalidation or update).
-			if act, _ := p.s.proto.WriteHit(nl.State); act != coherence.WriteSilent {
+			if act := p.s.tab.writeAct[nl.State]; act != coherence.WriteSilent {
 				p.startWriteOp(a, la, act)
 				return true
 			}
@@ -317,8 +390,8 @@ func (p *proc) finishHit(line *cache.Line, a memory.Addr, isWrite bool) {
 		}
 	}
 	if isWrite {
-		if act, next := p.s.proto.WriteHit(line.State); act == coherence.WriteSilent {
-			line.State = next
+		if tab := &p.s.tab; tab.writeAct[line.State] == coherence.WriteSilent {
+			line.State = tab.writeNext[line.State]
 		}
 	}
 }
@@ -360,29 +433,18 @@ func (p *proc) classifyMiss(line *cache.Line, la memory.Addr) {
 // phase (address + memory lookup) takes MemLatency-TransferCycles cycles;
 // the contended data transfer then occupies the bus for TransferCycles.
 func (p *proc) startFetch(la memory.Addr, excl bool, word int, isPrefetch bool, class bus.Class) {
-	inf := &inflight{la: la, excl: excl, isPrefetch: isPrefetch, cpuWaiting: !isPrefetch}
-	req := &bus.Request{
-		Ready:     p.clock + p.s.uncont,
-		Occupancy: uint64(p.s.cfg.TransferCycles),
-		Class:     class,
-		Op:        bus.OpFill,
-		Proc:      p.id,
-		OnGrant: func(g uint64) {
-			// The grant is the serialization point: resident states must
-			// already be legal here, before snooping repairs remote copies
-			// and could mask a corrupted state.
-			if p.s.cfg.CheckInvariants {
-				p.s.checkLine(g, la)
-			}
-			if r := p.s.rec; r != nil && isPrefetch {
-				r.PrefetchGranted(p.id, uint64(la), g)
-			}
-			inf.sharers = p.s.snoopFetch(g, p.id, la, excl, word)
-		},
-		OnComplete: func(t uint64) { p.completeFetch(inf, t) },
-	}
-	inf.req = req
-	p.inflight[la] = inf
+	inf := p.newInflight()
+	inf.la, inf.word = la, word
+	inf.excl, inf.isPrefetch = excl, isPrefetch
+	inf.cpuWaiting = !isPrefetch
+	inf.sharers = false
+	inf.req.Reset()
+	inf.req.Ready = p.clock + p.s.uncont
+	inf.req.Occupancy = uint64(p.s.cfg.TransferCycles)
+	inf.req.Class = class
+	inf.req.Op = bus.OpFill
+	inf.req.Proc = p.id
+	p.inflight = append(p.inflight, inf)
 	if isPrefetch {
 		p.s.c.PrefetchFetches++
 		p.outstandingPrefetch++
@@ -390,16 +452,35 @@ func (p *proc) startFetch(la memory.Addr, excl bool, word int, isPrefetch bool, 
 			r.PrefetchIssued(p.id, uint64(la), p.clock)
 		}
 	}
-	if err := p.s.bus.Submit(p.clock, req); err != nil {
+	if err := p.s.bus.Submit(p.clock, &inf.req); err != nil {
 		p.s.fail(err)
 	}
+}
+
+// grantFetch performs a fetch's coherence actions at its bus grant.
+func (p *proc) grantFetch(inf *inflight, g uint64) {
+	// The grant is the serialization point: resident states must already be
+	// legal here, before snooping repairs remote copies and could mask a
+	// corrupted state.
+	if p.s.cfg.CheckInvariants {
+		p.s.checkLine(g, inf.la)
+	}
+	if r := p.s.rec; r != nil && inf.isPrefetch {
+		r.PrefetchGranted(p.id, uint64(inf.la), g)
+	}
+	inf.sharers = p.s.snoopFetch(g, p.id, inf.la, inf.excl, inf.word)
 }
 
 // completeFetch installs a fetched line and resumes whoever was waiting.
 func (p *proc) completeFetch(inf *inflight, t uint64) {
 	p.s.progress++
-	delete(p.inflight, inf.la)
-	if inf.isPrefetch && !inf.cpuWaiting && p.s.cfg.PrefetchTarget == PrefetchToBuffer {
+	// Copy what the rest of the completion needs, then recycle the entry:
+	// resuming the CPU below may start the next fetch, which is free to
+	// reuse this struct.
+	la, excl, isPrefetch := inf.la, inf.excl, inf.isPrefetch
+	cpuWaiting, sharers := inf.cpuWaiting, inf.sharers
+	p.releaseInflight(inf)
+	if isPrefetch && !cpuWaiting && p.s.cfg.PrefetchTarget == PrefetchToBuffer {
 		// Buffer-mode prefetch: the line lands in the FIFO prefetch buffer,
 		// not the cache. The buffer never holds coherence state; remote
 		// writes drop entries.
@@ -409,16 +490,16 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 			cap = 16
 		}
 		if r := p.s.rec; r != nil {
-			r.PrefetchFilled(p.id, uint64(inf.la), t)
+			r.PrefetchFilled(p.id, uint64(la), t)
 		}
-		if p.bufferIndex(inf.la) < 0 {
+		if p.bufferIndex(la) < 0 {
 			if len(p.streamBuf) >= cap {
 				if r := p.s.rec; r != nil {
 					r.PrefetchEvicted(p.id, uint64(p.streamBuf[0].la), t)
 				}
 				p.streamBuf = p.streamBuf[1:] // FIFO eviction
 			}
-			p.streamBuf = append(p.streamBuf, buffered{la: inf.la, sharers: inf.sharers})
+			p.streamBuf = append(p.streamBuf, buffered{la: la, sharers: sharers})
 		}
 		if p.waitingForSlot {
 			p.waitingForSlot = false
@@ -430,21 +511,17 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 		}
 		return
 	}
-	line, ev := p.cache.Allocate(inf.la)
+	line, ev := p.cache.Allocate(la)
 	p.handleEviction(ev, t)
 	// The protocol picks the install state from what the fetch was (demand
 	// or prefetch, read or read-for-ownership) and whether any other cache
 	// held the line at the bus grant.
-	line.State = p.s.proto.FillState(coherence.Fill{
-		Excl:       inf.excl,
-		IsPrefetch: inf.isPrefetch,
-		Sharers:    inf.sharers,
-	})
-	if inf.isPrefetch {
+	line.State = p.s.tab.fill[fillIndex(excl, isPrefetch, sharers)]
+	if isPrefetch {
 		line.PrefetchedUnused = true
 		p.outstandingPrefetch--
 		if r := p.s.rec; r != nil {
-			r.PrefetchFilled(p.id, uint64(inf.la), t)
+			r.PrefetchFilled(p.id, uint64(la), t)
 		}
 	}
 	// Fault injection: force the configured state onto the configured line
@@ -452,13 +529,13 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 	// the pre-snoop check at the next grant touching the line) must catch it.
 	fill := p.fills
 	p.fills++
-	for _, f := range p.s.cfg.Faults.FlipsAfterFill(p.id, fill, inf.la) {
+	for _, f := range p.s.cfg.Faults.FlipsAfterFill(p.id, fill, la) {
 		if l := p.cache.Lookup(p.s.geom.LineAddr(f.Addr)); l != nil {
 			l.State = f.To
 		}
 	}
 	if p.s.cfg.CheckInvariants {
-		p.s.checkLine(t, inf.la)
+		p.s.checkLine(t, la)
 		n := 0
 		for _, o := range p.inflight {
 			if o.isPrefetch {
@@ -470,13 +547,13 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 		}
 	}
 	switch {
-	case inf.cpuWaiting:
+	case cpuWaiting:
 		p.stats.MemWait += t - p.waitStart
 		if r := p.s.rec; r != nil {
 			r.Wait(p.id, obs.PhaseMemWait, p.waitStart, t)
 		}
 		p.run(t)
-	case inf.isPrefetch && p.waitingForSlot:
+	case isPrefetch && p.waitingForSlot:
 		p.waitingForSlot = false
 		p.stats.BufferWait += t - p.waitStart
 		if r := p.s.rec; r != nil {
@@ -515,16 +592,27 @@ func (p *proc) handleEviction(ev cache.Eviction, t uint64) {
 	}
 }
 
-// writeback posts a dirty-line writeback bus operation.
+// writeback posts a dirty-line writeback bus operation. Requests come from
+// a per-processor pool; each returns itself to the pool on completion, so a
+// steady state of writebacks allocates nothing.
 func (p *proc) writeback(t uint64) {
-	err := p.s.bus.Submit(t, &bus.Request{
-		Ready:     t,
-		Occupancy: uint64(p.s.cfg.TransferCycles),
-		Class:     bus.Writeback,
-		Op:        bus.OpWriteback,
-		Proc:      p.id,
-	})
-	if err != nil {
+	var req *bus.Request
+	if n := len(p.wbFree); n > 0 {
+		req = p.wbFree[n-1]
+		p.wbFree[n-1] = nil
+		p.wbFree = p.wbFree[:n-1]
+		req.Reset()
+	} else {
+		r := &bus.Request{}
+		r.OnComplete = func(uint64) { p.wbFree = append(p.wbFree, r) }
+		req = r
+	}
+	req.Ready = t
+	req.Occupancy = uint64(p.s.cfg.TransferCycles)
+	req.Class = bus.Writeback
+	req.Op = bus.OpWriteback
+	req.Proc = p.id
+	if err := p.s.bus.Submit(t, req); err != nil {
 		p.s.fail(err)
 	}
 }
@@ -536,55 +624,67 @@ func (p *proc) writeback(t uint64) {
 // to a miss on resume (write-invalidate protocols only — an update protocol
 // never invalidates, so the line is still valid at the grant).
 func (p *proc) startWriteOp(a, la memory.Addr, action coherence.WriteAction) {
-	word := p.s.geom.WordIndex(a)
-	op, occupancy := bus.OpInvalidate, uint64(p.s.cfg.InvalidateCycles)
+	w := &p.wop
+	w.la = la
+	w.word = p.s.geom.WordIndex(a)
+	w.action = action
+	w.failed = false
+	w.req.Reset()
+	w.req.Ready = p.clock
+	w.req.Occupancy = uint64(p.s.cfg.InvalidateCycles)
+	w.req.Op = bus.OpInvalidate
 	if action == coherence.WriteUpdate {
-		op, occupancy = bus.OpUpdate, p.s.updCycles
+		w.req.Op, w.req.Occupancy = bus.OpUpdate, p.s.updCycles
 	}
-	var failed bool
-	req := &bus.Request{
-		Ready:     p.clock,
-		Occupancy: occupancy,
-		Class:     bus.Demand,
-		Op:        op,
-		Proc:      p.id,
-		OnGrant: func(g uint64) {
-			if p.s.cfg.CheckInvariants {
-				p.s.checkLine(g, la) // pre-snoop: resident states must be legal
-			}
-			l := p.cache.Lookup(la)
-			if l == nil || !l.State.Valid() {
-				failed = true
-				return
-			}
-			var sharers bool
-			if action == coherence.WriteUpdate {
-				sharers = p.s.snoopUpdate(g, p.id, la)
-				p.s.c.UpdatesSent++
-			} else {
-				p.s.snoopInvalidate(g, p.id, la, word)
-			}
-			l.State = p.s.proto.WriterState(action, sharers)
-			if p.s.cfg.CheckInvariants {
-				p.s.checkLine(g, la)
-			}
-		},
-		OnComplete: func(t uint64) {
-			p.stats.MemWait += t - p.waitStart
-			if r := p.s.rec; r != nil {
-				r.Wait(p.id, obs.PhaseMemWait, p.waitStart, t)
-			}
-			if failed {
-				p.s.c.UpgradeRetries++
-			}
-			p.writeOpDone = !failed
-			p.run(t)
-		},
-	}
+	w.req.Class = bus.Demand
+	w.req.Proc = p.id
 	p.waitStart = p.clock
-	if err := p.s.bus.Submit(p.clock, req); err != nil {
+	if err := p.s.bus.Submit(p.clock, &w.req); err != nil {
 		p.s.fail(err)
 	}
+}
+
+// grantWriteOp performs the blocked write's coherence actions at the grant
+// of its broadcast (see startWriteOp).
+func (p *proc) grantWriteOp(g uint64) {
+	w := &p.wop
+	if p.s.cfg.CheckInvariants {
+		p.s.checkLine(g, w.la) // pre-snoop: resident states must be legal
+	}
+	l := p.cache.Lookup(w.la)
+	if l == nil || !l.State.Valid() {
+		w.failed = true
+		return
+	}
+	var sharers bool
+	if w.action == coherence.WriteUpdate {
+		sharers = p.s.snoopUpdate(g, p.id, w.la)
+		p.s.c.UpdatesSent++
+	} else {
+		p.s.snoopInvalidate(g, p.id, w.la, w.word)
+	}
+	if sharers {
+		l.State = p.s.tab.writer[w.action][1]
+	} else {
+		l.State = p.s.tab.writer[w.action][0]
+	}
+	if p.s.cfg.CheckInvariants {
+		p.s.checkLine(g, w.la)
+	}
+}
+
+// completeWriteOp resumes the blocked write once its broadcast's occupancy
+// ends.
+func (p *proc) completeWriteOp(t uint64) {
+	p.stats.MemWait += t - p.waitStart
+	if r := p.s.rec; r != nil {
+		r.Wait(p.id, obs.PhaseMemWait, p.waitStart, t)
+	}
+	if p.wop.failed {
+		p.s.c.UpgradeRetries++
+	}
+	p.writeOpDone = !p.wop.failed
+	p.run(t)
 }
 
 // prefetchOp executes a prefetch instruction. Prefetches are non-blocking
@@ -597,7 +697,7 @@ func (p *proc) prefetchOp(a memory.Addr, excl bool) (blocked bool) {
 		p.stats.BusyCycles++
 	}
 	la := p.s.geom.LineAddr(a)
-	if p.inflight[la] != nil {
+	if p.findInflight(la) != nil {
 		p.s.c.PrefetchMerged++
 		return false
 	}
@@ -630,11 +730,7 @@ func (p *proc) prefetchOp(a memory.Addr, excl bool) (blocked bool) {
 // lockOp acquires the FCFS lock at a, performing the acquire's exclusive
 // read-modify-write access to the lock's cache line.
 func (p *proc) lockOp(a memory.Addr) (blocked bool) {
-	ls := p.s.locks[a]
-	if ls == nil {
-		ls = &lockState{holder: -1}
-		p.s.locks[a] = ls
-	}
+	ls := &p.s.locks[p.s.lockIdx[a]]
 	switch ls.holder {
 	case p.id:
 		// Granted while waiting (or re-entry after the access blocked).

@@ -1,28 +1,3 @@
-// Package sim is this repository's analogue of Charlie, the multiprocessor
-// cache simulator used in the paper (§3.3). It replays a multiprocessor
-// address trace through per-processor snooping caches connected by the
-// contended memory resource of internal/bus, while enforcing a legal
-// interleaving of lock and barrier synchronization. The coherence state
-// machine itself — fill states, write-hit actions, snoop responses, legality
-// — is supplied by a pluggable internal/coherence.Protocol (Illinois by
-// default; MSI and Dragon write-update as ablations).
-//
-// Modeled behaviour, following the paper:
-//
-//   - CPUs execute one cycle per instruction plus one cycle per data access
-//     that hits; demand misses block the CPU (blocking loads).
-//   - Caches are lockup-free for prefetches: a 16-deep prefetch issue buffer
-//     lets the CPU continue past outstanding prefetches, stalling only when
-//     the buffer is full.
-//   - The 100-cycle memory latency splits into an uncontended portion and a
-//     contended data-transfer portion of 4-32 cycles; bus arbitration is
-//     round-robin and favors blocking loads over prefetches.
-//   - A demand access to a line whose prefetch is still in flight merges with
-//     it and stalls for the residual latency (a prefetch-in-progress miss).
-//   - Every CPU miss is classified for the paper's Figure 3 taxonomy:
-//     {non-sharing, invalidation} x {prefetched, not prefetched} plus
-//     prefetch-in-progress, with invalidation misses further tested for
-//     false sharing.
 package sim
 
 import (
@@ -469,22 +444,87 @@ func Run(cfg Config, t *trace.Trace) (*Result, error) {
 	return s.run()
 }
 
+// protoTables is the active coherence protocol's state machine flattened
+// into dense per-state arrays at construction. Protocol implementations are
+// stateless and total over the cache.States, so every hot-path transition —
+// snoop responses applied per resident copy per bus grant, the write-hit
+// action consulted per demand write, fill-state selection per completing
+// fetch — becomes an array index instead of an interface call (and, for the
+// snoops, instead of a per-call method-value allocation).
+type protoTables struct {
+	snoopRead   [cache.NumStates]cache.State
+	snoopWrite  [cache.NumStates]cache.State
+	snoopUpdate [cache.NumStates]cache.State
+	// writeAct and writeNext tabulate WriteHit: the bus action a write
+	// hitting state st owes, and (for WriteSilent) the state it assumes.
+	writeAct  [cache.NumStates]coherence.WriteAction
+	writeNext [cache.NumStates]cache.State
+	// fill tabulates FillState over the three Fill booleans; index with
+	// fillIndex.
+	fill [8]cache.State
+	// writer tabulates WriterState[action][sharers]; only the WriteUpgrade
+	// and WriteUpdate rows are ever consulted.
+	writer [3][2]cache.State
+}
+
+func buildProtoTables(p coherence.Protocol) protoTables {
+	var t protoTables
+	for st := cache.State(0); st < cache.NumStates; st++ {
+		t.snoopRead[st] = p.SnoopRead(st)
+		t.snoopWrite[st] = p.SnoopWrite(st)
+		t.snoopUpdate[st] = p.SnoopUpdate(st)
+		t.writeAct[st], t.writeNext[st] = p.WriteHit(st)
+	}
+	for i := range t.fill {
+		t.fill[i] = p.FillState(coherence.Fill{Excl: i&4 != 0, IsPrefetch: i&2 != 0, Sharers: i&1 != 0})
+	}
+	for _, act := range []coherence.WriteAction{coherence.WriteUpgrade, coherence.WriteUpdate} {
+		t.writer[act][0] = p.WriterState(act, false)
+		t.writer[act][1] = p.WriterState(act, true)
+	}
+	return t
+}
+
+// fillIndex maps a coherence.Fill to its protoTables.fill slot.
+func fillIndex(excl, isPrefetch, sharers bool) int {
+	i := 0
+	if excl {
+		i |= 4
+	}
+	if isPrefetch {
+		i |= 2
+	}
+	if sharers {
+		i |= 1
+	}
+	return i
+}
+
 // simulator owns the machine state for one run.
 type simulator struct {
-	cfg    Config
-	eng    *engine
-	bus    *bus.Bus
-	procs  []*proc
-	locks  map[memory.Addr]*lockState
-	barrs  map[memory.Addr]*barrierState
-	c      Counters
-	geom   memory.Geometry
-	uncont uint64 // MemLatency - TransferCycles
+	cfg   Config
+	eng   *engine
+	bus   *bus.Bus
+	procs []*proc
+	// Lock and barrier state lives in dense slices sized by scanning the
+	// trace's synchronization events once at construction; lockIdx/barrIdx
+	// resolve an object's address to its slot. The maps are built once and
+	// never written during the run, so the per-sync-op cost is one integer
+	// map read into a flat table instead of a lazily allocated pointer cell.
+	locks   []lockState
+	barrs   []barrierState
+	lockIdx map[memory.Addr]int32
+	barrIdx map[memory.Addr]int32
+	c       Counters
+	geom    memory.Geometry
+	uncont  uint64 // MemLatency - TransferCycles
 
-	// proto is the coherence state machine every transition consults, rule
-	// its legality predicate, and updCycles the resolved bus occupancy of a
+	// proto is the coherence state machine, tab its transitions flattened
+	// into dense tables (the form every hot path consults), rule its
+	// legality predicate, and updCycles the resolved bus occupancy of a
 	// word-update broadcast.
 	proto     coherence.Protocol
+	tab       protoTables
 	rule      check.LineRule
 	updCycles uint64
 
@@ -504,9 +544,12 @@ type simulator struct {
 	watchdogCycles      uint64
 
 	// regions, sorted by base address, attributes misses to data
-	// structures; regionMisses accumulates by region name.
-	regions      []memory.Region
-	regionMisses map[string]*RegionMisses
+	// structures. regionTallies accumulates per region index — one extra
+	// trailing slot catches unattributed misses — and is folded into the
+	// name-keyed result map once at the end of the run, so the per-miss cost
+	// is a binary search and an array index, not a string-keyed map access.
+	regions       []memory.Region
+	regionTallies []RegionMisses
 }
 
 // fail records the first fatal error; the watch hook aborts the engine on it
@@ -563,31 +606,33 @@ func (s *simulator) stallError(now uint64, reason string) *check.StallError {
 			st.Wait = check.WaitBufferSlot
 		}
 		if st.Wait == check.WaitUnknown {
-			for la, inf := range p.inflight {
+			for _, inf := range p.inflight {
 				if inf.cpuWaiting {
 					st.Wait = check.WaitMemory
-					st.Object, st.HasObject = la, true
+					st.Object, st.HasObject = inf.la, true
 					break
 				}
 			}
 		}
 		if st.Wait == check.WaitUnknown {
-			for a, ls := range s.locks {
+			for i := range s.locks {
+				ls := &s.locks[i]
 				for _, q := range ls.queue {
 					if q == p.id {
 						st.Wait = check.WaitLock
-						st.Object, st.HasObject = a, true
+						st.Object, st.HasObject = ls.addr, true
 						st.Holder = ls.holder
 					}
 				}
 			}
 		}
 		if st.Wait == check.WaitUnknown {
-			for id, bs := range s.barrs {
+			for i := range s.barrs {
+				bs := &s.barrs[i]
 				for _, w := range bs.waiting {
 					if w == p.id {
 						st.Wait = check.WaitBarrier
-						st.Object, st.HasObject = id, true
+						st.Object, st.HasObject = bs.addr, true
 					}
 				}
 			}
@@ -597,9 +642,9 @@ func (s *simulator) stallError(now uint64, reason string) *check.StallError {
 	return e
 }
 
-// regionName returns the name of the region containing a, or
-// "(unattributed)". Regions are sorted by base; binary search.
-func (s *simulator) regionName(a memory.Addr) string {
+// regionIndex returns the index of the region containing a, or len(regions)
+// — the unattributed slot. Regions are sorted by base; binary search.
+func (s *simulator) regionIndex(a memory.Addr) int {
 	lo, hi := 0, len(s.regions)-1
 	for lo <= hi {
 		mid := (lo + hi) / 2
@@ -610,23 +655,18 @@ func (s *simulator) regionName(a memory.Addr) string {
 		case a >= r.End():
 			lo = mid + 1
 		default:
-			return r.Name
+			return mid
 		}
 	}
-	return "(unattributed)"
+	return len(s.regions)
 }
 
 // attributeMiss records a classified CPU miss against its data structure.
 func (s *simulator) attributeMiss(a memory.Addr, class MissClass, falseSharing bool) {
-	if s.regionMisses == nil {
+	if s.regionTallies == nil {
 		return
 	}
-	name := s.regionName(a)
-	rm := s.regionMisses[name]
-	if rm == nil {
-		rm = &RegionMisses{}
-		s.regionMisses[name] = rm
-	}
+	rm := &s.regionTallies[s.regionIndex(a)]
 	rm.CPUMisses[class]++
 	if falseSharing {
 		rm.FalseSharing++
@@ -634,11 +674,13 @@ func (s *simulator) attributeMiss(a memory.Addr, class MissClass, falseSharing b
 }
 
 type lockState struct {
+	addr   memory.Addr
 	holder int // processor id, or -1
 	queue  []int
 }
 
 type barrierState struct {
+	addr       memory.Addr
 	arrived    int
 	maxArrival uint64
 	waiting    []int
@@ -648,14 +690,13 @@ func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
 	s := &simulator{
 		cfg:            cfg,
 		eng:            &engine{},
-		locks:          make(map[memory.Addr]*lockState),
-		barrs:          make(map[memory.Addr]*barrierState),
 		geom:           cfg.Geometry,
 		uncont:         uint64(cfg.MemLatency - cfg.TransferCycles),
 		proto:          coherence.ByKind(cfg.Protocol),
 		updCycles:      uint64(cfg.UpdateCycles),
 		watchdogCycles: cfg.WatchdogCycles,
 	}
+	s.tab = buildProtoTables(s.proto)
 	s.rule = s.proto.Invariant()
 	if s.updCycles == 0 {
 		s.updCycles = uint64(cfg.InvalidateCycles + 2)
@@ -666,7 +707,28 @@ func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
 	if len(cfg.Regions) > 0 {
 		s.regions = append([]memory.Region(nil), cfg.Regions...)
 		sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
-		s.regionMisses = make(map[string]*RegionMisses)
+		s.regionTallies = make([]RegionMisses, len(s.regions)+1)
+	}
+	// One pass over the trace discovers every lock and barrier object, so
+	// the run works against dense pre-sized state tables instead of growing
+	// maps of pointer cells as objects first appear.
+	s.lockIdx = make(map[memory.Addr]int32)
+	s.barrIdx = make(map[memory.Addr]int32)
+	for _, stream := range t.Streams {
+		for _, e := range stream {
+			switch e.Kind {
+			case trace.Lock, trace.Unlock:
+				if _, ok := s.lockIdx[e.Addr]; !ok {
+					s.lockIdx[e.Addr] = int32(len(s.locks))
+					s.locks = append(s.locks, lockState{addr: e.Addr, holder: -1})
+				}
+			case trace.Barrier:
+				if _, ok := s.barrIdx[e.Addr]; !ok {
+					s.barrIdx[e.Addr] = int32(len(s.barrs))
+					s.barrs = append(s.barrs, barrierState{addr: e.Addr})
+				}
+			}
+		}
 	}
 	b, err := bus.New(s.eng, t.Procs())
 	if err != nil {
@@ -689,8 +751,7 @@ func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
 
 func (s *simulator) run() (*Result, error) {
 	for _, p := range s.procs {
-		p := p
-		s.eng.At(0, p.run)
+		s.eng.At(0, p.runFn)
 	}
 	if err := s.eng.run(s.watch); err != nil {
 		return nil, err
@@ -699,10 +760,27 @@ func (s *simulator) run() (*Result, error) {
 		return nil, s.err
 	}
 	res := &Result{Config: s.cfg, Counters: s.c, Bus: s.bus.Stats(), Procs: make([]ProcStats, len(s.procs))}
-	if s.regionMisses != nil {
-		res.RegionMisses = make(map[string]RegionMisses, len(s.regionMisses))
-		for name, rm := range s.regionMisses {
-			res.RegionMisses[name] = *rm
+	if s.regionTallies != nil {
+		// Fold the dense per-region tallies into the name-keyed result map:
+		// regions sharing a name merge, and regions that attracted no misses
+		// are omitted (a name appears only once a miss lands in it, exactly
+		// as the lazily populated map used to behave).
+		res.RegionMisses = make(map[string]RegionMisses, len(s.regions))
+		for i := range s.regionTallies {
+			rm := s.regionTallies[i]
+			if rm.Total() == 0 {
+				continue
+			}
+			name := "(unattributed)"
+			if i < len(s.regions) {
+				name = s.regions[i].Name
+			}
+			agg := res.RegionMisses[name]
+			for c := range agg.CPUMisses {
+				agg.CPUMisses[c] += rm.CPUMisses[c]
+			}
+			agg.FalseSharing += rm.FalseSharing
+			res.RegionMisses[name] = agg
 		}
 	}
 	for i, p := range s.procs {
@@ -733,21 +811,21 @@ func (s *simulator) run() (*Result, error) {
 // exclusive fetches — SnoopWrite transition, recording word for false-sharing
 // analysis when a copy is invalidated.
 func (s *simulator) snoopFetch(now uint64, requester int, la memory.Addr, excl bool, word int) (sharers bool) {
-	next, w := s.proto.SnoopRead, int(cache.NoInvalidatingWord)
+	next, w := &s.tab.snoopRead, int(cache.NoInvalidatingWord)
 	if excl {
-		next, w = s.proto.SnoopWrite, word
+		next, w = &s.tab.snoopWrite, word
 	}
 	for _, p := range s.procs {
 		if p.id == requester {
 			continue
 		}
-		if p.cache.Snoop(la, w, next) != cache.Invalid {
+		if p.cache.SnoopTable(la, w, next) != cache.Invalid {
 			sharers = true
 			if s.rec != nil {
 				s.observeSnoopKill(now, p, la)
 			}
 		}
-		if p.victim != nil && p.victim.Snoop(la, w, next) != cache.Invalid {
+		if p.victim != nil && p.victim.SnoopTable(la, w, next) != cache.Invalid {
 			sharers = true
 		}
 		// The non-snooping prefetch buffer cannot track the line once another
@@ -774,13 +852,13 @@ func (s *simulator) observeSnoopKill(now uint64, p *proc, la memory.Addr) {
 func (s *simulator) snoopInvalidate(now uint64, requester int, la memory.Addr, word int) {
 	for _, p := range s.procs {
 		if p.id != requester {
-			if p.cache.Snoop(la, word, s.proto.SnoopWrite) != cache.Invalid {
+			if p.cache.SnoopTable(la, word, &s.tab.snoopWrite) != cache.Invalid {
 				if s.rec != nil {
 					s.observeSnoopKill(now, p, la)
 				}
 			}
 			if p.victim != nil {
-				p.victim.Snoop(la, word, s.proto.SnoopWrite)
+				p.victim.SnoopTable(la, word, &s.tab.snoopWrite)
 			}
 			p.dropBuffered(la, now)
 		}
@@ -798,11 +876,11 @@ func (s *simulator) snoopUpdate(now uint64, requester int, la memory.Addr) (shar
 		if p.id == requester {
 			continue
 		}
-		if p.cache.Snoop(la, int(cache.NoInvalidatingWord), s.proto.SnoopUpdate) != cache.Invalid {
+		if p.cache.SnoopTable(la, int(cache.NoInvalidatingWord), &s.tab.snoopUpdate) != cache.Invalid {
 			sharers = true
 			s.c.UpdatesReceived++
 		}
-		if p.victim != nil && p.victim.Snoop(la, int(cache.NoInvalidatingWord), s.proto.SnoopUpdate) != cache.Invalid {
+		if p.victim != nil && p.victim.SnoopTable(la, int(cache.NoInvalidatingWord), &s.tab.snoopUpdate) != cache.Invalid {
 			sharers = true
 		}
 		p.dropBuffered(la, now)
@@ -812,11 +890,9 @@ func (s *simulator) snoopUpdate(now uint64, requester int, la memory.Addr) (shar
 
 // releaseLock hands the lock to the next FCFS waiter, if any, at time now.
 func (s *simulator) releaseLock(a memory.Addr, now uint64) {
-	ls := s.locks[a]
-	if ls == nil || len(ls.queue) == 0 {
-		if ls != nil {
-			ls.holder = -1
-		}
+	ls := &s.locks[s.lockIdx[a]]
+	if len(ls.queue) == 0 {
+		ls.holder = -1
 		return
 	}
 	next := ls.queue[0]
@@ -827,7 +903,7 @@ func (s *simulator) releaseLock(a memory.Addr, now uint64) {
 	if s.rec != nil {
 		s.rec.Wait(p.id, obs.PhaseLockWait, p.waitStart, now)
 	}
-	s.eng.At(now, p.run)
+	s.eng.At(now, p.runFn)
 }
 
 // arriveBarrier registers proc p at barrier id. Every participant — the last
@@ -835,11 +911,7 @@ func (s *simulator) releaseLock(a memory.Addr, now uint64) {
 // clocks advance asynchronously. It always blocks the caller; the release
 // event re-enters the processor past the barrier.
 func (s *simulator) arriveBarrier(id memory.Addr, p *proc, now uint64) (blocked bool) {
-	bs := s.barrs[id]
-	if bs == nil {
-		bs = &barrierState{}
-		s.barrs[id] = bs
-	}
+	bs := &s.barrs[s.barrIdx[id]]
 	bs.arrived++
 	if now > bs.maxArrival {
 		bs.maxArrival = now
@@ -855,7 +927,7 @@ func (s *simulator) arriveBarrier(id memory.Addr, p *proc, now uint64) (blocked 
 		if s.rec != nil {
 			s.rec.Wait(w.id, obs.PhaseBarrierWait, w.waitStart, release)
 		}
-		s.eng.At(release, w.run)
+		s.eng.At(release, w.runFn)
 	}
 	bs.arrived = 0
 	bs.maxArrival = 0
@@ -864,7 +936,7 @@ func (s *simulator) arriveBarrier(id memory.Addr, p *proc, now uint64) (blocked 
 	if s.rec != nil {
 		s.rec.Wait(p.id, obs.PhaseBarrierWait, now, release)
 	}
-	s.eng.At(release, p.run)
+	s.eng.At(release, p.runFn)
 	return true
 }
 
@@ -882,7 +954,7 @@ func (s *simulator) checkLine(now uint64, la memory.Addr) {
 		if p.victim != nil {
 			ps.VictimState = p.victim.StateOf(la)
 		}
-		if inf := p.inflight[la]; inf != nil {
+		if inf := p.findInflight(la); inf != nil {
 			ps.Inflight, ps.Excl, ps.IsPrefetch = true, inf.excl, inf.isPrefetch
 		}
 		states[i] = ps

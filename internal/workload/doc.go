@@ -1,0 +1,16 @@
+// Package workload generates the multiprocessor address traces that stand in
+// for the paper's MPTrace traces of five parallel C programs on a Sequent
+// Symmetry (paper §3.2, Table 1).
+//
+// The original traces are not obtainable, so each program is replaced by a
+// small deterministic kernel that executes the same *kind* of computation
+// and reproduces the memory behaviour the paper reports for it: the ratio of
+// data-set to cache size, the amount and granularity of write sharing, the
+// false-sharing layout, the temporal locality, the synchronization style,
+// and — after calibration — the resulting miss rates, processor utilizations
+// and bus utilizations. The simulator consumes only the address streams, so
+// matching those statistics is what preserves the paper's phenomena.
+//
+// All generators are deterministic in (Params.Seed, Params.Procs,
+// Params.Scale): the same parameters always produce the identical trace.
+package workload
