@@ -13,6 +13,7 @@ package busprefetch
 // (see EXPERIMENTS.md for the paper-vs-measured comparison).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -223,19 +224,19 @@ func BenchmarkTable5(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := newBenchSuite()
-		cacheRows, err := s.AblationCacheSize("mp3d", []int{16, 128})
+		cacheRows, err := s.AblationCacheSize(context.Background(), "mp3d", []int{16, 128})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(cacheRows[1].InvalShare-cacheRows[0].InvalShare, "inval-share-gain-128KB")
-		lineRows, err := s.AblationLineSize("mp3d", []int{16, 64})
+		lineRows, err := s.AblationLineSize(context.Background(), "mp3d", []int{16, 64})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if lineRows[0].FSMR > 0 {
 			b.ReportMetric(lineRows[1].FSMR/lineRows[0].FSMR, "FS-growth-64B")
 		}
-		placeRows, err := s.AblationPrefetchPlacement("mp3d")
+		placeRows, err := s.AblationPrefetchPlacement(context.Background(), "mp3d")
 		if err != nil {
 			b.Fatal(err)
 		}

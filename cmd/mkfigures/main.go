@@ -24,13 +24,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"busprefetch/internal/buildinfo"
@@ -41,7 +44,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// First Ctrl-C / SIGTERM cancels the sweep cleanly (running cells abort
+	// at the simulator's next poll, completed cells stay checkpointed under
+	// -resume); a second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if err != flag.ErrHelp {
 			fmt.Fprintln(os.Stderr, "mkfigures:", err)
 		}
@@ -51,7 +59,7 @@ func main() {
 
 // run is the whole command behind flag parsing; every failure comes back as
 // an error and turns into one diagnostic line and a non-zero exit.
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mkfigures", flag.ContinueOnError)
 	var (
 		scale      = fs.Float64("scale", 1.0, "trace length multiplier")
@@ -67,6 +75,9 @@ func run(args []string, stdout io.Writer) error {
 		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		execTrace  = fs.String("exectrace", "", "write a runtime/trace execution trace to this file")
+		timeout    = fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = none); a timed-out cell is retried per -retries")
+		retries    = fs.Int("retries", 0, "extra attempts for retryably-failing cells (stalls, timeouts, transient faults)")
+		resume     = fs.String("resume", "", "checkpoint directory: completed cells persist here and an interrupted sweep resumes from it")
 		version    = fs.Bool("version", false, "print version and exit")
 		quiet      = fs.Bool("q", false, "suppress progress output")
 	)
@@ -110,7 +121,16 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "mkfigures: pprof listening on http://%s/debug/pprof/\n", addr)
 	}
 
-	suite := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *jobs, Protocol: proto})
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *jobs, Protocol: proto,
+		Timeout: *timeout, Retries: *retries}
+	if *resume != "" {
+		store, err := runner.OpenCheckpointStore(*resume)
+		if err != nil {
+			return err
+		}
+		cfg.Checkpoints = store
+	}
+	suite := experiments.NewSuite(cfg)
 
 	want := func(name string) bool { return *only == "" || strings.EqualFold(*only, name) }
 
@@ -127,19 +147,20 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(os.Stderr, "  %d/%d (%.0fs elapsed)\n", done, total, time.Since(start).Seconds())
 		}
 	}
-	if err := suite.Prewarm(keys, progress); err != nil {
+	var cellErrs *experiments.CellErrors
+	if err := suite.Prewarm(ctx, keys, progress); err != nil {
 		// Individual failed cells are annotated in the tables; the rest of
-		// the report still renders. Anything else is fatal.
-		var cells *experiments.CellErrors
-		if !errors.As(err, &cells) {
-			return err
+		// the report still renders. A cancelled sweep, or anything else, is
+		// fatal — with a resume hint when the work is recoverable.
+		if !errors.As(err, &cellErrs) {
+			return interruptHint(err, *resume)
 		}
 		fmt.Fprintln(os.Stderr, "mkfigures: warning:", err)
 	}
 
-	reportText, err := suite.RenderSections(want)
+	reportText, err := suite.RenderSections(ctx, want)
 	if err != nil {
-		return err
+		return interruptHint(err, *resume)
 	}
 	fmt.Fprintln(stdout, reportText)
 
@@ -165,11 +186,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *metricsOut != "" {
-		cells, err := suite.Observability(nil)
+		cells, err := suite.Observability(ctx, nil)
 		if err != nil {
-			return err
+			return interruptHint(err, *resume)
 		}
 		metrics := runner.NewMetricsReport(*scale, *seed, experiments.MetricsCells(cells))
+		if cellErrs != nil {
+			metrics.SetErrors(cellErrs.Failures())
+		}
 		if err := metrics.WriteFile(*metricsOut); err != nil {
 			return err
 		}
@@ -195,4 +219,16 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// interruptHint decorates a cancellation error with the way back: resumed
+// sweeps recompute only the cells the interrupted one never finished.
+func interruptHint(err error, resumeDir string) error {
+	if err == nil || !(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return err
+	}
+	if resumeDir != "" {
+		return fmt.Errorf("%w (completed cells are checkpointed; rerun with -resume %s to continue)", err, resumeDir)
+	}
+	return fmt.Errorf("%w (rerun with -resume DIR to make sweeps interruptible without losing work)", err)
 }

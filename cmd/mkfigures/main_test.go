@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -13,7 +14,7 @@ import (
 
 func TestRunVersion(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-version"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(out.String(), "mkfigures ") {
@@ -30,7 +31,7 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -49,7 +50,7 @@ func TestRunBadTraceCell(t *testing.T) {
 		var out bytes.Buffer
 		args := []string{"-q", "-only", "table1", "-scale", "0.02",
 			"-trace-out", filepath.Join(dir, "t.json"), "-trace-cell", cell}
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("trace cell %q accepted, want error", cell)
 		}
 	}
@@ -65,7 +66,7 @@ func TestRunMetricsAndTraceOut(t *testing.T) {
 	args := []string{"-q", "-only", "table1", "-scale", "0.02", "-seed", "7",
 		"-metrics-out", metrics,
 		"-trace-out", traceFile, "-trace-cell", "water/PREF/8"}
-	if err := run(args, &out); err != nil {
+	if err := run(context.Background(), args, &out); err != nil {
 		t.Fatal(err)
 	}
 

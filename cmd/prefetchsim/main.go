@@ -13,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"busprefetch/internal/buildinfo"
@@ -32,7 +35,11 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// First Ctrl-C / SIGTERM cancels the runs cleanly mid-simulation; a
+	// second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if err != flag.ErrHelp {
 			fmt.Fprintln(os.Stderr, "prefetchsim:", err)
 		}
@@ -61,7 +68,10 @@ func strategyNames() string {
 // run is the whole command: every failure — an unknown workload, a bad flag
 // combination, a corrupt trace file, a simulation fault — comes back as an
 // error and turns into one diagnostic line and a non-zero exit, never a panic.
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	fs := flag.NewFlagSet("prefetchsim", flag.ContinueOnError)
 	var (
 		wlName       = fs.String("workload", "mp3d", "workload: "+workloadNames())
@@ -82,6 +92,8 @@ func run(args []string, stdout io.Writer) error {
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		execTrace    = fs.String("exectrace", "", "write a runtime/trace execution trace to this file")
+		timeout      = fs.Duration("timeout", 0, "per-run wall-clock budget (0 = none); a timed-out run is retried per -retries")
+		retries      = fs.Int("retries", 0, "extra attempts for retryably-failing runs (stalls, timeouts)")
 		version      = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -192,27 +204,36 @@ func run(args []string, stdout io.Writer) error {
 	tasks := make([]runner.Task, len(strategies))
 	var rec *obs.Recorder
 	for i, s := range strategies {
-		tasks[i] = runner.Task{Label: s.String(), Run: func() error {
-			annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
-			if err != nil {
-				return err
-			}
-			runCfg := cfg
-			if *traceOut != "" {
-				// -all is excluded above, so this is the only task and the
-				// recorder assignment is race-free.
-				rec = obs.New(annotated.Procs(), obs.Options{Spans: true})
-				runCfg.Obs = rec
-			}
-			res, err := sim.Run(runCfg, annotated)
-			if err != nil {
-				return fmt.Errorf("strategy %s: %w", s, err)
-			}
-			results[i] = res
-			return nil
+		tasks[i] = runner.Task{Label: s.String(), Run: func(ctx context.Context) error {
+			err, _ := runner.Retry(ctx, runner.Policy{MaxAttempts: *retries + 1, Seed: *seed}, func(ctx context.Context) error {
+				if *timeout > 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, *timeout)
+					defer cancel()
+				}
+				annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
+				if err != nil {
+					return err
+				}
+				runCfg := cfg
+				runCfg.Label = info.Name + "/" + s.String()
+				if *traceOut != "" {
+					// -all is excluded above, so this is the only task and the
+					// recorder assignment is race-free.
+					rec = obs.New(annotated.Procs(), obs.Options{Spans: true})
+					runCfg.Obs = rec
+				}
+				res, err := sim.RunContext(ctx, runCfg, annotated)
+				if err != nil {
+					return fmt.Errorf("strategy %s: %w", s, err)
+				}
+				results[i] = res
+				return nil
+			})
+			return err
 		}}
 	}
-	errs, _ := runner.NewPool(*jobs).Do(tasks, nil)
+	errs, _ := runner.NewPool(*jobs).Do(ctx, tasks, nil)
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 
 func TestRunHappyPath(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-workload", "water", "-strategy", "PREF", "-scale", "0.05"}, &out)
+	err := run(context.Background(), []string{"-workload", "water", "-strategy", "PREF", "-scale", "0.05"}, &out)
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
@@ -28,7 +29,7 @@ func TestRunHappyPath(t *testing.T) {
 
 func TestRunUnknownWorkload(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-workload", "nosuch"}, &out)
+	err := run(context.Background(), []string{"-workload", "nosuch"}, &out)
 	if err == nil {
 		t.Fatal("unknown workload accepted")
 	}
@@ -43,7 +44,7 @@ func TestRunUnknownWorkload(t *testing.T) {
 
 func TestRunUnknownStrategy(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-workload", "water", "-strategy", "nosuch", "-scale", "0.05"}, &out)
+	err := run(context.Background(), []string{"-workload", "water", "-strategy", "nosuch", "-scale", "0.05"}, &out)
 	if err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
@@ -65,7 +66,7 @@ func TestRunBadFlagCombos(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
-		if err := run(args, &out); err == nil {
+		if err := run(context.Background(), args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
@@ -73,7 +74,7 @@ func TestRunBadFlagCombos(t *testing.T) {
 
 func TestRunVersion(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-version"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(out.String(), "prefetchsim ") {
@@ -87,7 +88,7 @@ func TestRunVersion(t *testing.T) {
 func TestRunTraceOut(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.json")
 	var out bytes.Buffer
-	err := run([]string{"-workload", "water", "-strategy", "PREF", "-scale", "0.05", "-trace-out", path}, &out)
+	err := run(context.Background(), []string{"-workload", "water", "-strategy", "PREF", "-scale", "0.05", "-trace-out", path}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestRunTraceOut(t *testing.T) {
 	// The same run without -trace-out prints identical results: recording
 	// must not change what the simulator reports.
 	var plain bytes.Buffer
-	if err := run([]string{"-workload", "water", "-strategy", "PREF", "-scale", "0.05"}, &plain); err != nil {
+	if err := run(context.Background(), []string{"-workload", "water", "-strategy", "PREF", "-scale", "0.05"}, &plain); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != out.String() {
@@ -146,7 +147,7 @@ func TestRunCorruptTraceRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	err := run([]string{"-trace", path}, &out)
+	err := run(context.Background(), []string{"-trace", path}, &out)
 	if err == nil {
 		t.Fatal("corrupt trace accepted")
 	}
@@ -160,7 +161,7 @@ func TestRunCorruptTraceRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run([]string{"-trace", good}, &out); err != nil {
+	if err := run(context.Background(), []string{"-trace", good}, &out); err != nil {
 		t.Fatalf("valid trace rejected: %v", err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"busprefetch/internal/buildinfo"
 	"busprefetch/internal/memory"
@@ -75,14 +76,21 @@ func main() {
 	fmt.Printf("  lines: %d private, %d read-shared, %d write-shared\n", priv, rs, ws)
 
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
+		// Write via temp + rename so a crash or Ctrl-C mid-encode leaves
+		// either the previous complete trace or none — never a torn file a
+		// later replay would have to diagnose.
+		f, err := os.CreateTemp(filepath.Dir(*outPath), filepath.Base(*outPath)+".tmp*")
 		if err != nil {
 			fatal(err)
 		}
+		defer os.Remove(f.Name())
 		if err := trace.Encode(f, t); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(f.Name(), *outPath); err != nil {
 			fatal(err)
 		}
 		fi, err := os.Stat(*outPath)

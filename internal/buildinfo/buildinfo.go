@@ -44,6 +44,28 @@ func describe(name string, info *debug.BuildInfo) string {
 	return s
 }
 
+// Revision returns the VCS revision stamped into the running binary
+// ("abcdef123456", with "+dirty" appended for modified trees), or "unknown"
+// when the build carries none. Checkpoint keys embed it so persisted sweep
+// results can never resurrect across code changes.
+func Revision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := vcs(info)
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
 // vcs extracts the VCS revision and modified flag from the build settings.
 func vcs(info *debug.BuildInfo) (rev string, dirty bool) {
 	for _, s := range info.Settings {

@@ -73,8 +73,18 @@ func (p ProcStall) String() string {
 // on, so one hung run fails with a diagnosis instead of spinning forever or
 // crashing the suite.
 type StallError struct {
+	// Label names the run that stalled (the sweep cell, e.g.
+	// "mp3d/PREF/T=8"), when the caller supplied one (sim.Config.Label).
+	// Empty for unlabeled runs.
+	Label string
 	// Cycle is the simulation time at which the stall was detected.
 	Cycle uint64
+	// Progress is the elapsed-progress snapshot: how many units of work
+	// (retired events, absorbed gaps, completed fetches) the whole machine
+	// had retired when the stall was detected. Together with Cycle it places
+	// the stall on the run's timeline — "hung at the start" and "hung after
+	// billions of cycles of real work" are different bugs.
+	Progress uint64
 	// Reason says how the watchdog tripped ("event queue drained with
 	// unfinished processors", "no progress for N cycles", ...).
 	Reason string
@@ -84,7 +94,11 @@ type StallError struct {
 
 func (e *StallError) Error() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "check: progress watchdog at cycle %d: %s", e.Cycle, e.Reason)
+	b.WriteString("check: progress watchdog")
+	if e.Label != "" {
+		fmt.Fprintf(&b, " [%s]", e.Label)
+	}
+	fmt.Fprintf(&b, " at cycle %d (%d events retired): %s", e.Cycle, e.Progress, e.Reason)
 	if len(e.Stalls) > 0 {
 		fmt.Fprintf(&b, ": %d stalled:", len(e.Stalls))
 		for i, s := range e.Stalls {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"busprefetch/internal/memory"
@@ -39,15 +40,20 @@ type AblationRow struct {
 	InvalShare float64
 }
 
-func (s *Suite) runConfig(wl string, strat prefetch.Strategy, cfg sim.Config, restructured bool,
-	annotate func(prefetch.Options) prefetch.Options) (*sim.Result, error) {
+func (s *Suite) runConfig(ctx context.Context, label, wl string, strat prefetch.Strategy, cfg sim.Config,
+	restructured bool, annotate func(prefetch.Options) prefetch.Options) (*sim.Result, error) {
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
 	// Ablation traces must be generated with the ablation geometry so the
 	// layouts (conflict-pair placement, padding) stay consistent with the
 	// simulated cache. The trace cache keys on geometry, so sweeps that vary
 	// only the simulator configuration (protocol, latency, distance, victim
 	// cache) share one generation, as do ablations at the default geometry
 	// and the main suite grid.
-	t, _, err := s.traceFor(wl, restructured, cfg.Geometry)
+	t, _, err := s.traceFor(ctx, wl, restructured, cfg.Geometry)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +65,8 @@ func (s *Suite) runConfig(wl string, strat prefetch.Strategy, cfg sim.Config, re
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg, annotated)
+	cfg.Label = label
+	return sim.RunContext(ctx, cfg, annotated)
 }
 
 // variantRun is one cell of an ablation sweep.
@@ -79,23 +86,30 @@ type variantRun struct {
 // variant (in canonical order) — they are supplementary sweeps with
 // within-sweep baselines, so a partial sweep would mislead more than it
 // informs.
-func (s *Suite) runVariants(sweep string, variants []variantRun) ([]*sim.Result, error) {
+func (s *Suite) runVariants(ctx context.Context, sweep string, variants []variantRun) ([]*sim.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tasks := make([]runner.Task, len(variants))
 	results := make([]*sim.Result, len(variants))
 	for i, v := range variants {
+		label := fmt.Sprintf("ablation:%s/%s/%s/%s", sweep, v.workload, v.label, v.strat)
 		tasks[i] = runner.Task{
-			Label: fmt.Sprintf("ablation:%s/%s/%s/%s", sweep, v.workload, v.label, v.strat),
-			Run: func() error {
-				res, err := s.runConfig(v.workload, v.strat, v.cfg, v.restructured, v.annotate)
-				if err != nil {
-					return err
-				}
-				results[i] = res
-				return nil
+			Label: label,
+			Run: func(ctx context.Context) error {
+				err, _ := runner.Retry(ctx, s.retryPolicy(label), func(ctx context.Context) error {
+					res, err := s.runConfig(ctx, label, v.workload, v.strat, v.cfg, v.restructured, v.annotate)
+					if err != nil {
+						return err
+					}
+					results[i] = res
+					return nil
+				})
+				return err
 			},
 		}
 	}
-	errs, times := s.pool.Do(tasks, nil)
+	errs, times := s.pool.Do(ctx, tasks, nil)
 	s.recordTimings(times)
 	for i, err := range errs {
 		if err != nil {
@@ -129,7 +143,7 @@ func ablationRow(label string, strat prefetch.Strategy, res *sim.Result, baselin
 // AblationCacheSize sweeps the cache capacity on one workload under NP. The
 // paper's reported effect: larger caches remove non-sharing misses, so
 // invalidation misses dominate even more.
-func (s *Suite) AblationCacheSize(wl string, sizesKB []int) ([]AblationRow, error) {
+func (s *Suite) AblationCacheSize(ctx context.Context, wl string, sizesKB []int) ([]AblationRow, error) {
 	if len(sizesKB) == 0 {
 		sizesKB = []int{16, 32, 64, 128}
 	}
@@ -141,12 +155,12 @@ func (s *Suite) AblationCacheSize(wl string, sizesKB []int) ([]AblationRow, erro
 			label: fmt.Sprintf("%dKB", kb), workload: wl, strat: prefetch.NP, cfg: cfg,
 		})
 	}
-	return s.sweepRows("cache-size", variants)
+	return s.sweepRows(ctx, "cache-size", variants)
 }
 
 // sweepRows runs a sweep whose baseline is its first variant's cycles.
-func (s *Suite) sweepRows(sweep string, variants []variantRun) ([]AblationRow, error) {
-	results, err := s.runVariants(sweep, variants)
+func (s *Suite) sweepRows(ctx context.Context, sweep string, variants []variantRun) ([]AblationRow, error) {
+	results, err := s.runVariants(ctx, sweep, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +178,7 @@ func (s *Suite) sweepRows(sweep string, variants []variantRun) ([]AblationRow, e
 // AblationLineSize sweeps the cache-line size under NP. The paper's
 // reported effect: larger blocks increase false sharing and with it the
 // invalidation miss total.
-func (s *Suite) AblationLineSize(wl string, sizes []int) ([]AblationRow, error) {
+func (s *Suite) AblationLineSize(ctx context.Context, wl string, sizes []int) ([]AblationRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{16, 32, 64, 128}
 	}
@@ -176,7 +190,7 @@ func (s *Suite) AblationLineSize(wl string, sizes []int) ([]AblationRow, error) 
 			label: fmt.Sprintf("%dB", ls), workload: wl, strat: prefetch.NP, cfg: cfg,
 		})
 	}
-	return s.sweepRows("line-size", variants)
+	return s.sweepRows(ctx, "line-size", variants)
 }
 
 // AblationAssociativity compares the direct-mapped cache against
@@ -184,7 +198,7 @@ func (s *Suite) AblationLineSize(wl string, sizes []int) ([]AblationRow, error) 
 // PREF on Topopt — the paper's suggestion for the conflict misses
 // prefetching introduces ("the magnitude of this conflict would likely be
 // reduced by a victim cache or a set-associative cache", §4.3).
-func (s *Suite) AblationAssociativity(wl string) ([]AblationRow, error) {
+func (s *Suite) AblationAssociativity(ctx context.Context, wl string) ([]AblationRow, error) {
 	type variant struct {
 		label  string
 		assoc  int
@@ -203,7 +217,7 @@ func (s *Suite) AblationAssociativity(wl string) ([]AblationRow, error) {
 		cfg.VictimCacheLines = v.victim
 		variants = append(variants, variantRun{label: v.label, workload: wl, strat: prefetch.PREF, cfg: cfg})
 	}
-	return s.sweepRows("associativity", variants)
+	return s.sweepRows(ctx, "associativity", variants)
 }
 
 // AblationProtocol compares the three coherence protocols — Illinois, the
@@ -217,7 +231,7 @@ func (s *Suite) AblationAssociativity(wl string) ([]AblationRow, error) {
 // traffic, and the higher the transfer cost the more that traffic competes
 // with fills for the bus. The baseline is Illinois/NP at the first transfer
 // cost.
-func (s *Suite) AblationProtocol(wl string, transfers []int) ([]AblationRow, error) {
+func (s *Suite) AblationProtocol(ctx context.Context, wl string, transfers []int) ([]AblationRow, error) {
 	if len(transfers) == 0 {
 		transfers = []int{8, 32}
 	}
@@ -234,14 +248,14 @@ func (s *Suite) AblationProtocol(wl string, transfers []int) ([]AblationRow, err
 			}
 		}
 	}
-	return s.sweepRows("protocol", variants)
+	return s.sweepRows(ctx, "protocol", variants)
 }
 
 // AblationPrefetchPlacement compares cache prefetching against the
 // non-snooping prefetch buffer of §3.1. Buffered prefetching cannot touch
 // write-shared data, so on these workloads it covers far less — the paper's
 // reason to study cache prefetching only.
-func (s *Suite) AblationPrefetchPlacement(wl string) ([]AblationRow, error) {
+func (s *Suite) AblationPrefetchPlacement(ctx context.Context, wl string) ([]AblationRow, error) {
 	np := sim.DefaultConfig()
 	buf := sim.DefaultConfig()
 	buf.PrefetchTarget = sim.PrefetchToBuffer
@@ -254,7 +268,7 @@ func (s *Suite) AblationPrefetchPlacement(wl string) ([]AblationRow, error) {
 				return o
 			}},
 	}
-	return s.sweepRows("placement", variants)
+	return s.sweepRows(ctx, "placement", variants)
 }
 
 // RenderAblation formats any ablation sweep.
@@ -275,7 +289,7 @@ func RenderAblation(title string, rows []AblationRow) string {
 // study): short distances leave prefetches in progress, long ones trade
 // them for conflict misses, and "increasing the prefetch distance to the
 // point that virtually all prefetches complete does not pay off".
-func (s *Suite) AblationDistance(wl string, distances []int) ([]AblationRow, error) {
+func (s *Suite) AblationDistance(ctx context.Context, wl string, distances []int) ([]AblationRow, error) {
 	if len(distances) == 0 {
 		distances = []int{25, 50, 100, 200, 400, 800}
 	}
@@ -291,13 +305,13 @@ func (s *Suite) AblationDistance(wl string, distances []int) ([]AblationRow, err
 				return o
 			}})
 	}
-	return s.sweepRows("distance", variants)
+	return s.sweepRows(ctx, "distance", variants)
 }
 
 // AblationMemLatency sweeps the total memory latency under NP and PREF. The
 // paper's premise: "prefetching is less useful and possibly harmful if
 // there is little latency to hide" — at low latency the gains collapse.
-func (s *Suite) AblationMemLatency(wl string, latencies []int) ([]AblationRow, error) {
+func (s *Suite) AblationMemLatency(ctx context.Context, wl string, latencies []int) ([]AblationRow, error) {
 	if len(latencies) == 0 {
 		latencies = []int{25, 50, 100, 200}
 	}
@@ -313,7 +327,7 @@ func (s *Suite) AblationMemLatency(wl string, latencies []int) ([]AblationRow, e
 			variantRun{label: label, workload: wl, strat: prefetch.NP, cfg: cfg},
 			variantRun{label: label, workload: wl, strat: prefetch.PREF, cfg: cfg})
 	}
-	results, err := s.runVariants("mem-latency", variants)
+	results, err := s.runVariants(ctx, "mem-latency", variants)
 	if err != nil {
 		return nil, err
 	}

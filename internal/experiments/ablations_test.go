@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestAblationCacheSize(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation in -short mode")
 	}
-	rows, err := ablSuite().AblationCacheSize("mp3d", []int{16, 64})
+	rows, err := ablSuite().AblationCacheSize(context.Background(), "mp3d", []int{16, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestAblationLineSize(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation in -short mode")
 	}
-	rows, err := ablSuite().AblationLineSize("mp3d", []int{16, 64})
+	rows, err := ablSuite().AblationLineSize(context.Background(), "mp3d", []int{16, 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestAblationAssociativity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation in -short mode")
 	}
-	rows, err := ablSuite().AblationAssociativity("topopt")
+	rows, err := ablSuite().AblationAssociativity(context.Background(), "topopt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestAblationProtocol(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation in -short mode")
 	}
-	rows, err := ablSuite().AblationProtocol("mp3d", []int{8})
+	rows, err := ablSuite().AblationProtocol(context.Background(), "mp3d", []int{8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestAblationPrefetchPlacement(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation in -short mode")
 	}
-	rows, err := ablSuite().AblationPrefetchPlacement("mp3d")
+	rows, err := ablSuite().AblationPrefetchPlacement(context.Background(), "mp3d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestAblationDistance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation in -short mode")
 	}
-	rows, err := ablSuite().AblationDistance("mp3d", []int{25, 100, 800})
+	rows, err := ablSuite().AblationDistance(context.Background(), "mp3d", []int{25, 100, 800})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestAblationMemLatency(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation in -short mode")
 	}
-	rows, err := ablSuite().AblationMemLatency("mp3d", []int{25, 200})
+	rows, err := ablSuite().AblationMemLatency(context.Background(), "mp3d", []int{25, 200})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"busprefetch/internal/buildinfo"
+	"busprefetch/internal/bus"
+	"busprefetch/internal/obs"
+	"busprefetch/internal/sim"
+)
+
+// Checkpointing persists completed sweep cells through Config.Checkpoints so
+// an interrupted sweep (Ctrl-C, a crash, kill -9) resumes with only the
+// missing cells recomputed. Keys are canonical spec strings — every field
+// that determines a cell's result, plus the build revision — so any
+// configuration or code change misses cleanly instead of resurrecting stale
+// data. Payloads are all-integer JSON snapshots: integers round-trip JSON
+// exactly, so a resumed sweep renders byte-identical reports.
+//
+// Only successful results are checkpointed; errors always re-run. Ablation
+// sweeps are not checkpointed — they are small deterministic re-runs with
+// within-sweep baselines, cheap to recompute relative to the grid.
+
+// cellSnapshot is the persisted form of one grid cell's sim.Result. Every
+// field is integral (uint64s, arrays and maps of uint64s), so the JSON
+// round-trip is exact and a resumed render is byte-identical to the original.
+type cellSnapshot struct {
+	Cycles       uint64
+	Counters     sim.Counters
+	Bus          bus.Stats
+	Procs        []sim.ProcStats
+	RegionMisses map[string]sim.RegionMisses `json:",omitempty"`
+}
+
+// obsSnapshot is the persisted form of one observability cell. obs.Summary is
+// all-integer by design (fixed histogram bucket counts, not floats), so it
+// shares the exactness guarantee.
+type obsSnapshot struct {
+	Summary           *obs.Summary
+	AdjustedCPUMisses uint64
+}
+
+// checkpointsEnabled reports whether the suite may consult the checkpoint
+// store. A PerRun hook can silently change what a cell computes, so with one
+// installed the store is only trusted when the caller segregated the
+// namespace with a Salt that names the variation.
+func (s *Suite) checkpointsEnabled() bool {
+	return s.cfg.Checkpoints != nil && (s.cfg.PerRun == nil || s.cfg.Salt != "")
+}
+
+// specPrefix is the suite-wide portion of every checkpoint key.
+func (s *Suite) specPrefix(kind string) string {
+	return fmt.Sprintf("%s|build=%s|salt=%s|scale=%g|seed=%d|mem=%d|proto=%s",
+		kind, buildinfo.Revision(), s.cfg.Salt, s.cfg.Scale, s.cfg.Seed, s.cfg.MemLatency, s.cfg.Protocol)
+}
+
+// cellKey is the canonical spec string for one grid cell.
+func (s *Suite) cellKey(k Key) string {
+	return fmt.Sprintf("%s|wl=%s|strat=%s|t=%d|restr=%t",
+		s.specPrefix("busprefetch-cell/v1"), k.Workload, k.Strategy, k.Transfer, k.Restructured)
+}
+
+// obsKey is the canonical spec string for one observability cell.
+func (s *Suite) obsKey(c *ObsCell) string {
+	return fmt.Sprintf("%s|wl=%s|strat=%s|t=%d",
+		s.specPrefix("busprefetch-obs/v1"), c.Workload, c.Strategy, c.Transfer)
+}
+
+// loadCellCheckpoint returns the persisted result for k, if the store holds a
+// valid one. The Result's Config is rebuilt the way simulate builds it (sans
+// PerRun — checkpointing under PerRun requires a Salt, and the Config field
+// is diagnostic, not measured).
+func (s *Suite) loadCellCheckpoint(k Key) (*sim.Result, bool) {
+	if !s.checkpointsEnabled() {
+		return nil, false
+	}
+	payload, ok, err := s.cfg.Checkpoints.Get(s.cellKey(k))
+	if err != nil || !ok {
+		return nil, false
+	}
+	var snap cellSnapshot
+	if json.Unmarshal(payload, &snap) != nil {
+		return nil, false
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Label = k.String()
+	cfg.MemLatency = s.cfg.MemLatency
+	cfg.TransferCycles = k.Transfer
+	cfg.Protocol = s.cfg.Protocol
+	return &sim.Result{
+		Config:       cfg,
+		Cycles:       snap.Cycles,
+		Counters:     snap.Counters,
+		Bus:          snap.Bus,
+		Procs:        snap.Procs,
+		RegionMisses: snap.RegionMisses,
+	}, true
+}
+
+// storeCellCheckpoint persists a completed cell. Best-effort: a full or
+// read-only checkpoint volume must not fail the sweep, so errors are dropped
+// (the cell simply re-runs on resume) and surface only through
+// CheckpointStore.Stats.
+func (s *Suite) storeCellCheckpoint(k Key, res *sim.Result) {
+	if !s.checkpointsEnabled() {
+		return
+	}
+	payload, err := json.Marshal(cellSnapshot{
+		Cycles:       res.Cycles,
+		Counters:     res.Counters,
+		Bus:          res.Bus,
+		Procs:        res.Procs,
+		RegionMisses: res.RegionMisses,
+	})
+	if err != nil {
+		return
+	}
+	_ = s.cfg.Checkpoints.Put(s.cellKey(k), payload)
+}
+
+// loadObsCheckpoint fills c from a persisted observability cell, if any.
+func (s *Suite) loadObsCheckpoint(c *ObsCell) bool {
+	if !s.checkpointsEnabled() {
+		return false
+	}
+	payload, ok, err := s.cfg.Checkpoints.Get(s.obsKey(c))
+	if err != nil || !ok {
+		return false
+	}
+	var snap obsSnapshot
+	if json.Unmarshal(payload, &snap) != nil || snap.Summary == nil {
+		return false
+	}
+	c.Summary = snap.Summary
+	c.AdjustedCPUMisses = snap.AdjustedCPUMisses
+	return true
+}
+
+// storeObsCheckpoint persists a completed observability cell, best-effort.
+func (s *Suite) storeObsCheckpoint(c *ObsCell) {
+	if !s.checkpointsEnabled() {
+		return
+	}
+	payload, err := json.Marshal(obsSnapshot{Summary: c.Summary, AdjustedCPUMisses: c.AdjustedCPUMisses})
+	if err != nil {
+		return
+	}
+	_ = s.cfg.Checkpoints.Put(s.obsKey(c), payload)
+}

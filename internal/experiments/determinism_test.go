@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -13,10 +14,10 @@ import (
 func renderAt(t *testing.T, jobs int, seed int64) string {
 	t.Helper()
 	s := NewSuite(Config{Scale: 0.05, Seed: seed, Transfers: []int{8}, Parallelism: jobs})
-	if err := s.Prewarm(t8Keys(s), nil); err != nil {
+	if err := s.Prewarm(context.Background(), t8Keys(s), nil); err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.RenderSections(t8Sections)
+	out, err := s.RenderSections(context.Background(), t8Sections)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestPrewarmParallel(t *testing.T) {
 		{Workload: "water", Strategy: prefetch.NP, Transfer: 4}, // duplicate
 	}
 	var calls int
-	if err := s.Prewarm(keys, func(done, total int) {
+	if err := s.Prewarm(context.Background(), keys, func(done, total int) {
 		calls++
 		if total != 2 {
 			t.Errorf("total = %d, want 2 after dedup", total)
@@ -77,7 +78,7 @@ func TestPaperShapes(t *testing.T) {
 		t.Skip("full grid in -short mode")
 	}
 	s := testSuite()
-	if err := s.Prewarm(s.GridKeys(), nil); err != nil {
+	if err := s.Prewarm(context.Background(), s.GridKeys(), nil); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -87,10 +88,10 @@ func TestGoldenScale1T8Slice(t *testing.T) {
 		t.Skip("scale-1 suite slice in -short mode")
 	}
 	s := NewSuite(Config{Scale: 1, Seed: 1})
-	if err := s.Prewarm(t8Keys(s), nil); err != nil {
+	if err := s.Prewarm(context.Background(), t8Keys(s), nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.RenderSections(t8Sections)
+	got, err := s.RenderSections(context.Background(), t8Sections)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestGoldenProtocolT8Slice(t *testing.T) {
 		t.Skip("scale-1 protocol ablation in -short mode")
 	}
 	s := NewSuite(Config{Scale: 1, Seed: 1})
-	rows, err := s.AblationProtocol("mp3d", []int{8})
+	rows, err := s.AblationProtocol(context.Background(), "mp3d", []int{8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,10 +126,10 @@ func TestGoldenScale1Full(t *testing.T) {
 	}
 	s := NewSuite(Config{Scale: 1, Seed: 1})
 	all := func(string) bool { return true }
-	if err := s.Prewarm(s.KeysFor(all), nil); err != nil {
+	if err := s.Prewarm(context.Background(), s.KeysFor(all), nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.RenderSections(all)
+	got, err := s.RenderSections(context.Background(), all)
 	if err != nil {
 		t.Fatal(err)
 	}

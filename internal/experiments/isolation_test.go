@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -94,7 +95,7 @@ func TestTableRendersAroundPoisonedCell(t *testing.T) {
 func TestPrewarmReportsCellErrors(t *testing.T) {
 	s, bad := poisonedSuite()
 	good := Key{Workload: "water", Strategy: prefetch.NP, Transfer: 8}
-	err := s.Prewarm([]Key{bad, good}, nil)
+	err := s.Prewarm(context.Background(), []Key{bad, good}, nil)
 	if err == nil {
 		t.Fatal("Prewarm with a poisoned cell returned nil")
 	}

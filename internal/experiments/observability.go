@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -54,8 +55,14 @@ func (c ObsCell) Label() string {
 // Observability runs the recorded slice — the Figure 3 workloads (or the
 // given ones) under ObsStrategies at ObsTransfer — on the suite's worker
 // pool and returns cells in canonical (workload-major) order. Recording is
-// deterministic, so the cells are byte-identical at any worker count.
-func (s *Suite) Observability(workloads []string) ([]ObsCell, error) {
+// deterministic, so the cells are byte-identical at any worker count. The
+// cells run under the suite's retry budget and per-cell timeout, resume from
+// the checkpoint store when one is configured, and abort when ctx is
+// cancelled.
+func (s *Suite) Observability(ctx context.Context, workloads []string) ([]ObsCell, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(workloads) == 0 {
 		workloads = Figure3Workloads()
 	}
@@ -70,34 +77,21 @@ func (s *Suite) Observability(workloads []string) ([]ObsCell, error) {
 		c := &cells[i]
 		tasks[i] = runner.Task{
 			Label: "obs:" + c.Label(),
-			Run: func() error {
-				base, err := s.baseTrace(c.Workload, false)
-				if err != nil {
-					return err
+			Run: func(ctx context.Context) error {
+				if s.loadObsCheckpoint(c) {
+					return nil
 				}
-				cfg := sim.DefaultConfig()
-				cfg.MemLatency = s.cfg.MemLatency
-				cfg.TransferCycles = c.Transfer
-				cfg.Protocol = s.cfg.Protocol
-				if s.cfg.PerRun != nil {
-					s.cfg.PerRun(Key{Workload: c.Workload, Strategy: c.Strategy, Transfer: c.Transfer}, &cfg)
+				err, _ := runner.Retry(ctx, s.retryPolicy("obs:"+c.Label()), func(ctx context.Context) error {
+					return s.runObsCell(ctx, c)
+				})
+				if err == nil {
+					s.storeObsCheckpoint(c)
 				}
-				annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: c.Strategy, Geometry: cfg.Geometry})
-				if err != nil {
-					return err
-				}
-				cfg.Obs = obs.New(annotated.Procs(), obs.Options{})
-				res, err := sim.Run(cfg, annotated)
-				if err != nil {
-					return err
-				}
-				c.Summary = res.Obs
-				c.AdjustedCPUMisses = res.Counters.AdjustedCPUMisses()
-				return nil
+				return err
 			},
 		}
 	}
-	errs, times := s.pool.Do(tasks, nil)
+	errs, times := s.pool.Do(ctx, tasks, nil)
 	s.recordTimings(times)
 	for i, err := range errs {
 		if err != nil {
@@ -105,6 +99,39 @@ func (s *Suite) Observability(workloads []string) ([]ObsCell, error) {
 		}
 	}
 	return cells, nil
+}
+
+// runObsCell runs one recorded cell attempt, filling c on success.
+func (s *Suite) runObsCell(ctx context.Context, c *ObsCell) error {
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	base, err := s.baseTrace(ctx, c.Workload, false)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Label = "obs:" + c.Label()
+	cfg.MemLatency = s.cfg.MemLatency
+	cfg.TransferCycles = c.Transfer
+	cfg.Protocol = s.cfg.Protocol
+	if s.cfg.PerRun != nil {
+		s.cfg.PerRun(Key{Workload: c.Workload, Strategy: c.Strategy, Transfer: c.Transfer}, &cfg)
+	}
+	annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: c.Strategy, Geometry: cfg.Geometry})
+	if err != nil {
+		return err
+	}
+	cfg.Obs = obs.New(annotated.Procs(), obs.Options{})
+	res, err := sim.RunContext(ctx, cfg, annotated)
+	if err != nil {
+		return err
+	}
+	c.Summary = res.Obs
+	c.AdjustedCPUMisses = res.Counters.AdjustedCPUMisses()
+	return nil
 }
 
 // RecordChromeTrace re-runs the single cell named by label —
@@ -125,11 +152,12 @@ func (s *Suite) RecordChromeTrace(label string, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("trace cell %q: bad transfer %q", label, parts[2])
 	}
-	base, err := s.baseTrace(parts[0], false)
+	base, err := s.baseTrace(context.Background(), parts[0], false)
 	if err != nil {
 		return err
 	}
 	cfg := sim.DefaultConfig()
+	cfg.Label = "trace:" + label
 	cfg.MemLatency = s.cfg.MemLatency
 	cfg.TransferCycles = transfer
 	cfg.Protocol = s.cfg.Protocol

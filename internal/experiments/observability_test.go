@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 func obsRender(t *testing.T, jobs int) string {
 	t.Helper()
 	s := NewSuite(Config{Scale: 0.05, Seed: 1, Transfers: []int{8}, Parallelism: jobs})
-	got, err := s.RenderSections(func(name string) bool { return name == "observability" })
+	got, err := s.RenderSections(context.Background(), func(name string) bool { return name == "observability" })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestObservabilityDeterministicAcrossWorkerCounts(t *testing.T) {
 
 func TestObservabilityCells(t *testing.T) {
 	s := NewSuite(Config{Scale: 0.05, Seed: 1, Transfers: []int{8}})
-	cells, err := s.Observability(nil)
+	cells, err := s.Observability(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestGoldenObsT8(t *testing.T) {
 		t.Skip("scale-1 observability slice in -short mode")
 	}
 	s := NewSuite(Config{Scale: 1, Seed: 1})
-	got, err := s.RenderSections(func(name string) bool { return name == "observability" })
+	got, err := s.RenderSections(context.Background(), func(name string) bool { return name == "observability" })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"busprefetch/internal/prefetch"
@@ -19,7 +20,7 @@ func TestPrewarmSharesTracesAcrossWorkers(t *testing.T) {
 	for _, st := range prefetch.Strategies() {
 		keys = append(keys, Key{Workload: "mp3d", Strategy: st, Transfer: 8})
 	}
-	if err := s.Prewarm(keys, nil); err != nil {
+	if err := s.Prewarm(context.Background(), keys, nil); err != nil {
 		t.Fatal(err)
 	}
 	// All five cells simulated one shared generation: 1 miss, 4 hits.

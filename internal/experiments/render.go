@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -46,8 +47,13 @@ func (s *Suite) KeysFor(want func(name string) bool) []Key {
 // RenderSections renders the selected sections in canonical order and joins
 // them exactly as mkfigures prints them. A section that fails to build
 // returns an error naming it; per-cell failures inside a section do not —
-// they render as annotated placeholders (see tables.go).
-func (s *Suite) RenderSections(want func(name string) bool) (string, error) {
+// they render as annotated placeholders (see tables.go). ctx cancels the
+// section sweeps that still have cells to run (the ablations and the
+// observability slice; the grid renders from memoized results).
+func (s *Suite) RenderSections(ctx context.Context, want func(name string) bool) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var sections []string
 	add := func(name, body string, err error) error {
 		if err != nil {
@@ -112,19 +118,19 @@ func (s *Suite) RenderSections(want func(name string) bool) (string, error) {
 		}
 	}
 	if want("ablations") {
-		rows, err := s.AblationCacheSize("mp3d", nil)
+		rows, err := s.AblationCacheSize(ctx, "mp3d", nil)
 		if err := add("ablation-cache", RenderAblation("Ablation: cache size (mp3d, NP, T=8)", rows), err); err != nil {
 			return "", err
 		}
-		rows, err = s.AblationLineSize("mp3d", nil)
+		rows, err = s.AblationLineSize(ctx, "mp3d", nil)
 		if err := add("ablation-line", RenderAblation("Ablation: line size (mp3d, NP, T=8)", rows), err); err != nil {
 			return "", err
 		}
-		rows, err = s.AblationAssociativity("topopt")
+		rows, err = s.AblationAssociativity(ctx, "topopt")
 		if err := add("ablation-assoc", RenderAblation("Ablation: associativity & victim cache (topopt, PREF, T=8)", rows), err); err != nil {
 			return "", err
 		}
-		rows, err = s.AblationPrefetchPlacement("mp3d")
+		rows, err = s.AblationPrefetchPlacement(ctx, "mp3d")
 		if err := add("ablation-placement", RenderAblation("Ablation: cache vs buffer prefetching (mp3d, T=8)", rows), err); err != nil {
 			return "", err
 		}
@@ -133,7 +139,7 @@ func (s *Suite) RenderSections(want func(name string) bool) (string, error) {
 		// The three-way coherence ablation is its own section so the golden
 		// harness can pin it (testdata/golden_protocol_t8.txt) without
 		// re-running the other sweeps.
-		rows, err := s.AblationProtocol("mp3d", nil)
+		rows, err := s.AblationProtocol(ctx, "mp3d", nil)
 		if err := add("ablation-protocol", RenderAblation("Ablation: coherence protocols (mp3d, T=8)", rows), err); err != nil {
 			return "", err
 		}
@@ -141,7 +147,7 @@ func (s *Suite) RenderSections(want func(name string) bool) (string, error) {
 	if want("observability") {
 		// Its own golden file (testdata/golden_obs_t8.txt) pins the recorded
 		// slice without re-running the main grid.
-		cells, err := s.Observability(nil)
+		cells, err := s.Observability(ctx, nil)
 		if err := add("observability", RenderObservability(cells), err); err != nil {
 			return "", err
 		}

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
@@ -38,6 +40,23 @@ type Config struct {
 	// injected faults (sim.Config.Faults) and prove the rest of the suite
 	// still renders.
 	PerRun func(k Key, cfg *sim.Config)
+	// Timeout, when positive, bounds each cell attempt's wall clock (trace
+	// generation included): the attempt's context expires and the simulator
+	// aborts at its next cancellation poll. A timed-out attempt is retryable.
+	Timeout time.Duration
+	// Retries is how many extra attempts a retryably-failing cell gets
+	// (injected transient faults, watchdog stalls, per-cell timeouts).
+	// Terminal failures — invariant violations, panics, a cancelled sweep —
+	// never retry. Zero means one attempt, no retries.
+	Retries int
+	// Checkpoints, when non-nil, persists each completed cell so an
+	// interrupted sweep resumes recomputing only the missing ones. See
+	// checkpoint.go for the key discipline and the exactness guarantee.
+	Checkpoints *runner.CheckpointStore
+	// Salt segregates checkpoint namespaces. It is required for
+	// checkpointing when PerRun is set (the hook can change what a cell
+	// computes, so the caller must name the variation); otherwise optional.
+	Salt string
 }
 
 // DefaultConfig returns the paper's sweep at full scale.
@@ -94,9 +113,11 @@ type Suite struct {
 	mu      sync.Mutex
 	results map[Key]*sim.Result
 	// errs memoizes failed runs: a poisoned or broken configuration fails
-	// once and every table that needs the cell gets the same error without
-	// re-simulating.
-	errs map[Key]error
+	// once (after its retry budget) and every table that needs the cell gets
+	// the same error without re-simulating. Failures observed while the
+	// sweep's own context was dying are NOT memoized — a cancelled sweep
+	// must not poison the cell for a later resume.
+	errs map[Key]cellFailure
 	// timings accumulates the wall-clock of every pool-executed task for
 	// the benchmark report.
 	timings []runner.Timing
@@ -110,7 +131,7 @@ func NewSuite(cfg Config) *Suite {
 		pool:    runner.NewPool(cfg.Parallelism),
 		traces:  runner.NewTraceCache(),
 		results: make(map[Key]*sim.Result),
-		errs:    make(map[Key]error),
+		errs:    make(map[Key]cellFailure),
 	}
 }
 
@@ -123,7 +144,7 @@ func (s *Suite) Workers() int { return s.pool.Workers() }
 // Info returns the Table 1 metadata for a workload, generating its trace if
 // needed.
 func (s *Suite) Info(name string) (workload.Info, error) {
-	_, info, err := s.traceFor(name, false, memory.Geometry{})
+	_, info, err := s.traceFor(context.Background(), name, false, memory.Geometry{})
 	return info, err
 }
 
@@ -131,7 +152,7 @@ func (s *Suite) Info(name string) (workload.Info, error) {
 // workload variant at the given layout geometry; the zero geometry selects
 // the default. The underlying cache is shared with the ablations, so an
 // ablation at the default geometry reuses the suite's base traces.
-func (s *Suite) traceFor(name string, restructured bool, g memory.Geometry) (*trace.Trace, workload.Info, error) {
+func (s *Suite) traceFor(ctx context.Context, name string, restructured bool, g memory.Geometry) (*trace.Trace, workload.Info, error) {
 	key := runner.TraceKey{
 		Workload:     name,
 		Scale:        s.cfg.Scale,
@@ -139,7 +160,7 @@ func (s *Suite) traceFor(name string, restructured bool, g memory.Geometry) (*tr
 		Restructured: restructured,
 		Geometry:     g,
 	}
-	return s.traces.Get(key, func() (*trace.Trace, workload.Info, error) {
+	return s.traces.Get(ctx, key, func() (*trace.Trace, workload.Info, error) {
 		w, err := workload.ByName(name)
 		if err != nil {
 			return nil, workload.Info{}, err
@@ -151,8 +172,8 @@ func (s *Suite) traceFor(name string, restructured bool, g memory.Geometry) (*tr
 }
 
 // baseTrace returns the default-geometry trace for a workload variant.
-func (s *Suite) baseTrace(name string, restructured bool) (*trace.Trace, error) {
-	t, _, err := s.traceFor(name, restructured, memory.Geometry{})
+func (s *Suite) baseTrace(ctx context.Context, name string, restructured bool) (*trace.Trace, error) {
+	t, _, err := s.traceFor(ctx, name, restructured, memory.Geometry{})
 	return t, err
 }
 
@@ -174,46 +195,105 @@ func (s *Suite) Bench(total time.Duration) *runner.BenchReport {
 		runtime.GOMAXPROCS(0), timings, total, s.traces)
 }
 
+// cellFailure is a memoized failed run: the final error plus how many
+// attempts the retry policy spent reaching it.
+type cellFailure struct {
+	err      error
+	attempts int
+}
+
 // Result simulates (or returns the memoized result for) one configuration.
 // A failed run is memoized too: the error comes back for every table that
 // needs the cell, without re-simulating, and without affecting any other
 // cell.
 func (s *Suite) Result(k Key) (*sim.Result, error) {
+	return s.result(context.Background(), k)
+}
+
+// result is Result under a context: the sweep's cancellation (and the
+// per-cell Timeout) propagate into the simulation's event loop, retryable
+// failures re-run under the suite's retry budget, and completed cells are
+// persisted to the checkpoint store when one is configured.
+func (s *Suite) result(ctx context.Context, k Key) (*sim.Result, error) {
 	s.mu.Lock()
 	if r, ok := s.results[k]; ok {
 		s.mu.Unlock()
 		return r, nil
 	}
-	if err, ok := s.errs[k]; ok {
+	if f, ok := s.errs[k]; ok {
 		s.mu.Unlock()
-		return nil, err
+		return nil, f.err
 	}
 	s.mu.Unlock()
 
-	res, err := s.simulate(k)
+	if res, ok := s.loadCellCheckpoint(k); ok {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if cached, ok := s.results[k]; ok {
+			return cached, nil
+		}
+		s.results[k] = res
+		return res, nil
+	}
+
+	var res *sim.Result
+	err, attempts := runner.Retry(ctx, s.retryPolicy(k.String()), func(ctx context.Context) error {
+		r, rerr := s.simulate(ctx, k)
+		if rerr == nil {
+			res = r
+		}
+		return rerr
+	})
+	if err == nil {
+		s.storeCellCheckpoint(k, res)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cached, ok := s.results[k]; ok {
 		return cached, nil
 	}
-	if cached, ok := s.errs[k]; ok {
-		return nil, cached
+	if f, ok := s.errs[k]; ok {
+		return nil, f.err
 	}
 	if err != nil {
-		s.errs[k] = err
+		if ctx == nil || ctx.Err() == nil {
+			// Genuine failure: memoize it (with its attempt count) so every
+			// table annotates the same cell the same way. When the sweep
+			// itself was cancelled the failure is circumstantial — leave the
+			// cell unmemoized so a resume recomputes it.
+			s.errs[k] = cellFailure{err: err, attempts: attempts}
+		}
 		return nil, err
 	}
 	s.results[k] = res
 	return res, nil
 }
 
-// simulate runs one cell uncached.
-func (s *Suite) simulate(k Key) (*sim.Result, error) {
-	base, err := s.baseTrace(k.Workload, k.Restructured)
+// retryPolicy builds the per-cell retry policy. The jitter seed mixes the
+// suite seed with the cell label, so retry schedules are deterministic per
+// cell but decorrelated across cells.
+func (s *Suite) retryPolicy(label string) runner.Policy {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return runner.Policy{
+		MaxAttempts: s.cfg.Retries + 1,
+		Seed:        s.cfg.Seed ^ int64(h.Sum64()),
+	}
+}
+
+// simulate runs one cell attempt uncached, under the per-cell timeout.
+func (s *Suite) simulate(ctx context.Context, k Key) (*sim.Result, error) {
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	base, err := s.baseTrace(ctx, k.Workload, k.Restructured)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating %v: %w", k, err)
 	}
 	cfg := sim.DefaultConfig()
+	cfg.Label = k.String()
 	cfg.MemLatency = s.cfg.MemLatency
 	cfg.TransferCycles = k.Transfer
 	cfg.Protocol = s.cfg.Protocol
@@ -224,7 +304,7 @@ func (s *Suite) simulate(k Key) (*sim.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: annotating %v: %w", k, err)
 	}
-	res, err := sim.Run(cfg, annotated)
+	res, err := sim.RunContext(ctx, cfg, annotated)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: simulating %v: %w", k, err)
 	}
@@ -235,6 +315,12 @@ func (s *Suite) simulate(k Key) (*sim.Result, error) {
 type CellError struct {
 	Key Key
 	Err error
+	// Attempts is how many times the cell ran before the error stuck.
+	Attempts int
+	// Terminal reports the error's classification (see runner.Classify):
+	// terminal failures are deterministic facts about the configuration,
+	// retryable ones exhausted their attempt budget.
+	Terminal bool
 }
 
 // CellErrors aggregates every failed cell of a Prewarm pass. It is an error,
@@ -248,23 +334,55 @@ type CellErrors struct {
 func (e *CellErrors) Error() string {
 	msg := fmt.Sprintf("experiments: %d of the suite's runs failed:", len(e.Cells))
 	for _, c := range e.Cells {
-		msg += fmt.Sprintf("\n  %v: %v", c.Key, c.Err)
+		class := "retryable, exhausted"
+		if c.Terminal {
+			class = "terminal"
+		}
+		msg += fmt.Sprintf("\n  %v [%s, %d attempt(s)]: %v", c.Key, class, c.Attempts, c.Err)
 	}
 	return msg
+}
+
+// Failures converts the cell errors to the metrics-report form.
+func (e *CellErrors) Failures() []runner.CellFailure {
+	out := make([]runner.CellFailure, len(e.Cells))
+	for i, c := range e.Cells {
+		class := runner.Retryable
+		if c.Terminal {
+			class = runner.Terminal
+		}
+		out[i] = runner.CellFailure{
+			Cell:     c.Key.String(),
+			Err:      c.Err.Error(),
+			Attempts: c.Attempts,
+			Class:    class.String(),
+		}
+	}
+	return out
 }
 
 // Prewarm simulates the given keys in parallel on the suite's worker pool.
 // Every key is attempted: a failing cell does not stop the others. When any
 // cell failed, Prewarm returns a *CellErrors naming each one (in
-// deterministic key order); the failures are memoized, so the table builders
-// will annotate exactly those cells rather than failing outright.
+// deterministic key order) with its attempt count and classification; the
+// failures are memoized, so the table builders will annotate exactly those
+// cells rather than failing outright.
+//
+// Cancelling ctx stops the sweep: running cells abort at the simulator's
+// next cancellation poll, queued cells are skipped, and Prewarm returns
+// ctx.Err() — not a CellErrors — since nothing definitive was learned about
+// the skipped cells. Completed cells stay memoized (and checkpointed, when a
+// store is configured), so a resumed sweep recomputes only what is missing.
 //
 // Concurrent cells that need the same base trace do not duplicate its
 // generation: the trace cache singleflights, so the first cell generates
 // while the rest wait, then all share the immutable trace. Each cell runs
 // its own simulator with its own progress watchdog (sim.Config.WatchdogCycles),
 // so a hung cell aborts alone.
-func (s *Suite) Prewarm(keys []Key, progress func(done, total int)) error {
+func (s *Suite) Prewarm(ctx context.Context, keys []Key, progress func(done, total int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Deduplicate and order deterministically so error reporting is stable.
 	seen := make(map[Key]bool, len(keys))
 	var todo []Key
@@ -278,20 +396,31 @@ func (s *Suite) Prewarm(keys []Key, progress func(done, total int)) error {
 
 	tasks := make([]runner.Task, len(todo))
 	for i, k := range todo {
-		tasks[i] = runner.Task{Label: k.String(), Run: func() error {
-			_, err := s.Result(k)
+		tasks[i] = runner.Task{Label: k.String(), Run: func(ctx context.Context) error {
+			_, err := s.result(ctx, k)
 			return err
 		}}
 	}
-	errs, times := s.pool.Do(tasks, progress)
+	errs, times := s.pool.Do(ctx, tasks, progress)
 	s.recordTimings(times)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	var failed []CellError
+	s.mu.Lock()
 	for i, err := range errs {
-		if err != nil {
-			failed = append(failed, CellError{Key: todo[i], Err: err})
+		if err == nil {
+			continue
 		}
+		ce := CellError{Key: todo[i], Err: err, Attempts: 1,
+			Terminal: runner.Classify(err) == runner.Terminal}
+		if f, ok := s.errs[todo[i]]; ok {
+			ce.Attempts = f.attempts
+		}
+		failed = append(failed, ce)
 	}
+	s.mu.Unlock()
 	if len(failed) > 0 {
 		return &CellErrors{Cells: failed}
 	}

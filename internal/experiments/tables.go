@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"busprefetch/internal/memory"
@@ -47,7 +48,7 @@ func (s *Suite) Table1() ([]Table1Row, error) {
 			rows = append(rows, Table1Row{Workload: name, Err: err.Error()})
 			continue
 		}
-		t, err := s.baseTrace(name, false)
+		t, err := s.baseTrace(context.Background(), name, false)
 		if err != nil {
 			rows = append(rows, Table1Row{Workload: name, Err: err.Error()})
 			continue
@@ -613,7 +614,7 @@ func RenderTable5(rows []Table5Row, transfers []int) string {
 // SharingSummary summarizes a workload's sharing profile (supporting data
 // for Table 1 and DESIGN.md).
 func (s *Suite) SharingSummary(name string) (trace.Stats, error) {
-	t, err := s.baseTrace(name, false)
+	t, err := s.baseTrace(context.Background(), name, false)
 	if err != nil {
 		return trace.Stats{}, err
 	}

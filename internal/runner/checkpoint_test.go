@@ -1,0 +1,230 @@
+package runner
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "cell|mp3d/PREF/8|scale=0.1|seed=1"
+	payload := []byte(`{"cycles":123456}`)
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("Get before Put = ok=%v err=%v, want miss", ok, err)
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCheckpointOverwrite(t *testing.T) {
+	s, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s.Get("k")
+	if !ok || string(got) != "new" {
+		t.Errorf("Get = %q ok=%v, want new", got, ok)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Errorf("Len = %d after overwrite, want 1", n)
+	}
+}
+
+// TestCheckpointSelfHealsCorruption: every corruption mode — truncation, a
+// flipped payload bit, a flipped footer bit, garbage — must read as a miss,
+// delete the bad file, and let a fresh Put land cleanly. The store never
+// serves corrupt bytes.
+func TestCheckpointSelfHealsCorruption(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"payload bit flip", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }},
+		{"footer bit flip", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+		{"empty", func([]byte) []byte { return nil }},
+		{"garbage", func([]byte) []byte { return []byte("not a checkpoint at all") }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := OpenCheckpointStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const key = "victim"
+			if err := s.Put(key, []byte("precious result")); err != nil {
+				t.Fatal(err)
+			}
+			path := s.path(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mut(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, err := s.Get(key); err != nil || ok {
+				t.Fatalf("corrupt Get = ok=%v err=%v, want clean miss", ok, err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt entry not quarantined")
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Errorf("Corrupt = %d, want 1", st.Corrupt)
+			}
+			// The slot is reusable.
+			if err := s.Put(key, []byte("recomputed")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok, _ := s.Get(key); !ok || string(got) != "recomputed" {
+				t.Errorf("recomputed Get = %q ok=%v", got, ok)
+			}
+		})
+	}
+}
+
+// TestCheckpointKeyPinning: a file renamed onto another key's slot (or a
+// hypothetical hash collision) fails the stored-key check and reads as a miss.
+func TestCheckpointKeyPinning(t *testing.T) {
+	s, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("alpha", []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path("alpha"), s.path("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("beta"); err != nil || ok {
+		t.Fatalf("aliased Get = ok=%v err=%v, want miss", ok, err)
+	}
+}
+
+func TestCheckpointVerify(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.Put(k, []byte("payload-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if corrupt, err := s.Verify(); err != nil || len(corrupt) != 0 {
+		t.Fatalf("clean store Verify = %v, %v", corrupt, err)
+	}
+	// Tear one entry and alias another.
+	data, err := os.ReadFile(s.path("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("a"), data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path("b"), filepath.Join(dir, strings.Repeat("ee", 16)+".ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	corrupt, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt) != 2 {
+		t.Errorf("Verify found %d corrupt entries (%v), want 2", len(corrupt), corrupt)
+	}
+}
+
+// TestCheckpointOpenSweepsTempFiles: a kill mid-write leaves a temp file; a
+// reopened store must clear it without touching completed entries.
+func TestCheckpointOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("done", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "deadbeef.ckpt.tmp123")
+	if err := os.WriteFile(orphan, []byte("half a write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpointStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphaned temp file survived reopen")
+	}
+	if got, ok, _ := s.Get("done"); !ok || string(got) != "ok" {
+		t.Errorf("completed entry lost in temp sweep: %q ok=%v", got, ok)
+	}
+}
+
+func TestCheckpointRejectsOversizedInputs(t *testing.T) {
+	s, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(strings.Repeat("k", maxCkptKeyLen+1), []byte("x")); err == nil {
+		t.Error("oversized key accepted")
+	}
+}
+
+func TestCheckpointConcurrentAccess(t *testing.T) {
+	s, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			key := string(rune('a' + g%4))
+			for i := 0; i < 20; i++ {
+				if err := s.Put(key, []byte{byte(g), byte(i)}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, _, err := s.Get(key); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if corrupt, err := s.Verify(); err != nil || len(corrupt) != 0 {
+		t.Errorf("concurrent traffic corrupted the store: %v, %v", corrupt, err)
+	}
+}

@@ -24,6 +24,19 @@ type CellMetrics struct {
 	Summary *obs.Summary `json:"summary"`
 }
 
+// CellFailure is one failed sweep cell in a metrics report: which cell, what
+// happened, how hard the engine tried, and whether the error was terminal
+// (deterministic — an invariant violation, a panic) or retryable-but-
+// exhausted (a stall or timeout that survived every attempt).
+type CellFailure struct {
+	Cell string `json:"cell"`
+	Err  string `json:"err"`
+	// Attempts is how many times the cell ran before the error stuck.
+	Attempts int `json:"attempts"`
+	// Class is "terminal" or "retryable" (see runner.Classify).
+	Class string `json:"class"`
+}
+
 // MetricsReport is the per-cell observability companion to BenchReport,
 // written alongside BENCH_suite.json by mkfigures -metrics-out. Where the
 // bench report answers "how long did each cell take to simulate", this one
@@ -37,6 +50,16 @@ type MetricsReport struct {
 	Seed  int64   `json:"seed"`
 	// Cells is sorted by label so reports diff cleanly.
 	Cells []CellMetrics `json:"cells"`
+	// Errors lists the sweep cells that failed (empty on a clean run),
+	// sorted by label. A failed cell has no metrics entry; this is where its
+	// story lives.
+	Errors []CellFailure `json:"errors,omitempty"`
+}
+
+// SetErrors records the failed cells, sorted by label.
+func (r *MetricsReport) SetErrors(failures []CellFailure) {
+	r.Errors = append([]CellFailure(nil), failures...)
+	sort.Slice(r.Errors, func(i, j int) bool { return r.Errors[i].Cell < r.Errors[j].Cell })
 }
 
 // NewMetricsReport assembles a report; cells are sorted by label.

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"busprefetch/internal/check"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrClass
+	}{
+		{"nil", nil, Retryable},
+		{"transient", &TransientError{Err: errors.New("disk hiccup")}, Retryable},
+		{"wrapped transient", wrap(&TransientError{Err: errors.New("x")}), Retryable},
+		{"stall", &check.StallError{Cycle: 10, Reason: "empty queue"}, Retryable},
+		{"wrapped stall", wrap(&check.StallError{Cycle: 10, Reason: "q"}), Retryable},
+		{"deadline", context.DeadlineExceeded, Retryable},
+		{"cancelled", context.Canceled, Terminal},
+		{"violation", &check.Violation{Rule: "SWMR"}, Terminal},
+		{"panic", &PanicError{Label: "x", Value: "boom"}, Terminal},
+		{"unknown", errors.New("mystery"), Terminal},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func wrap(err error) error { return &wrapped{err} }
+
+type wrapped struct{ err error }
+
+func (w *wrapped) Error() string { return "wrapped: " + w.err.Error() }
+func (w *wrapped) Unwrap() error { return w.err }
+
+func TestErrClassString(t *testing.T) {
+	if Retryable.String() != "retryable" || Terminal.String() != "terminal" {
+		t.Errorf("String() = %q/%q", Retryable, Terminal)
+	}
+}
+
+// TestRetrySucceedsAfterTransientFailures: a fault that clears after two
+// attempts converges, and the attempt count is faithful.
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err, attempts := Retry(context.Background(), Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}, func(context.Context) error {
+		if calls++; calls < 3 {
+			return &TransientError{Err: errors.New("injected")}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if attempts != 3 || calls != 3 {
+		t.Errorf("attempts = %d, calls = %d, want 3", attempts, calls)
+	}
+}
+
+// TestRetryTerminalStopsImmediately: terminal errors must not burn retries.
+func TestRetryTerminalStopsImmediately(t *testing.T) {
+	boom := errors.New("deterministic bug")
+	calls := 0
+	err, attempts := Retry(context.Background(), Policy{MaxAttempts: 5, BaseDelay: time.Microsecond}, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Retry: %v", err)
+	}
+	if attempts != 1 || calls != 1 {
+		t.Errorf("terminal error retried: attempts = %d, calls = %d", attempts, calls)
+	}
+	var ex *ExhaustedError
+	if errors.As(err, &ex) {
+		t.Error("single terminal failure wrapped in ExhaustedError")
+	}
+}
+
+// TestRetryExhaustion: a persistently retryable error surfaces as
+// *ExhaustedError wrapping the last failure, still unwrappable to the cause.
+func TestRetryExhaustion(t *testing.T) {
+	cause := &check.StallError{Cycle: 7, Reason: "stuck"}
+	err, attempts := Retry(context.Background(), Policy{MaxAttempts: 3, BaseDelay: time.Microsecond}, func(context.Context) error {
+		return cause
+	})
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("Retry = %v, want *ExhaustedError", err)
+	}
+	if ex.Attempts != 3 {
+		t.Errorf("ExhaustedError.Attempts = %d, want 3", ex.Attempts)
+	}
+	var stall *check.StallError
+	if !errors.As(err, &stall) || stall.Cycle != 7 {
+		t.Errorf("cause lost through ExhaustedError: %v", err)
+	}
+}
+
+// TestRetryHonorsCancellation: cancelling between attempts must end the loop
+// with ctx.Err() instead of sleeping into a doomed retry.
+func TestRetryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err, attempts := Retry(ctx, Policy{MaxAttempts: 10, BaseDelay: time.Hour}, func(context.Context) error {
+		calls++
+		cancel()
+		return &TransientError{Err: errors.New("injected")}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retry = %v, want context.Canceled", err)
+	}
+	if calls != 1 || attempts != 1 {
+		t.Errorf("ran %d attempts after cancellation", calls)
+	}
+}
+
+// TestRetryBackoffIsDeterministic: a fixed seed produces a reproducible
+// jitter schedule — two runs with the same policy sleep identically.
+func TestRetryBackoffIsDeterministic(t *testing.T) {
+	schedule := func() []time.Duration {
+		var gaps []time.Duration
+		last := time.Now()
+		Retry(context.Background(), Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, Seed: 42}, func(context.Context) error {
+			now := time.Now()
+			gaps = append(gaps, now.Sub(last))
+			last = now
+			return &TransientError{Err: errors.New("always")}
+		})
+		return gaps
+	}
+	a, b := schedule(), schedule()
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("schedules ran %d/%d attempts, want 4", len(a), len(b))
+	}
+	// Jittered delays double from BaseDelay with factor in [0.5, 1.5); assert
+	// each gap is within the admissible window rather than comparing noisy
+	// wall-clock samples directly.
+	for i, gap := range a[1:] {
+		base := time.Millisecond << i
+		if gap < base/2 {
+			t.Errorf("gap %d = %v, below the minimum jittered delay %v", i, gap, base/2)
+		}
+	}
+}
+
+func TestRetryZeroPolicyRunsOnce(t *testing.T) {
+	calls := 0
+	err, attempts := Retry(context.Background(), Policy{}, func(context.Context) error {
+		calls++
+		return &TransientError{Err: errors.New("x")}
+	})
+	if calls != 1 || attempts != 1 {
+		t.Errorf("zero policy ran %d times, want 1", calls)
+	}
+	if err == nil {
+		t.Error("error swallowed")
+	}
+}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,7 +30,7 @@ func TestPoolCanonicalReduction(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = Task{
 			Label: fmt.Sprintf("task-%02d", i),
-			Run: func() error {
+			Run: func(context.Context) error {
 				if i%3 == 0 {
 					return fmt.Errorf("fail-%d", i)
 				}
@@ -37,7 +38,7 @@ func TestPoolCanonicalReduction(t *testing.T) {
 			},
 		}
 	}
-	errs, times := p.Do(tasks, nil)
+	errs, times := p.Do(context.Background(), tasks, nil)
 	if len(errs) != n || len(times) != n {
 		t.Fatalf("got %d errs, %d timings, want %d each", len(errs), len(times), n)
 	}
@@ -49,8 +50,16 @@ func TestPoolCanonicalReduction(t *testing.T) {
 			if errs[i] == nil || errs[i].Error() != fmt.Sprintf("fail-%d", i) {
 				t.Errorf("errs[%d] = %v, want fail-%d", i, errs[i], i)
 			}
-		} else if errs[i] != nil {
-			t.Errorf("errs[%d] = %v, want nil", i, errs[i])
+			if times[i].Err != fmt.Sprintf("fail-%d", i) {
+				t.Errorf("times[%d].Err = %q, want fail-%d", i, times[i].Err, i)
+			}
+		} else {
+			if errs[i] != nil {
+				t.Errorf("errs[%d] = %v, want nil", i, errs[i])
+			}
+			if times[i].Err != "" {
+				t.Errorf("times[%d].Err = %q, want empty", i, times[i].Err)
+			}
 		}
 	}
 }
@@ -62,7 +71,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 	var mu sync.Mutex
 	tasks := make([]Task, 24)
 	for i := range tasks {
-		tasks[i] = Task{Label: "t", Run: func() error {
+		tasks[i] = Task{Label: "t", Run: func(context.Context) error {
 			n := cur.Add(1)
 			mu.Lock()
 			if n > peak.Load() {
@@ -73,7 +82,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 			return nil
 		}}
 	}
-	p.Do(tasks, nil)
+	p.Do(context.Background(), tasks, nil)
 	if got := peak.Load(); got > bound {
 		t.Errorf("peak concurrency %d exceeded bound %d", got, bound)
 	}
@@ -83,10 +92,10 @@ func TestPoolProgressSerialized(t *testing.T) {
 	p := NewPool(8)
 	tasks := make([]Task, 20)
 	for i := range tasks {
-		tasks[i] = Task{Label: "t", Run: func() error { return nil }}
+		tasks[i] = Task{Label: "t", Run: func(context.Context) error { return nil }}
 	}
 	var seen []int
-	p.Do(tasks, func(done, total int) {
+	p.Do(context.Background(), tasks, func(done, total int) {
 		if total != len(tasks) {
 			t.Errorf("total = %d, want %d", total, len(tasks))
 		}
@@ -103,7 +112,7 @@ func TestPoolProgressSerialized(t *testing.T) {
 }
 
 func TestPoolEmptyTasks(t *testing.T) {
-	errs, times := NewPool(4).Do(nil, nil)
+	errs, times := NewPool(4).Do(context.Background(), nil, nil)
 	if len(errs) != 0 || len(times) != 0 {
 		t.Fatalf("empty Do returned %d errs, %d timings", len(errs), len(times))
 	}
@@ -114,15 +123,106 @@ func TestPoolFailureIsolation(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int64
 	tasks := []Task{
-		{Label: "a", Run: func() error { ran.Add(1); return boom }},
-		{Label: "b", Run: func() error { ran.Add(1); return nil }},
-		{Label: "c", Run: func() error { ran.Add(1); return nil }},
+		{Label: "a", Run: func(context.Context) error { ran.Add(1); return boom }},
+		{Label: "b", Run: func(context.Context) error { ran.Add(1); return nil }},
+		{Label: "c", Run: func(context.Context) error { ran.Add(1); return nil }},
 	}
-	errs, _ := p.Do(tasks, nil)
+	errs, _ := p.Do(context.Background(), tasks, nil)
 	if ran.Load() != 3 {
 		t.Errorf("only %d tasks ran; a failure must not stop the others", ran.Load())
 	}
 	if !errors.Is(errs[0], boom) || errs[1] != nil || errs[2] != nil {
 		t.Errorf("errs = %v", errs)
+	}
+}
+
+// TestPoolPanicIsolation: a panicking task must fail alone, surfacing as a
+// *PanicError in its slot, while every other task still runs to completion.
+func TestPoolPanicIsolation(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int64
+	tasks := []Task{
+		{Label: "bomb", Run: func(context.Context) error { panic("kaboom") }},
+		{Label: "b", Run: func(context.Context) error { ran.Add(1); return nil }},
+		{Label: "c", Run: func(context.Context) error { ran.Add(1); return nil }},
+	}
+	errs, times := p.Do(context.Background(), tasks, nil)
+	if ran.Load() != 2 {
+		t.Errorf("only %d healthy tasks ran after a sibling panicked", ran.Load())
+	}
+	var pe *PanicError
+	if !errors.As(errs[0], &pe) {
+		t.Fatalf("errs[0] = %v, want *PanicError", errs[0])
+	}
+	if pe.Label != "bomb" || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = {Label:%q Value:%v stack:%d bytes}", pe.Label, pe.Value, len(pe.Stack))
+	}
+	if times[0].Err == "" {
+		t.Error("panicking task's Timing.Err is empty")
+	}
+	if errs[1] != nil || errs[2] != nil {
+		t.Errorf("healthy tasks failed: %v", errs)
+	}
+}
+
+// TestPoolCancellation: cancelling mid-sweep skips unstarted tasks with
+// ctx.Err() while still reporting a complete reduction — len(tasks) errors,
+// len(tasks) timings, and onDone reaching the full total (the progress
+// totals must stay correct even when tasks error early).
+func TestPoolCancellation(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 8
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Label: fmt.Sprintf("t%d", i), Run: func(c context.Context) error {
+			once.Do(func() { close(started) })
+			<-release
+			return c.Err()
+		}}
+	}
+	go func() {
+		<-started
+		cancel()
+		close(release)
+	}()
+	var last, calls int
+	errs, times := p.Do(ctx, tasks, func(done, total int) {
+		last, calls = done, calls+1
+		if total != n {
+			t.Errorf("total = %d, want %d", total, n)
+		}
+	})
+	if len(errs) != n || len(times) != n {
+		t.Fatalf("got %d errs, %d timings, want %d", len(errs), len(times), n)
+	}
+	if last != n || calls != n {
+		t.Errorf("onDone reached %d after %d calls, want %d/%d: cancelled tasks must still be counted", last, calls, n, n)
+	}
+	skipped := 0
+	for i, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			skipped++
+			if times[i].Err == "" {
+				t.Errorf("cancelled task %d has empty Timing.Err", i)
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Error("no task observed the cancellation")
+	}
+}
+
+// TestPoolNilContext: a nil ctx must behave as context.Background, not panic.
+func TestPoolNilContext(t *testing.T) {
+	var nilCtx context.Context
+	errs, _ := NewPool(2).Do(nilCtx, []Task{
+		{Label: "a", Run: func(context.Context) error { return nil }},
+	}, nil)
+	if errs[0] != nil {
+		t.Fatalf("errs = %v", errs)
 	}
 }

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"busprefetch/internal/memory"
@@ -64,14 +66,27 @@ func NewTraceCache() *TraceCache {
 // call for the same key observes the same (*trace.Trace, Info, error); gen
 // runs at most once per key, on the calling goroutine that missed. Callers
 // must treat the returned trace as immutable.
-func (c *TraceCache) Get(k TraceKey, gen func() (*trace.Trace, workload.Info, error)) (*trace.Trace, workload.Info, error) {
+//
+// Cancellation cannot poison the cache: a waiter whose ctx fires bails with
+// ctx.Err() while the in-flight generation proceeds for everyone else, and a
+// generation that itself fails with a cancellation error is evicted before
+// its waiters are released — later callers regenerate instead of inheriting
+// one caller's dead context as a permanent failure.
+func (c *TraceCache) Get(ctx context.Context, k TraceKey, gen func() (*trace.Trace, workload.Info, error)) (*trace.Trace, workload.Info, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	k = k.NormalizeGeometry()
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
 		c.hits++
 		c.mu.Unlock()
-		<-e.ready
-		return e.t, e.info, e.err
+		select {
+		case <-e.ready:
+			return e.t, e.info, e.err
+		case <-ctx.Done():
+			return nil, workload.Info{}, ctx.Err()
+		}
 	}
 	e := &traceEntry{ready: make(chan struct{})}
 	c.entries[k] = e
@@ -79,6 +94,16 @@ func (c *TraceCache) Get(k TraceKey, gen func() (*trace.Trace, workload.Info, er
 	c.mu.Unlock()
 
 	e.t, e.info, e.err = gen()
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// The generation died with its caller's context, not on its own
+		// merits: evict the entry (if it is still ours) so the next caller
+		// regenerates rather than observing the memoized cancellation.
+		c.mu.Lock()
+		if c.entries[k] == e {
+			delete(c.entries, k)
+		}
+		c.mu.Unlock()
+	}
 	close(e.ready)
 	return e.t, e.info, e.err
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -41,7 +42,7 @@ func TestTraceCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tr, _, err := c.Get(testKey("mp3d", false), func() (*trace.Trace, workload.Info, error) {
+			tr, _, err := c.Get(context.Background(), testKey("mp3d", false), func() (*trace.Trace, workload.Info, error) {
 				generations.Add(1)
 				return generate("mp3d", false)()
 			})
@@ -69,11 +70,11 @@ func TestTraceCacheSingleflight(t *testing.T) {
 
 func TestTraceCacheDistinctKeys(t *testing.T) {
 	c := NewTraceCache()
-	a, _, err := c.Get(testKey("water", false), generate("water", false))
+	a, _, err := c.Get(context.Background(), testKey("water", false), generate("water", false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := c.Get(TraceKey{Workload: "water", Scale: 0.1, Seed: 2}, func() (*trace.Trace, workload.Info, error) {
+	b, _, err := c.Get(context.Background(), TraceKey{Workload: "water", Scale: 0.1, Seed: 2}, func() (*trace.Trace, workload.Info, error) {
 		w, _ := workload.ByName("water")
 		return w.Generate(workload.Params{Scale: 0.1, Seed: 2})
 	})
@@ -97,11 +98,11 @@ func TestTraceCacheGeometryNormalization(t *testing.T) {
 	k0 := testKey("water", false)
 	kd := k0
 	kd.Geometry = memory.DefaultGeometry()
-	a, _, err := c.Get(k0, generate("water", false))
+	a, _, err := c.Get(context.Background(), k0, generate("water", false))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := c.Get(kd, generate("water", false))
+	b, _, err := c.Get(context.Background(), kd, generate("water", false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,10 +123,10 @@ func TestTraceCacheMemoizesErrors(t *testing.T) {
 		calls.Add(1)
 		return nil, workload.Info{}, boom
 	}
-	if _, _, err := c.Get(testKey("mp3d", true), bad); !errors.Is(err, boom) {
+	if _, _, err := c.Get(context.Background(), testKey("mp3d", true), bad); !errors.Is(err, boom) {
 		t.Fatalf("first Get: %v", err)
 	}
-	if _, _, err := c.Get(testKey("mp3d", true), bad); !errors.Is(err, boom) {
+	if _, _, err := c.Get(context.Background(), testKey("mp3d", true), bad); !errors.Is(err, boom) {
 		t.Fatalf("second Get: %v", err)
 	}
 	if calls.Load() != 1 {
@@ -140,7 +141,7 @@ func TestTraceCacheHitRate(t *testing.T) {
 	}
 	k := testKey("water", false)
 	for i := 0; i < 4; i++ {
-		if _, _, err := c.Get(k, generate("water", false)); err != nil {
+		if _, _, err := c.Get(context.Background(), k, generate("water", false)); err != nil {
 			t.Fatal(err)
 		}
 	}

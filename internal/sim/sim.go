@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -58,6 +59,11 @@ func (p PrefetchTarget) String() string {
 // Config sets the simulated machine's parameters. The zero value is not
 // valid; use DefaultConfig.
 type Config struct {
+	// Label names the run in diagnostics — the sweep cell it simulates
+	// ("mp3d/PREF/T=8"). It never affects simulation results; stall reports
+	// and cancellation errors carry it so a failure inside a 200-cell sweep
+	// identifies itself. Empty is fine.
+	Label string
 	// Geometry is the per-processor data cache shape.
 	Geometry memory.Geometry
 	// MemLatency is the total uncontended memory access latency in cycles
@@ -425,6 +431,18 @@ func rate(n, d uint64) float64 {
 // The trace must validate (see trace.Validate); Run checks it and reports a
 // deadlocked or hung replay as an error.
 func Run(cfg Config, t *trace.Trace) (*Result, error) {
+	return RunContext(context.Background(), cfg, t)
+}
+
+// RunContext is Run under a context: cancelling ctx (Ctrl-C, a per-cell
+// deadline) aborts the replay at the next event-dispatch boundary with an
+// error wrapping ctx.Err(), leaving no goroutines or partial state behind —
+// the simulator is single-goroutine and simply stops dispatching. The
+// cancellation check is polled every cancelPollEvents dispatches, so an
+// enabled context costs a counter increment per event on the hot path, and
+// even a run wedged in progress-bearing work (a livelock the watchdog cannot
+// distinguish from real work) terminates promptly once ctx fires.
+func RunContext(ctx context.Context, cfg Config, t *trace.Trace) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -441,6 +459,7 @@ func Run(cfg Config, t *trace.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.ctx = ctx
 	return s.run()
 }
 
@@ -532,8 +551,14 @@ type simulator struct {
 	// Every use is behind a nil check so a disabled run allocates nothing.
 	rec *obs.Recorder
 
+	// ctx, when non-nil, is polled every cancelPollEvents event dispatches;
+	// once it is done the run aborts with an error wrapping ctx.Err().
+	ctx       context.Context
+	pollCount uint64
+
 	// err is the first fatal condition (invariant violation, bus misuse,
-	// watchdog trip) seen during the run; the engine aborts on it.
+	// watchdog trip, context cancellation) seen during the run; the engine
+	// aborts on it.
 	err error
 	// progress counts retired work across all processors; the watchdog in
 	// watch trips when it stops advancing.
@@ -569,11 +594,27 @@ const defaultWatchdogCycles = 1 << 20
 // livelocks that churn same-cycle events without advancing time.
 const watchdogEventLimit = 1 << 20
 
+// cancelPollEvents is how many event dispatches pass between context polls:
+// frequent enough that cancellation lands within microseconds of real time,
+// rare enough that the poll's synchronization cost vanishes from the hot
+// path (the kernel dispatches ~10M events/s).
+const cancelPollEvents = 1024
+
 // watch runs before every event dispatch: it aborts the run on the first
-// recorded error and implements the progress watchdog.
+// recorded error, polls the context, and implements the progress watchdog.
 func (s *simulator) watch(now uint64) error {
 	if s.err != nil {
 		return s.err
+	}
+	if s.pollCount++; s.pollCount%cancelPollEvents == 0 && s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			if s.cfg.Label != "" {
+				s.err = fmt.Errorf("sim: %s: run cancelled at cycle %d: %w", s.cfg.Label, now, err)
+			} else {
+				s.err = fmt.Errorf("sim: run cancelled at cycle %d: %w", now, err)
+			}
+			return s.err
+		}
 	}
 	if s.progress != s.lastProgress {
 		s.lastProgress = s.progress
@@ -596,7 +637,7 @@ func (s *simulator) watch(now uint64) error {
 // stallError diagnoses every unfinished processor: what it waits on, and for
 // locks, who holds the contended lock.
 func (s *simulator) stallError(now uint64, reason string) *check.StallError {
-	e := &check.StallError{Cycle: now, Reason: reason}
+	e := &check.StallError{Label: s.cfg.Label, Cycle: now, Progress: s.progress, Reason: reason}
 	for _, p := range s.procs {
 		if p.finished {
 			continue
