@@ -308,6 +308,48 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkOnlineOverhead measures the online-prefetcher kernel's cost on
+// the BenchmarkSimulator workload (the bare demand stream an online run
+// replays). "none" is the oracle path — no engine configured — and is the
+// regression gate for the zero-overhead-when-disabled guarantee: every
+// online hook hides behind a nil engine check, so its ns/op must track
+// BenchmarkSimulator (CI gates it against bench/baseline.txt). The engine
+// variants price each training structure's per-reference Observe cost.
+// Compare with:
+//
+//	go test -bench 'BenchmarkSimulator$|BenchmarkOnlineOverhead' -count 10
+func BenchmarkOnlineOverhead(b *testing.B) {
+	w, err := workload.ByName("mp3d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, _, err := w.Generate(workload.Params{Scale: 0.2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	for _, bc := range []struct {
+		name   string
+		online prefetch.OnlineConfig
+	}{
+		{"none", prefetch.OnlineConfig{}},
+		{"stride", prefetch.OnlineConfig{Kind: prefetch.Stride, Strategy: prefetch.PREF}},
+		{"temporal", prefetch.OnlineConfig{Kind: prefetch.Temporal, Strategy: prefetch.PREF}},
+		{"pointer", prefetch.OnlineConfig{Kind: prefetch.Pointer, Strategy: prefetch.PREF}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runCfg := cfg
+				runCfg.Online = bc.online
+				if _, err := sim.Run(runCfg, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Events()*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // BenchmarkAnnotate measures offline prefetch-insertion throughput.
 func BenchmarkAnnotate(b *testing.B) {
 	w, err := workload.ByName("pverify")

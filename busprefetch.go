@@ -80,6 +80,12 @@ type RunSpec struct {
 	// Strategy is one of "NP", "PREF", "EXCL", "LPD", "PWS" (case
 	// insensitive). Empty means NP.
 	Strategy string
+	// Prefetcher selects how prefetches are decided: "oracle" (the default,
+	// the paper's offline annotator with perfect future knowledge) or one of
+	// the online engines — "stride", "temporal", "pointer" — which train on
+	// the demand stream during the run and issue prefetches at simulation
+	// time under the selected Strategy. Case insensitive.
+	Prefetcher string
 	// Transfer is the contended data-transfer latency in cycles (the paper
 	// sweeps 4-32). Zero selects 8.
 	Transfer int
@@ -125,6 +131,9 @@ func (s RunSpec) normalize() (RunSpec, error) {
 	}
 	if s.Strategy == "" {
 		s.Strategy = "NP"
+	}
+	if s.Prefetcher == "" {
+		s.Prefetcher = "oracle"
 	}
 	if s.Transfer == 0 {
 		s.Transfer = 8
@@ -192,9 +201,14 @@ type Metrics struct {
 
 	// PrefetchesIssued counts prefetch instructions executed;
 	// PrefetchOverhead is prefetches per demand reference (the instruction
-	// overhead the annotation added).
+	// overhead the annotation added). Both are zero under an online
+	// prefetcher, whose stream carries no prefetch instructions.
 	PrefetchesIssued uint64
 	PrefetchOverhead float64
+
+	// OnlinePrefetches counts bus fetches initiated by an online engine
+	// (zero under the oracle).
+	OnlinePrefetches uint64
 
 	// BusOps is the total number of bus transactions (fills, invalidations
 	// and writebacks).
@@ -217,6 +231,7 @@ func metricsFrom(spec RunSpec, annotated *trace.Trace, res *sim.Result) *Metrics
 		ProcessorUtilization: res.MeanProcUtilization(),
 		PrefetchesIssued:     res.Counters.PrefetchesIssued,
 		PrefetchOverhead:     prefetch.Overhead(annotated),
+		OnlinePrefetches:     res.Counters.OnlineIssued,
 		BusOps:               res.Bus.TotalOps(),
 	}
 	m.Components = MissComponents{
@@ -256,7 +271,11 @@ func Run(spec RunSpec) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	annotated, err := prefetch.Annotate(base, prefetch.Options{
+	pfKind, err := prefetch.ParsePrefetcher(spec.Prefetcher)
+	if err != nil {
+		return nil, err
+	}
+	annotated, err := prefetch.ByKind(pfKind).Annotate(base, prefetch.Options{
 		Strategy:           strat,
 		Geometry:           geom,
 		Distance:           spec.Distance,
@@ -270,6 +289,9 @@ func Run(spec RunSpec) (*Metrics, error) {
 	cfg.MemLatency = spec.MemLatency
 	cfg.TransferCycles = spec.Transfer
 	cfg.VictimCacheLines = spec.VictimCacheLines
+	if pfKind.Online() {
+		cfg.Online = prefetch.OnlineConfig{Kind: pfKind, Strategy: strat}
+	}
 	if spec.BufferPrefetch {
 		cfg.PrefetchTarget = sim.PrefetchToBuffer
 	}

@@ -16,6 +16,7 @@
 //	mkfigures -scale 0.25     # quick pass
 //	mkfigures -only fig2      # a single experiment
 //	mkfigures -protocol dragon # the whole grid under write-update coherence
+//	mkfigures -prefetcher stride # the whole grid with online stride prefetching
 //	mkfigures -jobs 8         # shard cells across 8 workers
 //	mkfigures -out results.md # also write a Markdown report
 //	mkfigures -bench-out BENCH_suite.json  # record the perf trajectory
@@ -40,6 +41,7 @@ import (
 	"busprefetch/internal/coherence"
 	"busprefetch/internal/experiments"
 	"busprefetch/internal/obs"
+	"busprefetch/internal/prefetch"
 	"busprefetch/internal/runner"
 )
 
@@ -67,6 +69,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		only       = fs.String("only", "", "run one experiment: "+strings.Join(experiments.SectionNames(), ", "))
 		jobs       = fs.Int("jobs", 0, "worker pool size for sharding cells (0 = GOMAXPROCS)")
 		protoStr   = fs.String("protocol", "illinois", "coherence protocol for the suite grid: illinois, msi, or dragon")
+		pfName     = fs.String("prefetcher", "oracle", "prefetcher for the suite grid: oracle, stride, temporal, or pointer")
 		out        = fs.String("out", "", "also write the report to this file")
 		benchOut   = fs.String("bench-out", "", "write a JSON benchmark report (wall-clock per cell, trace-cache hit rate) to this file")
 		metricsOut = fs.String("metrics-out", "", "write the observability slice (prefetch lifetimes, latency histograms) as JSON to this file")
@@ -111,6 +114,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	pfKind, err := prefetch.ParsePrefetcher(*pfName)
+	if err != nil {
+		return err
+	}
 
 	prof := obs.Profiling{PprofAddr: *pprofAddr, CPUProfile: *cpuProfile, ExecTrace: *execTrace}
 	if err := prof.Start(); err != nil {
@@ -122,7 +129,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *jobs, Protocol: proto,
-		Timeout: *timeout, Retries: *retries}
+		Prefetcher: pfKind, Timeout: *timeout, Retries: *retries}
 	if *resume != "" {
 		store, err := runner.OpenCheckpointStore(*resume)
 		if err != nil {

@@ -7,6 +7,7 @@
 //
 //	prefetchsim -workload mp3d -strategy PREF -transfer 8
 //	prefetchsim -workload pverify -all -transfer 4      # all five strategies
+//	prefetchsim -workload mp3d -strategy PREF -prefetcher stride  # online engine
 //	prefetchsim -workload topopt -all -restructured
 //	prefetchsim -trace water.bptr -strategy PREF   # replay a saved trace
 //	prefetchsim -strategy PREF -trace-out run.json # export a Perfetto trace
@@ -65,6 +66,15 @@ func strategyNames() string {
 	return strings.Join(names, ", ")
 }
 
+// prefetcherNames returns the valid -prefetcher values.
+func prefetcherNames() string {
+	var names []string
+	for _, k := range prefetch.Kinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ", ")
+}
+
 // run is the whole command: every failure — an unknown workload, a bad flag
 // combination, a corrupt trace file, a simulation fault — comes back as an
 // error and turns into one diagnostic line and a non-zero exit, never a panic.
@@ -76,6 +86,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	var (
 		wlName       = fs.String("workload", "mp3d", "workload: "+workloadNames())
 		stratName    = fs.String("strategy", "NP", "prefetch strategy: "+strategyNames())
+		pfName       = fs.String("prefetcher", "oracle", "prefetcher: "+prefetcherNames()+" (online engines issue at simulation time)")
 		all          = fs.Bool("all", false, "run all five strategies and compare")
 		transfer     = fs.Int("transfer", 8, "contended data-transfer latency in cycles (paper: 4-32)")
 		latency      = fs.Int("latency", 100, "total memory latency in cycles")
@@ -137,6 +148,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// Resolve the protocol and strategy before the (possibly expensive)
 	// trace generation so a typo'd flag fails in milliseconds.
 	proto, err := coherence.Parse(*protoStr)
+	if err != nil {
+		return err
+	}
+	pfKind, err := prefetch.ParsePrefetcher(*pfName)
 	if err != nil {
 		return err
 	}
@@ -211,12 +226,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 					ctx, cancel = context.WithTimeout(ctx, *timeout)
 					defer cancel()
 				}
-				annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
+				annotated, err := prefetch.ByKind(pfKind).Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
 				if err != nil {
 					return err
 				}
 				runCfg := cfg
 				runCfg.Label = info.Name + "/" + s.String()
+				if pfKind.Online() {
+					runCfg.Online = prefetch.OnlineConfig{Kind: pfKind, Strategy: s}
+					runCfg.Label += "/" + pfKind.String()
+				}
 				if *traceOut != "" {
 					// -all is excluded above, so this is the only task and the
 					// recorder assignment is race-free.
@@ -262,6 +281,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return err
 		}
 		printComponents(stdout, res)
+		printOnline(stdout, res)
 		if *regions {
 			printRegions(stdout, res)
 		}
@@ -329,6 +349,18 @@ func printComponents(w io.Writer, res *sim.Result) {
 	busy, mem, lock, barrier, buffer := res.WaitBreakdown()
 	fmt.Fprintf(w, "    time: busy %.2f mem %.2f lock %.2f barrier %.2f buffer %.2f\n",
 		busy, mem, lock, barrier, buffer)
+}
+
+// printOnline shows the online engine's issue accounting and internal
+// bookkeeping; silent on oracle runs, so their output is unchanged.
+func printOnline(w io.Writer, res *sim.Result) {
+	if res.Online == nil {
+		return
+	}
+	c := &res.Counters
+	fmt.Fprintf(w, "    online: emitted %d (issued %d, filtered %d, dropped %d); trained %d useful %d untimely %d divergence %d\n",
+		c.OnlineEmitted, c.OnlineIssued, c.OnlineFiltered, c.OnlineDropped,
+		res.Online.Trained, res.Online.Useful, res.Online.Untimely, res.Online.Divergence)
 }
 
 func pct(n, d uint64) float64 {

@@ -7,6 +7,7 @@ import (
 	"busprefetch/internal/buildinfo"
 	"busprefetch/internal/bus"
 	"busprefetch/internal/obs"
+	"busprefetch/internal/prefetch"
 	"busprefetch/internal/sim"
 )
 
@@ -41,6 +42,17 @@ type obsSnapshot struct {
 	AdjustedCPUMisses uint64
 }
 
+// onlineSnapshot is the persisted form of one online-vs-oracle cell. Every
+// field is integral (counters, histogram buckets, engine tallies), so it
+// shares the exactness guarantee.
+type onlineSnapshot struct {
+	Cycles   uint64
+	NPCycles uint64
+	Counters sim.Counters
+	Summary  *obs.Summary
+	Stats    *prefetch.EngineStats `json:",omitempty"`
+}
+
 // checkpointsEnabled reports whether the suite may consult the checkpoint
 // store. A PerRun hook can silently change what a cell computes, so with one
 // installed the store is only trusted when the caller segregated the
@@ -51,8 +63,8 @@ func (s *Suite) checkpointsEnabled() bool {
 
 // specPrefix is the suite-wide portion of every checkpoint key.
 func (s *Suite) specPrefix(kind string) string {
-	return fmt.Sprintf("%s|build=%s|salt=%s|scale=%g|seed=%d|mem=%d|proto=%s",
-		kind, buildinfo.Revision(), s.cfg.Salt, s.cfg.Scale, s.cfg.Seed, s.cfg.MemLatency, s.cfg.Protocol)
+	return fmt.Sprintf("%s|build=%s|salt=%s|scale=%g|seed=%d|mem=%d|proto=%s|pf=%s",
+		kind, buildinfo.Revision(), s.cfg.Salt, s.cfg.Scale, s.cfg.Seed, s.cfg.MemLatency, s.cfg.Protocol, s.cfg.Prefetcher)
 }
 
 // cellKey is the canonical spec string for one grid cell.
@@ -65,6 +77,12 @@ func (s *Suite) cellKey(k Key) string {
 func (s *Suite) obsKey(c *ObsCell) string {
 	return fmt.Sprintf("%s|wl=%s|strat=%s|t=%d",
 		s.specPrefix("busprefetch-obs/v1"), c.Workload, c.Strategy, c.Transfer)
+}
+
+// onlineKey is the canonical spec string for one online-vs-oracle cell.
+func (s *Suite) onlineKey(c *OnlineCell) string {
+	return fmt.Sprintf("%s|wl=%s|engine=%s|t=%d",
+		s.specPrefix("busprefetch-online/v1"), c.Workload, c.Engine, c.Transfer)
 }
 
 // loadCellCheckpoint returns the persisted result for k, if the store holds a
@@ -147,4 +165,42 @@ func (s *Suite) storeObsCheckpoint(c *ObsCell) {
 		return
 	}
 	_ = s.cfg.Checkpoints.Put(s.obsKey(c), payload)
+}
+
+// loadOnlineCheckpoint fills c from a persisted online cell, if any.
+func (s *Suite) loadOnlineCheckpoint(c *OnlineCell) bool {
+	if !s.checkpointsEnabled() {
+		return false
+	}
+	payload, ok, err := s.cfg.Checkpoints.Get(s.onlineKey(c))
+	if err != nil || !ok {
+		return false
+	}
+	var snap onlineSnapshot
+	if json.Unmarshal(payload, &snap) != nil || snap.Summary == nil {
+		return false
+	}
+	c.Cycles, c.NPCycles = snap.Cycles, snap.NPCycles
+	c.Counters = snap.Counters
+	c.Summary = snap.Summary
+	c.Stats = snap.Stats
+	return true
+}
+
+// storeOnlineCheckpoint persists a completed online cell, best-effort.
+func (s *Suite) storeOnlineCheckpoint(c *OnlineCell) {
+	if !s.checkpointsEnabled() {
+		return
+	}
+	payload, err := json.Marshal(onlineSnapshot{
+		Cycles:   c.Cycles,
+		NPCycles: c.NPCycles,
+		Counters: c.Counters,
+		Summary:  c.Summary,
+		Stats:    c.Stats,
+	})
+	if err != nil {
+		return
+	}
+	_ = s.cfg.Checkpoints.Put(s.onlineKey(c), payload)
 }

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"busprefetch/internal/obs"
+	"busprefetch/internal/prefetch"
+	"busprefetch/internal/report"
+	"busprefetch/internal/runner"
+	"busprefetch/internal/sim"
+)
+
+// The online section asks the question the oracle annotator cannot: does the
+// paper's conclusion — prefetching helps little on a bus-based machine
+// because the bus, not the miss rate, is the bottleneck — survive when the
+// prefetcher is *imperfect*? It re-runs the transfer-cost comparison on the
+// Figure 3 workloads with the prefetch decisions made at simulation time by
+// each online engine (stride, temporal, pointer), beside the oracle's PREF
+// annotation, at the paper's cheap (T=8) and expensive (T=32) bus points,
+// with the obs recorder classifying every prefetch's fate. Like the
+// observability slice, these cells are separate from the memoized grid; only
+// the NP baselines (for relative time) come from the grid, so the normalizer
+// is the same machine the main tables report.
+
+// OnlineTransfers lists the data-transfer costs the online section sweeps:
+// the paper's headline T=8 point and the bus-saturated T=32 extreme, where
+// the limitation argument is sharpest.
+func OnlineTransfers() []int { return []int{8, 32} }
+
+// OnlineCell is one cell of the online-vs-oracle sweep: a (workload,
+// prefetcher, transfer) triple's execution time, miss counters, engine
+// bookkeeping, and recorded prefetch lifetimes.
+type OnlineCell struct {
+	Workload string
+	Engine   prefetch.Kind
+	Transfer int
+	// Cycles is the cell's parallel execution time; NPCycles is the
+	// no-prefetching baseline at the same transfer cost (the relative-time
+	// denominator, read from the memoized grid).
+	Cycles   uint64
+	NPCycles uint64
+	// Counters is the run's full counter block (miss rates, online issue
+	// accounting).
+	Counters sim.Counters
+	// Summary is the obs lifetime/latency record.
+	Summary *obs.Summary
+	// Stats is the engine's own bookkeeping; nil on the oracle row.
+	Stats *prefetch.EngineStats
+}
+
+// Label returns the cell's label, "workload/engine/transfer".
+func (c OnlineCell) Label() string {
+	return fmt.Sprintf("%s/%s/%d", c.Workload, c.Engine, c.Transfer)
+}
+
+// RelativeTime returns the cell's execution time relative to the NP baseline
+// (the paper's headline metric; below 1 is a speedup).
+func (c OnlineCell) RelativeTime() float64 {
+	if c.NPCycles == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.NPCycles)
+}
+
+// onlineNPKeys returns the grid cells the online sweep's baselines need.
+func onlineNPKeys(workloads []string, transfers []int) []Key {
+	var keys []Key
+	for _, wl := range workloads {
+		for _, tr := range transfers {
+			keys = append(keys, Key{Workload: wl, Strategy: prefetch.NP, Transfer: tr})
+		}
+	}
+	return keys
+}
+
+// Online runs the online-vs-oracle sweep — the Figure 3 workloads (or the
+// given ones) under every prefetcher kind at OnlineTransfers (or the given
+// transfers) — on the suite's worker pool and returns cells in canonical
+// (workload-major, then kind, then transfer) order. The NP baselines are
+// prewarmed through the memoized grid first, so every cell's relative time
+// normalizes against the same baseline the main tables use. The cells run
+// under the suite's retry budget and per-cell timeout, resume from the
+// checkpoint store when one is configured, and abort when ctx is cancelled.
+func (s *Suite) Online(ctx context.Context, workloads []string, transfers []int) ([]OnlineCell, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(workloads) == 0 {
+		workloads = Figure3Workloads()
+	}
+	if len(transfers) == 0 {
+		transfers = OnlineTransfers()
+	}
+	if err := s.Prewarm(ctx, onlineNPKeys(workloads, transfers), nil); err != nil {
+		return nil, err
+	}
+	var cells []OnlineCell
+	for _, wl := range workloads {
+		for _, k := range prefetch.Kinds() {
+			for _, tr := range transfers {
+				cells = append(cells, OnlineCell{Workload: wl, Engine: k, Transfer: tr})
+			}
+		}
+	}
+	tasks := make([]runner.Task, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		tasks[i] = runner.Task{
+			Label: "online:" + c.Label(),
+			Run: func(ctx context.Context) error {
+				if s.loadOnlineCheckpoint(c) {
+					return nil
+				}
+				err, _ := runner.Retry(ctx, s.retryPolicy("online:"+c.Label()), func(ctx context.Context) error {
+					return s.runOnlineCell(ctx, c)
+				})
+				if err == nil {
+					s.storeOnlineCheckpoint(c)
+				}
+				return err
+			},
+		}
+	}
+	errs, times := s.pool.Do(ctx, tasks, nil)
+	s.recordTimings(times)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cells[i].Label(), err)
+		}
+	}
+	return cells, nil
+}
+
+// runOnlineCell runs one online cell attempt, filling c on success. The
+// oracle row annotates PREF offline; an engine row replays the bare demand
+// stream and lets the engine issue at simulation time under the same PREF
+// discipline, so the two differ only in *when* the prefetch decision is made.
+func (s *Suite) runOnlineCell(ctx context.Context, c *OnlineCell) error {
+	if s.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	np, err := s.result(ctx, Key{Workload: c.Workload, Strategy: prefetch.NP, Transfer: c.Transfer})
+	if err != nil {
+		return err
+	}
+	base, err := s.baseTrace(ctx, c.Workload, false)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Label = "online:" + c.Label()
+	cfg.MemLatency = s.cfg.MemLatency
+	cfg.TransferCycles = c.Transfer
+	cfg.Protocol = s.cfg.Protocol
+	if s.cfg.PerRun != nil {
+		s.cfg.PerRun(Key{Workload: c.Workload, Strategy: prefetch.PREF, Transfer: c.Transfer}, &cfg)
+	}
+	annotated, err := prefetch.ByKind(c.Engine).Annotate(base, prefetch.Options{Strategy: prefetch.PREF, Geometry: cfg.Geometry})
+	if err != nil {
+		return err
+	}
+	if c.Engine.Online() {
+		cfg.Online = prefetch.OnlineConfig{Kind: c.Engine, Strategy: prefetch.PREF}
+	}
+	cfg.Obs = obs.New(annotated.Procs(), obs.Options{})
+	res, err := sim.RunContext(ctx, cfg, annotated)
+	if err != nil {
+		return err
+	}
+	c.Cycles, c.NPCycles = res.Cycles, np.Cycles
+	c.Counters = res.Counters
+	c.Summary = res.Obs
+	c.Stats = res.Online
+	return nil
+}
+
+// RenderOnline formats the online section: one row per cell with the
+// relative execution time, the adjusted miss rate, and the recorded
+// prefetch-fate taxonomy, so oracle and engine rows read off the same
+// ruler.
+func RenderOnline(cells []OnlineCell) string {
+	t := report.NewTable(
+		"Online engines vs oracle annotation (PREF discipline)",
+		"Workload", "Engine", "T", "Rel.time", "adj MR", "Fetched",
+		"Useful", "Late", "Evicted", "Inval", "Unused",
+		"Acc", "Timely", "Cover")
+	for _, c := range cells {
+		s := c.Summary
+		total := s.LifetimesTotal()
+		share := func(class obs.LifetimeClass) string {
+			if total == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.1f%%", 100*float64(s.LifetimeCount(class))/float64(total))
+		}
+		adjMR := 0.0
+		if refs := c.Counters.DemandRefs(); refs > 0 {
+			adjMR = float64(c.Counters.AdjustedCPUMisses()) / float64(refs)
+		}
+		t.AddRow(c.Workload, c.Engine.String(), fmt.Sprintf("%d", c.Transfer),
+			fmt.Sprintf("%.3f", c.RelativeTime()),
+			fmt.Sprintf("%.4f", adjMR),
+			fmt.Sprintf("%d", total),
+			share(obs.LifeUseful), share(obs.LifeLate), share(obs.LifeEvicted),
+			share(obs.LifeInvalidated), share(obs.LifeUnused),
+			fmt.Sprintf("%.2f", s.Accuracy()), fmt.Sprintf("%.2f", s.Timeliness()),
+			fmt.Sprintf("%.2f", s.Coverage(c.Counters.AdjustedCPUMisses())))
+	}
+	return t.String()
+}

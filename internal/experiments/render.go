@@ -16,7 +16,7 @@ import (
 // SectionNames lists the report sections in presentation order; these are
 // also the valid values of mkfigures' -only flag.
 func SectionNames() []string {
-	return []string{"table1", "fig1", "table2", "fig2", "util", "fig3", "table3", "table4", "table5", "ablations", "protocols", "observability"}
+	return []string{"table1", "fig1", "table2", "fig2", "util", "fig3", "table3", "table4", "table5", "ablations", "protocols", "observability", "online"}
 }
 
 // ValidSection reports whether name selects a known section
@@ -40,6 +40,11 @@ func (s *Suite) KeysFor(want func(name string) bool) []Key {
 	}
 	if want("table4") || want("table5") {
 		keys = append(keys, s.RestructuredKeys()...)
+	}
+	if want("online") {
+		// The online sweep runs its own recorded cells, but normalizes
+		// against the grid's NP baselines.
+		keys = append(keys, onlineNPKeys(Figure3Workloads(), OnlineTransfers())...)
 	}
 	return keys
 }
@@ -149,6 +154,14 @@ func (s *Suite) RenderSections(ctx context.Context, want func(name string) bool)
 		// slice without re-running the main grid.
 		cells, err := s.Observability(ctx, nil)
 		if err := add("observability", RenderObservability(cells), err); err != nil {
+			return "", err
+		}
+	}
+	if want("online") {
+		// Its own golden file (testdata/golden_online_t8.txt) pins the T=8
+		// half of the online-vs-oracle sweep without re-running the grid.
+		cells, err := s.Online(ctx, nil, nil)
+		if err := add("online", RenderOnline(cells), err); err != nil {
 			return "", err
 		}
 	}

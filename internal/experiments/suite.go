@@ -32,6 +32,13 @@ type Config struct {
 	// (the zero value is Illinois, the paper's machine). The protocol
 	// ablation ignores it — it sweeps protocols itself.
 	Protocol sim.Protocol
+	// Prefetcher selects how every grid cell's prefetches are decided: the
+	// oracle annotator (the zero value, the paper's machine) or one of the
+	// online engines, which replay the bare demand stream and issue at
+	// simulation time under each cell's strategy. The online-vs-oracle
+	// section ignores it — it sweeps prefetchers itself — and the
+	// observability slice always records the oracle.
+	Prefetcher prefetch.Kind
 	// Parallelism bounds concurrent simulations; 0 selects GOMAXPROCS.
 	Parallelism int
 	// PerRun, when non-nil, adjusts one run's simulator configuration just
@@ -300,9 +307,12 @@ func (s *Suite) simulate(ctx context.Context, k Key) (*sim.Result, error) {
 	if s.cfg.PerRun != nil {
 		s.cfg.PerRun(k, &cfg)
 	}
-	annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: k.Strategy, Geometry: cfg.Geometry})
+	annotated, err := prefetch.ByKind(s.cfg.Prefetcher).Annotate(base, prefetch.Options{Strategy: k.Strategy, Geometry: cfg.Geometry})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: annotating %v: %w", k, err)
+	}
+	if s.cfg.Prefetcher.Online() {
+		cfg.Online = prefetch.OnlineConfig{Kind: s.cfg.Prefetcher, Strategy: k.Strategy}
 	}
 	res, err := sim.RunContext(ctx, cfg, annotated)
 	if err != nil {

@@ -13,4 +13,10 @@
 //	LPD   as PREF with a 400-cycle prefetch distance.
 //	PWS   as PREF, plus redundant prefetches of write-shared lines chosen
 //	      by a 16-line associative temporal-locality filter.
+//
+// The oracle is one implementation of the pluggable Prefetcher interface
+// (engine.go). Beside it sit three online engines — stride, temporal
+// (SISB-style), and pointer-chase — that train on the demand stream during
+// the simulation and issue prefetches with no future knowledge, selected
+// per run by sim.Config.Online (see DESIGN.md §5b).
 package prefetch

@@ -1,0 +1,74 @@
+package prefetch
+
+import (
+	"strings"
+	"testing"
+)
+
+// The shared table-driven parser test: ParseStrategy and ParsePrefetcher
+// obey the same contract — case-insensitive resolution of every
+// registered name, and a rejection diagnostic that lists every valid name
+// so the CLI error is self-documenting.
+
+func TestParsers(t *testing.T) {
+	for _, p := range []struct {
+		parser string
+		parse  func(string) (string, error) // normalized: returns String() of the parsed value
+		valid  map[string]string            // input -> expected String()
+		names  []string                     // every name the error must list
+	}{
+		{
+			parser: "ParseStrategy",
+			parse: func(s string) (string, error) {
+				st, err := ParseStrategy(s)
+				return st.String(), err
+			},
+			valid: map[string]string{
+				"NP": "NP", "np": "NP",
+				"PREF": "PREF", "pref": "PREF", "Pref": "PREF",
+				"EXCL": "EXCL", "excl": "EXCL",
+				"LPD": "LPD", "lpd": "LPD",
+				"PWS": "PWS", "pws": "PWS",
+			},
+			names: []string{"NP", "PREF", "EXCL", "LPD", "PWS"},
+		},
+		{
+			parser: "ParsePrefetcher",
+			parse: func(s string) (string, error) {
+				k, err := ParsePrefetcher(s)
+				return k.String(), err
+			},
+			valid: map[string]string{
+				"oracle": "oracle", "Oracle": "oracle", "ORACLE": "oracle",
+				"stride": "stride", "Stride": "stride",
+				"temporal": "temporal", "TEMPORAL": "temporal",
+				"pointer": "pointer", "Pointer": "pointer",
+			},
+			names: []string{"oracle", "stride", "temporal", "pointer"},
+		},
+	} {
+		t.Run(p.parser, func(t *testing.T) {
+			for in, want := range p.valid {
+				got, err := p.parse(in)
+				if err != nil || got != want {
+					t.Errorf("%s(%q) = %v, %v; want %v", p.parser, in, got, err, want)
+				}
+			}
+			for _, bogus := range []string{"", "bogus", "PREFX", "oraclee", "n p"} {
+				_, err := p.parse(bogus)
+				if err == nil {
+					t.Errorf("%s(%q) accepted", p.parser, bogus)
+					continue
+				}
+				for _, name := range p.names {
+					if !strings.Contains(err.Error(), name) {
+						t.Errorf("%s(%q) error %q does not list valid name %q", p.parser, bogus, err, name)
+					}
+				}
+				if !strings.Contains(err.Error(), "valid:") {
+					t.Errorf("%s(%q) error %q lacks the valid-names diagnostic", p.parser, bogus, err)
+				}
+			}
+		})
+	}
+}

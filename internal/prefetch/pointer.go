@@ -1,0 +1,115 @@
+package prefetch
+
+import "busprefetch/internal/memory"
+
+// The pointer-chase engine for linked data structures, after the
+// content-directed / fill-scanning family (e.g. arXiv 1801.08088): real
+// hardware scans each filled cache line for values that look like
+// pointers and prefetches what they point at. This reproduction's traces
+// carry addresses, not data values, so the line-content scan is modeled
+// by a learned out-edge table: when a demand miss jumps from line A to a
+// *far* line B — too far to be a stride neighbor, the signature of a
+// pointer dereference — the engine records the edge A -> B, standing in
+// for "line A's contents hold a pointer to B". When a line with known
+// out-edges fills, the engine queues those edges as candidates, exactly
+// as a content scan of the arriving fill would, and emits them at the
+// processor's next observed reference (fills complete at bus time, not
+// CPU time, so issue waits for the CPU to be back at a reference
+// boundary).
+//
+// The edge table is bounded with a small per-line fan-out (a line holds
+// few pointers) and evicts nothing beyond the FIFO fan-out, so behavior
+// cannot depend on map iteration order.
+
+// pointerTableSize bounds the number of source lines with learned edges.
+const pointerTableSize = 1 << 14
+
+// pointerFanout bounds the out-edges learned per source line.
+const pointerFanout = 4
+
+// pointerNearLines is the stride exclusion window: jumps of at most this
+// many lines are left to the stride engine's territory and not learned as
+// pointer edges.
+const pointerNearLines = 2
+
+type pointerEngine struct {
+	track
+	edges    map[memory.Addr][]memory.Addr
+	queue    []Candidate // fill-time discoveries awaiting the next Observe
+	lastLine memory.Addr
+	haveLast bool
+}
+
+func newPointerEngine(opt EngineOptions) *pointerEngine {
+	return &pointerEngine{track: track{opt: opt}, edges: make(map[memory.Addr][]memory.Addr)}
+}
+
+func (e *pointerEngine) Kind() Kind { return Pointer }
+
+func (e *pointerEngine) Observe(r Ref, cand []Candidate) []Candidate {
+	e.stats.Observed++
+	e.noteMiss(r)
+	// Drain what the last fill's "content scan" discovered, up to degree.
+	if e.enabled() {
+		n := e.opt.degree()
+		if n > len(e.queue) {
+			n = len(e.queue)
+		}
+		for _, c := range e.queue[:n] {
+			cand = e.emit(cand, c)
+		}
+		e.queue = e.queue[:0]
+	}
+	// Learn pointer-like jumps from the miss stream: the previous
+	// reference touched lastLine, and now the processor misses on a far
+	// line — the dereference signature.
+	if r.Miss && e.haveLast && e.lastLine != r.Line && !e.near(e.lastLine, r.Line) {
+		e.learn(e.lastLine, r.Line)
+	}
+	e.lastLine, e.haveLast = r.Line, true
+	return cand
+}
+
+// near reports whether b is within the stride exclusion window of a.
+func (e *pointerEngine) near(a, b memory.Addr) bool {
+	d := int64(b) - int64(a)
+	if d < 0 {
+		d = -d
+	}
+	return d <= int64(pointerNearLines*e.opt.Geometry.LineSize)
+}
+
+// learn records the out-edge src -> dst, FIFO-bounded per source line.
+func (e *pointerEngine) learn(src, dst memory.Addr) {
+	out := e.edges[src]
+	for _, x := range out {
+		if x == dst {
+			return
+		}
+	}
+	if out == nil && len(e.edges) >= pointerTableSize {
+		return
+	}
+	if len(out) >= pointerFanout {
+		copy(out, out[1:])
+		out = out[:len(out)-1]
+	}
+	e.edges[src] = append(out, dst)
+	e.stats.Trained++
+}
+
+func (e *pointerEngine) Fill(la memory.Addr, wasPrefetch bool) {
+	e.noteFill(la)
+	if !e.enabled() {
+		return
+	}
+	// The modeled content scan: the arriving line's learned out-edges
+	// become candidates, queued until the processor's next reference.
+	limit := 2 * e.opt.degree()
+	for _, dst := range e.edges[la] {
+		if len(e.queue) >= limit {
+			break
+		}
+		e.queue = append(e.queue, Candidate{Line: dst})
+	}
+}

@@ -3,6 +3,7 @@ package prefetch
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"busprefetch/internal/filter"
 	"busprefetch/internal/memory"
@@ -42,30 +43,11 @@ func Strategies() []Strategy { return []Strategy{NP, PREF, EXCL, LPD, PWS} }
 // ParseStrategy converts a name ("PREF", "pws", ...) to a Strategy.
 func ParseStrategy(name string) (Strategy, error) {
 	for s, n := range strategyNames {
-		if equalFold(name, n) {
+		if strings.EqualFold(name, n) {
 			return Strategy(s), nil
 		}
 	}
-	return NP, fmt.Errorf("prefetch: unknown strategy %q", name)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
+	return NP, fmt.Errorf("prefetch: unknown strategy %q (valid: %s)", name, strings.Join(strategyNames[:], ", "))
 }
 
 // Options configures insertion.

@@ -9,21 +9,6 @@ import (
 
 func geom() memory.Geometry { return memory.DefaultGeometry() }
 
-func TestParseStrategy(t *testing.T) {
-	for _, c := range []struct {
-		in   string
-		want Strategy
-	}{{"NP", NP}, {"pref", PREF}, {"Excl", EXCL}, {"LPD", LPD}, {"pws", PWS}} {
-		got, err := ParseStrategy(c.in)
-		if err != nil || got != c.want {
-			t.Errorf("ParseStrategy(%q) = %v, %v", c.in, got, err)
-		}
-	}
-	if _, err := ParseStrategy("bogus"); err == nil {
-		t.Error("bogus strategy accepted")
-	}
-}
-
 func TestNPIsIdentity(t *testing.T) {
 	tr := &trace.Trace{Streams: []trace.Stream{{{Kind: trace.Read, Addr: 0x1000}}}}
 	out, err := Annotate(tr, Options{Strategy: NP, Geometry: geom()})

@@ -1,0 +1,101 @@
+package prefetch
+
+import "busprefetch/internal/memory"
+
+// The sequential/stride engine: a per-PC table in the tradition of
+// Chen & Baer's reference prediction table. Each access site (PC proxy)
+// gets an entry recording its last address, its current stride, and a
+// confidence counter; once the same stride repeats, the engine prefetches
+// the lines the site is about to reach.
+//
+// Predictions are emitted at line granularity. Sub-line strides (the
+// common unit-stride array walk, which revisits a 32-byte line for
+// several consecutive references) are widened to one line per step in the
+// stride's direction, so the engine asks for the *next lines*, not the
+// next words; strides of a line or more use the raw stride. Both forms
+// depend only on address deltas, which is what makes issue decisions
+// invariant under line-aligned relabelings of the address space.
+
+// strideTableSize bounds the per-PC table; sites beyond the bound are
+// ignored (never evicted, so behavior cannot depend on map iteration
+// order). The synthetic workloads have far fewer static sites.
+const strideTableSize = 4096
+
+// strideConfidence is how many consecutive repeats of a stride the engine
+// demands before predicting from it.
+const strideConfidence = 2
+
+type strideEntry struct {
+	last   memory.Addr
+	stride int64
+	conf   uint8
+}
+
+type strideEngine struct {
+	track
+	table map[uint64]*strideEntry
+}
+
+func newStrideEngine(opt EngineOptions) *strideEngine {
+	return &strideEngine{track: track{opt: opt}, table: make(map[uint64]*strideEntry)}
+}
+
+func (e *strideEngine) Kind() Kind { return Stride }
+
+func (e *strideEngine) Observe(r Ref, cand []Candidate) []Candidate {
+	e.stats.Observed++
+	e.noteMiss(r)
+	ent := e.table[r.PC]
+	if ent == nil {
+		if len(e.table) >= strideTableSize {
+			return cand
+		}
+		e.table[r.PC] = &strideEntry{last: r.Addr}
+		e.stats.Trained++
+		return cand
+	}
+	delta := int64(r.Addr) - int64(ent.last)
+	ent.last = r.Addr
+	if delta == 0 {
+		// A repeat of the same address carries no stride information
+		// (spin on a flag, reread of a scalar); leave the entry as is.
+		return cand
+	}
+	if delta != ent.stride {
+		ent.stride = delta
+		ent.conf = 1
+		e.stats.Trained++
+		return cand
+	}
+	if ent.conf < strideConfidence {
+		ent.conf++
+		if ent.conf < strideConfidence {
+			return cand
+		}
+	}
+	if !e.enabled() {
+		return cand
+	}
+	// Widen sub-line strides to whole lines so every step is a new line.
+	step := ent.stride
+	lineSize := int64(e.opt.Geometry.LineSize)
+	if step > -lineSize && step < lineSize {
+		if step > 0 {
+			step = lineSize
+		} else {
+			step = -lineSize
+		}
+	}
+	excl := e.opt.excl(r)
+	look := int64(e.opt.lookahead())
+	for k := int64(0); k < int64(e.opt.degree()); k++ {
+		pred := int64(r.Addr) + step*(look+k)
+		if pred < 0 {
+			break
+		}
+		cand = e.emit(cand, Candidate{Line: e.opt.Geometry.LineAddr(memory.Addr(pred)), Excl: excl})
+	}
+	return cand
+}
+
+func (e *strideEngine) Fill(la memory.Addr, wasPrefetch bool) { e.noteFill(la) }

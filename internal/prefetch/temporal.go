@@ -1,0 +1,87 @@
+package prefetch
+
+import "busprefetch/internal/memory"
+
+// The PC-indexed temporal engine, in the style of the simple temporal
+// prefetchers built from a training unit plus a correlation ("mapping")
+// cache (SISB and kin). Temporal prefetching targets the irregular miss
+// sequences stride detection cannot see: if the program missed on line A
+// and then line B last time through a data structure, it will likely do
+// so again.
+//
+// The training unit records, per PC, the previous miss line observed at
+// that site; when the site misses again on a new line, the engine learns
+// the succession old -> new in the mapping cache. Prediction replays the
+// learned chain from the current miss line, up to the configured degree
+// (the LPD strategy first skips lpdLookahead-1 links so the replayed
+// window sits further ahead of the processor). A succession that
+// contradicts a previously learned one overwrites it and counts as a
+// divergence — the engine's signal that the miss stream is not stable.
+//
+// Both tables are bounded and evict nothing (entries beyond the bound are
+// simply not learned), so behavior cannot depend on map iteration order.
+
+// temporalTableSize bounds the training unit and the mapping cache.
+const temporalTableSize = 1 << 15
+
+type temporalEngine struct {
+	track
+	tu      map[uint64]memory.Addr      // training unit: PC -> previous miss line
+	mapping map[memory.Addr]memory.Addr // learned successions: miss line -> next miss line
+}
+
+func newTemporalEngine(opt EngineOptions) *temporalEngine {
+	return &temporalEngine{
+		track:   track{opt: opt},
+		tu:      make(map[uint64]memory.Addr),
+		mapping: make(map[memory.Addr]memory.Addr),
+	}
+}
+
+func (e *temporalEngine) Kind() Kind { return Temporal }
+
+func (e *temporalEngine) Observe(r Ref, cand []Candidate) []Candidate {
+	e.stats.Observed++
+	e.noteMiss(r)
+	if !r.Miss {
+		// Temporal engines train on the miss stream only: hits neither
+		// advance the training unit nor trigger predictions.
+		return cand
+	}
+	la := r.Line
+	if last, ok := e.tu[r.PC]; ok && last != la {
+		if m, learned := e.mapping[last]; learned {
+			if m != la {
+				e.mapping[last] = la
+				e.stats.Divergence++
+			}
+		} else if len(e.mapping) < temporalTableSize {
+			e.mapping[last] = la
+			e.stats.Trained++
+		}
+	}
+	if _, ok := e.tu[r.PC]; ok || len(e.tu) < temporalTableSize {
+		e.tu[r.PC] = la
+	}
+	if !e.enabled() {
+		return cand
+	}
+	// Replay the learned chain from the current miss. The chain may
+	// cycle; the bounded walk just stops when it returns to the trigger.
+	excl := e.opt.excl(r)
+	skip := e.opt.lookahead() - 1
+	next := la
+	for i := 0; i < skip+e.opt.degree(); i++ {
+		m, ok := e.mapping[next]
+		if !ok || m == la {
+			break
+		}
+		next = m
+		if i >= skip {
+			cand = e.emit(cand, Candidate{Line: next, Excl: excl})
+		}
+	}
+	return cand
+}
+
+func (e *temporalEngine) Fill(la memory.Addr, wasPrefetch bool) { e.noteFill(la) }

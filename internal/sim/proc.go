@@ -7,6 +7,7 @@ import (
 	"busprefetch/internal/coherence"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/obs"
+	"busprefetch/internal/prefetch"
 	"busprefetch/internal/trace"
 )
 
@@ -96,6 +97,12 @@ type proc struct {
 	// wasted records line addresses whose prefetched-but-unused copy was
 	// displaced, so the eventual demand miss is classified "prefetched".
 	wasted map[memory.Addr]bool
+	// online is this processor's online prefetch engine (Config.Online);
+	// nil when disabled, and every use is behind a nil check so the
+	// oracle path is untouched. cands is the reused candidate buffer
+	// passed to Observe.
+	online prefetch.Engine
+	cands  []prefetch.Candidate
 
 	// Per-event progress flags; reset when pc advances. They make event
 	// handlers idempotent across block/resume cycles.
@@ -103,6 +110,9 @@ type proc struct {
 	refCounted  bool
 	missCounted bool
 	atBarrier   bool
+	// onlineDone marks that the online engine has observed the current
+	// event, so a blocked access's retries do not re-train it.
+	onlineDone bool
 
 	// writeOpDone is set when the blocked write's bus operation (upgrade or
 	// update broadcast) completed successfully, so the retry must finish the
@@ -127,6 +137,7 @@ func newProc(s *simulator, id int, stream trace.Stream) *proc {
 		stream: stream,
 		cache:  cache.New(s.cfg.Geometry),
 		wasted: make(map[memory.Addr]bool),
+		online: s.cfg.Online.NewEngine(s.cfg.Geometry),
 	}
 	p.runFn = p.run
 	p.wop.req.OnGrant = func(g uint64) { p.grantWriteOp(g) }
@@ -257,17 +268,89 @@ func (p *proc) run(now uint64) {
 		case trace.Barrier:
 			blocked = p.barrierOp(e.Addr)
 		}
+		// The online engine observes each demand reference exactly once,
+		// after its first processing pass — the miss flag is settled by
+		// then — whether or not the access blocked. Sync accesses (lock,
+		// unlock, barrier) are not demand references and are never shown.
+		if p.online != nil && !p.onlineDone && e.Kind.IsDemand() {
+			p.onlineDone = true
+			p.onlineObserve(e)
+		}
 		if blocked {
 			return
 		}
 		p.pc++
 		p.s.progress++
-		p.gapDone, p.refCounted, p.missCounted, p.atBarrier = false, false, false, false
+		p.gapDone, p.refCounted, p.missCounted, p.atBarrier, p.onlineDone = false, false, false, false, false
 		if p.clock >= entry+yieldQuantum {
 			p.s.eng.At(p.clock, p.runFn)
 			return
 		}
 	}
+}
+
+// onlinePC derives the engine's PC proxy from a demand event. The traces
+// carry no program counter; references from the same static access site
+// share the generator-assigned instruction gap that precedes them, so
+// (gap, read/write) identifies a site well enough for PC-indexed tables —
+// and, being address-independent, keeps engine decisions invariant under
+// address relabelings.
+func onlinePC(e trace.Event) uint64 {
+	pc := uint64(e.Gap) << 1
+	if e.Kind == trace.Write {
+		pc |= 1
+	}
+	return pc
+}
+
+// onlineObserve shows a demand reference to the online engine and issues
+// the candidates it returns.
+func (p *proc) onlineObserve(e trace.Event) {
+	r := prefetch.Ref{
+		PC:    onlinePC(e),
+		Addr:  e.Addr,
+		Line:  p.s.geom.LineAddr(e.Addr),
+		Write: e.Kind == trace.Write,
+		Miss:  p.missCounted,
+	}
+	p.cands = p.online.Observe(r, p.cands[:0])
+	p.s.c.OnlineEmitted += uint64(len(p.cands))
+	for _, c := range p.cands {
+		p.onlineIssue(c)
+	}
+}
+
+// onlineIssue launches one engine candidate as a prefetch fetch, applying
+// the same residency filters as a prefetch instruction (prefetchOp). The
+// one difference is the full issue buffer: an instruction stalls the CPU
+// for a slot, an online engine just loses the candidate.
+func (p *proc) onlineIssue(c prefetch.Candidate) {
+	la := c.Line
+	if p.findInflight(la) != nil {
+		p.s.c.OnlineFiltered++
+		return
+	}
+	if l := p.cache.Lookup(la); l != nil && l.State.Valid() {
+		p.s.c.OnlineFiltered++
+		return
+	}
+	if p.victim != nil {
+		if vl := p.victim.Lookup(la); vl != nil && vl.State.Valid() {
+			p.s.c.OnlineFiltered++
+			return
+		}
+	}
+	if p.bufferIndex(la) >= 0 {
+		p.s.c.OnlineFiltered++
+		return
+	}
+	if p.outstandingPrefetch >= p.s.cfg.PrefetchBufferDepth {
+		p.s.c.OnlineDropped++
+		return
+	}
+	delete(p.wasted, la) // a fresh prefetch supersedes the wasted record
+	p.s.c.OnlineIssued++
+	p.startFetch(la, c.Excl, p.s.geom.WordIndex(la), true, bus.Prefetch)
 }
 
 // demandAccess performs a demand read or write. It returns true when the CPU
@@ -351,6 +434,9 @@ func (p *proc) demandAccess(a memory.Addr, isWrite, isSync bool) (blocked bool) 
 		if r := p.s.rec; r != nil {
 			r.PrefetchFirstUse(p.id, uint64(la), p.clock)
 		}
+		if p.online != nil {
+			p.online.Useful(la)
+		}
 		nl, ev := p.cache.Allocate(la)
 		// The install state is whatever the protocol gives the original
 		// (read) prefetch fill, given the sharers observed at its grant.
@@ -387,6 +473,9 @@ func (p *proc) finishHit(line *cache.Line, a memory.Addr, isWrite bool) {
 		line.PrefetchedUnused = false
 		if r := p.s.rec; r != nil {
 			r.PrefetchFirstUse(p.id, uint64(p.s.geom.LineAddr(a)), p.clock)
+		}
+		if p.online != nil {
+			p.online.Useful(p.s.geom.LineAddr(a))
 		}
 	}
 	if isWrite {
@@ -501,6 +590,9 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 			}
 			p.streamBuf = append(p.streamBuf, buffered{la: la, sharers: sharers})
 		}
+		if p.online != nil {
+			p.online.Fill(la, true)
+		}
 		if p.waitingForSlot {
 			p.waitingForSlot = false
 			p.stats.BufferWait += t - p.waitStart
@@ -523,6 +615,9 @@ func (p *proc) completeFetch(inf *inflight, t uint64) {
 		if r := p.s.rec; r != nil {
 			r.PrefetchFilled(p.id, uint64(la), t)
 		}
+	}
+	if p.online != nil {
+		p.online.Fill(la, isPrefetch)
 	}
 	// Fault injection: force the configured state onto the configured line
 	// after this fill, bypassing the protocol. The invariant check below (or

@@ -12,6 +12,7 @@ import (
 	"busprefetch/internal/memory"
 	"busprefetch/internal/names"
 	"busprefetch/internal/obs"
+	"busprefetch/internal/prefetch"
 	"busprefetch/internal/trace"
 )
 
@@ -119,6 +120,14 @@ type Config struct {
 	// progress (livelock), and when the event queue drains with unfinished
 	// processors (deadlock).
 	WatchdogCycles uint64
+	// Online selects an online prefetch engine (prefetch.Stride, Temporal
+	// or Pointer) that trains on the demand stream during the run and
+	// issues its own prefetch fetches, bounded by PrefetchBufferDepth. The
+	// zero value (prefetch.Oracle) disables it: the simulator constructs
+	// no engines and every online hook is behind a nil check, so
+	// oracle-annotated runs are byte-identical to runs before the online
+	// kernel existed.
+	Online prefetch.OnlineConfig
 	// Faults, when non-nil, injects runtime faults (dropped lock releases,
 	// forced cache-line states) into the run. Used by tests to prove the
 	// watchdog and the invariant checker catch real failures; nil for normal
@@ -172,6 +181,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: unknown protocol %d", int(c.Protocol))
 	case c.PrefetchTarget != PrefetchToCache && c.PrefetchTarget != PrefetchToBuffer:
 		return fmt.Errorf("sim: unknown prefetch target %d", int(c.PrefetchTarget))
+	}
+	if err := c.Online.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }
@@ -248,6 +260,20 @@ type Counters struct {
 	// StreamBufferDrops counts buffered lines discarded because a remote
 	// processor wrote them (the non-snooping buffer's correctness guard).
 	StreamBufferDrops uint64
+	// OnlineEmitted counts candidate lines the online engines proposed.
+	// Always zero without Config.Online; every emitted candidate lands in
+	// exactly one of the three counters below.
+	OnlineEmitted uint64
+	// OnlineIssued counts candidates that initiated a bus fetch (these are
+	// also counted in PrefetchFetches, like any other prefetch fetch).
+	OnlineIssued uint64
+	// OnlineFiltered counts candidates dropped because the line was
+	// already resident, buffered, or being fetched.
+	OnlineFiltered uint64
+	// OnlineDropped counts candidates dropped because the issue buffer was
+	// full — unlike a prefetch instruction, an online engine never stalls
+	// the CPU for a slot.
+	OnlineDropped uint64
 }
 
 // DemandRefs returns the demand-reference count (the miss-rate denominator).
@@ -335,6 +361,9 @@ type Result struct {
 	// Obs is the observability summary when Config.Obs was set (nil
 	// otherwise).
 	Obs *obs.Summary
+	// Online is the summed per-processor engine bookkeeping when
+	// Config.Online selected an engine (nil otherwise).
+	Online *prefetch.EngineStats
 }
 
 // CPUMissRate returns CPU misses (including prefetch-in-progress) per demand
@@ -842,6 +871,13 @@ func (s *simulator) run() (*Result, error) {
 		}
 		s.rec.Finish(res.Cycles)
 		res.Obs = s.rec.Summary()
+	}
+	if s.cfg.Online.Enabled() {
+		var agg prefetch.EngineStats
+		for _, p := range s.procs {
+			agg.Add(p.online.Stats())
+		}
+		res.Online = &agg
 	}
 	return res, nil
 }
