@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"busprefetch/internal/coherence"
+	"busprefetch/internal/interconnect"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/sim"
@@ -123,6 +124,18 @@ type RunSpec struct {
 	// Write-shared lines are automatically excluded from prefetching, as
 	// the buffer's correctness requires.
 	BufferPrefetch bool
+	// Interconnect selects the fabric: "bus" (default, the paper's single
+	// split-transaction bus), "multibus" (address-interleaved data buses),
+	// or "directory" (point-to-point with a home-node lookup latency). Case
+	// insensitive.
+	Interconnect string
+	// Buses sets the link count for multibus/directory fabrics (0 = the
+	// fabric default: 2 buses, or one directory link per processor).
+	Buses int
+	// Discipline selects the bus arbitration order: "priority" (default,
+	// the paper's demand > prefetch > writeback) or "fcfs". Case
+	// insensitive.
+	Discipline string
 }
 
 func (s RunSpec) normalize() (RunSpec, error) {
@@ -134,6 +147,12 @@ func (s RunSpec) normalize() (RunSpec, error) {
 	}
 	if s.Prefetcher == "" {
 		s.Prefetcher = "oracle"
+	}
+	if s.Interconnect == "" {
+		s.Interconnect = "bus"
+	}
+	if s.Discipline == "" {
+		s.Discipline = "priority"
 	}
 	if s.Transfer == 0 {
 		s.Transfer = 8
@@ -301,6 +320,10 @@ func Run(spec RunSpec) (*Metrics, error) {
 			return nil, fmt.Errorf("busprefetch: unknown protocol %q", spec.Protocol)
 		}
 		cfg.Protocol = proto
+	}
+	cfg.Interconnect, err = interconnect.ParseConfig(spec.Interconnect, spec.Buses, spec.Discipline)
+	if err != nil {
+		return nil, err
 	}
 	res, err := sim.Run(cfg, annotated)
 	if err != nil {

@@ -206,3 +206,29 @@ func TestBufferPrefetchOption(t *testing.T) {
 			buffer.PrefetchesIssued, cachePf.PrefetchesIssued)
 	}
 }
+
+func TestInterconnectOption(t *testing.T) {
+	single, err := Run(RunSpec{Workload: "mp3d", Strategy: "PREF", Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := Run(RunSpec{Workload: "mp3d", Strategy: "PREF", Scale: 0.05,
+		Interconnect: "multibus", Buses: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four address-interleaved buses must relieve the paper's bottleneck on
+	// its most bus-bound workload.
+	if quad.Cycles >= single.Cycles {
+		t.Errorf("quad bus did not speed up mp3d: %d vs %d cycles", quad.Cycles, single.Cycles)
+	}
+	if _, err := Run(RunSpec{Workload: "mp3d", Scale: 0.05, Interconnect: "nosuch"}); err == nil {
+		t.Error("unknown interconnect accepted")
+	}
+	if _, err := Run(RunSpec{Workload: "mp3d", Scale: 0.05, Discipline: "nosuch"}); err == nil {
+		t.Error("unknown discipline accepted")
+	}
+	if _, err := Run(RunSpec{Workload: "mp3d", Scale: 0.05, Buses: 2}); err == nil {
+		t.Error("multi-link single bus accepted")
+	}
+}

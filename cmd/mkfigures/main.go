@@ -17,6 +17,7 @@
 //	mkfigures -only fig2      # a single experiment
 //	mkfigures -protocol dragon # the whole grid under write-update coherence
 //	mkfigures -prefetcher stride # the whole grid with online stride prefetching
+//	mkfigures -interconnect multibus -buses 4 # the whole grid on a quad bus
 //	mkfigures -jobs 8         # shard cells across 8 workers
 //	mkfigures -out results.md # also write a Markdown report
 //	mkfigures -bench-out BENCH_suite.json  # record the perf trajectory
@@ -40,6 +41,7 @@ import (
 	"busprefetch/internal/buildinfo"
 	"busprefetch/internal/coherence"
 	"busprefetch/internal/experiments"
+	"busprefetch/internal/interconnect"
 	"busprefetch/internal/obs"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/runner"
@@ -70,6 +72,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		jobs       = fs.Int("jobs", 0, "worker pool size for sharding cells (0 = GOMAXPROCS)")
 		protoStr   = fs.String("protocol", "illinois", "coherence protocol for the suite grid: illinois, msi, or dragon")
 		pfName     = fs.String("prefetcher", "oracle", "prefetcher for the suite grid: oracle, stride, temporal, or pointer")
+		icName     = fs.String("interconnect", "bus", "interconnect fabric for the suite grid: bus, multibus, or directory")
+		buses      = fs.Int("buses", 0, "link count for multibus/directory fabrics (0 = fabric default)")
+		discName   = fs.String("discipline", "priority", "bus arbitration discipline for the suite grid: priority or fcfs")
 		out        = fs.String("out", "", "also write the report to this file")
 		benchOut   = fs.String("bench-out", "", "write a JSON benchmark report (wall-clock per cell, trace-cache hit rate) to this file")
 		metricsOut = fs.String("metrics-out", "", "write the observability slice (prefetch lifetimes, latency histograms) as JSON to this file")
@@ -118,6 +123,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	icCfg, err := interconnect.ParseConfig(*icName, *buses, *discName)
+	if err != nil {
+		return err
+	}
 
 	prof := obs.Profiling{PprofAddr: *pprofAddr, CPUProfile: *cpuProfile, ExecTrace: *execTrace}
 	if err := prof.Start(); err != nil {
@@ -129,7 +138,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallelism: *jobs, Protocol: proto,
-		Prefetcher: pfKind, Timeout: *timeout, Retries: *retries}
+		Prefetcher: pfKind, Interconnect: icCfg, Timeout: *timeout, Retries: *retries}
 	if *resume != "" {
 		store, err := runner.OpenCheckpointStore(*resume)
 		if err != nil {

@@ -26,7 +26,10 @@ func TestRunBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-only", "nosuch"},
 		{"-protocol", "nosuch"},
-		{"-trace-cell", "mp3d/PREF/8"}, // no -trace-out
+		{"-interconnect", "nosuch"},
+		{"-discipline", "nosuch"},
+		{"-interconnect", "bus", "-buses", "2"}, // a single bus is one link
+		{"-trace-cell", "mp3d/PREF/8"},          // no -trace-out
 		{"stray-arg"},
 	}
 	for _, args := range cases {

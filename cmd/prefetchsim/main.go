@@ -8,6 +8,7 @@
 //	prefetchsim -workload mp3d -strategy PREF -transfer 8
 //	prefetchsim -workload pverify -all -transfer 4      # all five strategies
 //	prefetchsim -workload mp3d -strategy PREF -prefetcher stride  # online engine
+//	prefetchsim -workload mp3d -all -interconnect multibus -buses 4  # quad-bus fabric
 //	prefetchsim -workload topopt -all -restructured
 //	prefetchsim -trace water.bptr -strategy PREF   # replay a saved trace
 //	prefetchsim -strategy PREF -trace-out run.json # export a Perfetto trace
@@ -26,7 +27,9 @@ import (
 	"text/tabwriter"
 
 	"busprefetch/internal/buildinfo"
+	"busprefetch/internal/bus"
 	"busprefetch/internal/coherence"
+	"busprefetch/internal/interconnect"
 	"busprefetch/internal/obs"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/runner"
@@ -75,6 +78,24 @@ func prefetcherNames() string {
 	return strings.Join(names, ", ")
 }
 
+// interconnectNames returns the valid -interconnect values.
+func interconnectNames() string {
+	var names []string
+	for _, k := range interconnect.Kinds() {
+		names = append(names, k.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// disciplineNames returns the valid -discipline values.
+func disciplineNames() string {
+	var names []string
+	for _, d := range bus.Disciplines() {
+		names = append(names, d.String())
+	}
+	return strings.Join(names, ", ")
+}
+
 // run is the whole command: every failure — an unknown workload, a bad flag
 // combination, a corrupt trace file, a simulation fault — comes back as an
 // error and turns into one diagnostic line and a non-zero exit, never a panic.
@@ -87,6 +108,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		wlName       = fs.String("workload", "mp3d", "workload: "+workloadNames())
 		stratName    = fs.String("strategy", "NP", "prefetch strategy: "+strategyNames())
 		pfName       = fs.String("prefetcher", "oracle", "prefetcher: "+prefetcherNames()+" (online engines issue at simulation time)")
+		icName       = fs.String("interconnect", "bus", "interconnect fabric: "+interconnectNames())
+		buses        = fs.Int("buses", 0, "link count for multibus/directory fabrics (0 = fabric default)")
+		discName     = fs.String("discipline", "priority", "bus arbitration discipline: "+disciplineNames())
 		all          = fs.Bool("all", false, "run all five strategies and compare")
 		transfer     = fs.Int("transfer", 8, "contended data-transfer latency in cycles (paper: 4-32)")
 		latency      = fs.Int("latency", 100, "total memory latency in cycles")
@@ -155,6 +179,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	icCfg, err := interconnect.ParseConfig(*icName, *buses, *discName)
+	if err != nil {
+		return err
+	}
 	var strategies []prefetch.Strategy
 	if *all {
 		strategies = prefetch.Strategies()
@@ -199,6 +227,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.MemLatency = *latency
 	cfg.TransferCycles = *transfer
 	cfg.Protocol = proto
+	cfg.Interconnect = icCfg
 	if *regions {
 		cfg.Regions = info.Regions
 	}
@@ -209,8 +238,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	st := trace.Summarize(base, cfg.Geometry)
 	fmt.Fprintf(stdout, "workload %s: %d procs, %d demand refs (%d reads, %d writes), %d locks, %d barriers\n",
 		info.Name, st.Procs, st.DemandRefs, st.Reads, st.Writes, st.Locks, st.Barriers)
-	fmt.Fprintf(stdout, "data touched %d KB, shared %d KB, write-shared %d KB; transfer latency %d/%d cycles; %s protocol\n\n",
-		st.TouchedData/1024, st.SharedData/1024, st.WriteShared/1024, *transfer, *latency, proto)
+	fabric := ""
+	if spec := icCfg.String(); spec != "bus" {
+		// Non-default fabrics are worth a header mention; the default single
+		// bus keeps the paper-baseline output byte-identical.
+		fabric = "; " + spec + " fabric"
+	}
+	fmt.Fprintf(stdout, "data touched %d KB, shared %d KB, write-shared %d KB; transfer latency %d/%d cycles; %s protocol%s\n\n",
+		st.TouchedData/1024, st.SharedData/1024, st.WriteShared/1024, *transfer, *latency, proto, fabric)
 
 	// The per-strategy runs are independent simulations of the same base
 	// trace: shard them across the worker pool and print in canonical

@@ -165,3 +165,35 @@ func TestRunCorruptTraceRejected(t *testing.T) {
 		t.Fatalf("valid trace rejected: %v", err)
 	}
 }
+
+func TestRunInterconnectFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-workload", "water", "-strategy", "PREF",
+		"-scale", "0.05", "-interconnect", "multibus", "-buses", "4", "-discipline", "fcfs"}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := out.String(); !strings.Contains(got, "multibus:4/fcfs fabric") {
+		t.Errorf("header does not name the fabric:\n%s", got)
+	}
+
+	// The default single bus must not grow a fabric note — the baseline
+	// output is pinned by docs and habit.
+	out.Reset()
+	if err := run(context.Background(), []string{"-workload", "water", "-strategy", "NP", "-scale", "0.05"}, &out); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if strings.Contains(out.String(), "fabric") {
+		t.Errorf("default run mentions a fabric:\n%s", out.String())
+	}
+
+	for _, args := range [][]string{
+		{"-interconnect", "nosuch"},
+		{"-discipline", "nosuch"},
+		{"-interconnect", "bus", "-buses", "2"}, // a single bus is one link
+	} {
+		if err := run(context.Background(), append([]string{"-workload", "water", "-scale", "0.05"}, args...), &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -55,6 +55,42 @@ var opNames = []string{"fill", "invalidate", "writeback", "update"}
 
 func (o Op) String() string { return names.Lookup("Op", opNames, int(o)) }
 
+// Discipline is the bus's arbitration service discipline.
+type Discipline uint8
+
+const (
+	// Priority is the paper's machine (§3.3): all Demand-class requests are
+	// considered before any Prefetch, and writebacks come last; within a
+	// class, round-robin from the last winner.
+	Priority Discipline = iota
+	// FCFS grants strictly in submission order regardless of class — the
+	// alternative service discipline of the queueing analyses in the related
+	// work. A stalled CPU's demand fetch waits behind earlier prefetches and
+	// writebacks.
+	FCFS
+	numDisciplines
+)
+
+var disciplineNames = []string{"priority", "fcfs"}
+
+func (d Discipline) String() string { return names.Lookup("Discipline", disciplineNames, int(d)) }
+
+// Valid reports whether d is a known discipline.
+func (d Discipline) Valid() bool { return d < numDisciplines }
+
+// Disciplines returns every discipline in declaration order.
+func Disciplines() []Discipline { return []Discipline{Priority, FCFS} }
+
+// ParseDiscipline resolves a discipline name ("priority", "fcfs"),
+// case-insensitively.
+func ParseDiscipline(name string) (Discipline, error) {
+	i, err := names.Parse("discipline", disciplineNames, name)
+	if err != nil {
+		return Priority, fmt.Errorf("bus: %w", err)
+	}
+	return Discipline(i), nil
+}
+
 // Request is one bus transaction.
 type Request struct {
 	// Ready is the earliest time the request may be granted (issue time plus
@@ -66,6 +102,10 @@ type Request struct {
 	Class Class
 	// Op classifies the transaction for traffic accounting.
 	Op Op
+	// Addr is the line address the transaction concerns. The single bus
+	// ignores it; multi-link interconnects route on it, so it must be stable
+	// for the life of the request.
+	Addr uint64
 	// Proc is the requesting processor, used for round-robin fairness.
 	// While the request is pending, Class and Proc index the bus's internal
 	// queues and must not be mutated directly; use Promote to raise a
@@ -139,12 +179,13 @@ type Observer func(grant, occupancy uint64, op Op, class Class, proc int)
 // prefetch-buffer-depth of prefetches, and a handful of writebacks), so the
 // occasional mid-queue removal is a short copy within one small slice.
 type Bus struct {
-	sched    Scheduler
-	nproc    int
-	freeAt   uint64
-	lastWin  int // processor that won the previous arbitration
-	observer Observer
-	seq      uint64
+	sched      Scheduler
+	nproc      int
+	freeAt     uint64
+	lastWin    int // processor that won the previous arbitration
+	observer   Observer
+	seq        uint64
+	discipline Discipline
 
 	// queues[class][proc] holds that processor's pending requests of that
 	// class in submission order. classCount tracks entries per class so
@@ -181,15 +222,25 @@ type procQueue []*Request
 
 const noAttempt = ^uint64(0)
 
-// New creates a bus for nproc processors using sched for future events.
+// New creates a bus for nproc processors using sched for future events,
+// arbitrating with the paper's Priority discipline.
 func New(sched Scheduler, nproc int) (*Bus, error) {
+	return NewWithDiscipline(sched, nproc, Priority)
+}
+
+// NewWithDiscipline creates a bus arbitrating under the given service
+// discipline.
+func NewWithDiscipline(sched Scheduler, nproc int, d Discipline) (*Bus, error) {
 	if sched == nil {
 		return nil, fmt.Errorf("bus: nil scheduler")
 	}
 	if nproc <= 0 {
 		return nil, fmt.Errorf("bus: processor count %d must be positive", nproc)
 	}
-	b := &Bus{sched: sched, nproc: nproc, lastWin: nproc - 1, attemptAt: noAttempt, completionDone: true}
+	if !d.Valid() {
+		return nil, fmt.Errorf("bus: unknown discipline %d", int(d))
+	}
+	b := &Bus{sched: sched, nproc: nproc, lastWin: nproc - 1, discipline: d, attemptAt: noAttempt, completionDone: true}
 	for c := range b.queues {
 		b.queues[c] = make([]procQueue, nproc)
 	}
@@ -197,6 +248,9 @@ func New(sched Scheduler, nproc int) (*Bus, error) {
 	b.completeFn = b.complete
 	return b, nil
 }
+
+// Discipline returns the bus's service discipline.
+func (b *Bus) Discipline() Discipline { return b.discipline }
 
 // Stats returns the traffic counters accumulated so far.
 func (b *Bus) Stats() Stats { return b.stats }
@@ -381,13 +435,17 @@ func (b *Bus) complete(t uint64) {
 	b.attempt(t)
 }
 
-// pick selects the winning pending request at time now, or nil. Selection
-// order: highest class (Demand < Prefetch < Writeback numerically), then
-// round-robin distance from the last winner, then submission order. With
-// per-class per-proc queues that order is positional: walk the processors of
-// the first non-empty class starting just past the last winner, and within a
-// processor's queue (kept in submission order) take the first ready entry.
+// pick selects the winning pending request at time now, or nil. Under the
+// Priority discipline the selection order is: highest class (Demand <
+// Prefetch < Writeback numerically), then round-robin distance from the last
+// winner, then submission order. With per-class per-proc queues that order is
+// positional: walk the processors of the first non-empty class starting just
+// past the last winner, and within a processor's queue (kept in submission
+// order) take the first ready entry.
 func (b *Bus) pick(now uint64) (*Request, Class, int, int) {
+	if b.discipline == FCFS {
+		return b.pickFCFS(now)
+	}
 	for c := Class(0); c < numClasses; c++ {
 		if b.classCount[c] == 0 {
 			continue
@@ -406,4 +464,39 @@ func (b *Bus) pick(now uint64) (*Request, Class, int, int) {
 		}
 	}
 	return nil, 0, 0, 0
+}
+
+// pickFCFS selects the ready request with the lowest submission seq across
+// every class and processor — strict arrival order, classes ignored. Each
+// queue is kept in submission order, so its first ready entry is its
+// lowest-seq ready candidate and the scan can stop there; the winner is the
+// minimum of those per-queue candidates.
+func (b *Bus) pickFCFS(now uint64) (*Request, Class, int, int) {
+	var (
+		best     *Request
+		bc       Class
+		bp, bi   int
+		bestSeq  = ^uint64(0)
+		haveBest = false
+	)
+	for c := Class(0); c < numClasses; c++ {
+		if b.classCount[c] == 0 {
+			continue
+		}
+		for p, q := range b.queues[c] {
+			for i, r := range q {
+				if r.Ready > now {
+					continue
+				}
+				if !haveBest || r.seq < bestSeq {
+					best, bc, bp, bi, bestSeq, haveBest = r, c, p, i, r.seq, true
+				}
+				break
+			}
+		}
+	}
+	if !haveBest {
+		return nil, 0, 0, 0
+	}
+	return best, bc, bp, bi
 }

@@ -10,7 +10,14 @@
 // the bus grants requests one at a time, and each grant occupies the resource
 // for the request's Occupancy cycles.
 //
-// Arbitration is round-robin across processors and "favors blocking loads
-// over prefetches" (paper §3.3): all Demand-class requests are considered
-// before any Prefetch-class request, and writebacks come last.
+// Arbitration is selectable via Discipline. The default, Priority, is the
+// paper's machine: round-robin across processors, "favor[ing] blocking loads
+// over prefetches" (paper §3.3) — all Demand-class requests are considered
+// before any Prefetch-class request, and writebacks come last. FCFS instead
+// grants strictly in submission order regardless of class, the alternative
+// service discipline the related queueing analyses consider.
+//
+// One Bus is one link. internal/interconnect composes buses into larger
+// fabrics (multi-bus, directory) and routes requests by Request.Addr; the
+// bus itself never interprets the address.
 package bus

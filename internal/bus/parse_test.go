@@ -1,0 +1,49 @@
+package bus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseDiscipline follows the tree's shared parser contract (see
+// prefetch.TestParsers): case-insensitive resolution, self-documenting
+// rejection diagnostics.
+func TestParseDiscipline(t *testing.T) {
+	valid := map[string]Discipline{
+		"priority": Priority, "Priority": Priority, "PRIORITY": Priority,
+		"fcfs": FCFS, "FCFS": FCFS, "Fcfs": FCFS,
+	}
+	for in, want := range valid {
+		got, err := ParseDiscipline(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDiscipline(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bogus := range []string{"", "fifo", "lifo", "priorityy", "f c f s"} {
+		_, err := ParseDiscipline(bogus)
+		if err == nil {
+			t.Errorf("ParseDiscipline(%q) accepted", bogus)
+			continue
+		}
+		for _, name := range disciplineNames {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("ParseDiscipline(%q) error %q does not list valid name %q", bogus, err, name)
+			}
+		}
+		if !strings.Contains(err.Error(), "valid:") {
+			t.Errorf("ParseDiscipline(%q) error %q lacks the valid-names diagnostic", bogus, err)
+		}
+	}
+	if got := Discipline(7).String(); got != "Discipline(7)" {
+		t.Errorf("out-of-range Discipline renders %q", got)
+	}
+	for _, d := range Disciplines() {
+		if !d.Valid() {
+			t.Errorf("Disciplines() returned invalid %v", d)
+		}
+		back, err := ParseDiscipline(d.String())
+		if err != nil || back != d {
+			t.Errorf("ParseDiscipline(%v.String()) = %v, %v", d, back, err)
+		}
+	}
+}

@@ -30,6 +30,7 @@ type cellSnapshot struct {
 	Cycles       uint64
 	Counters     sim.Counters
 	Bus          bus.Stats
+	Links        []bus.Stats `json:",omitempty"`
 	Procs        []sim.ProcStats
 	RegionMisses map[string]sim.RegionMisses `json:",omitempty"`
 }
@@ -63,8 +64,8 @@ func (s *Suite) checkpointsEnabled() bool {
 
 // specPrefix is the suite-wide portion of every checkpoint key.
 func (s *Suite) specPrefix(kind string) string {
-	return fmt.Sprintf("%s|build=%s|salt=%s|scale=%g|seed=%d|mem=%d|proto=%s|pf=%s",
-		kind, buildinfo.Revision(), s.cfg.Salt, s.cfg.Scale, s.cfg.Seed, s.cfg.MemLatency, s.cfg.Protocol, s.cfg.Prefetcher)
+	return fmt.Sprintf("%s|build=%s|salt=%s|scale=%g|seed=%d|mem=%d|proto=%s|pf=%s|ic=%s",
+		kind, buildinfo.Revision(), s.cfg.Salt, s.cfg.Scale, s.cfg.Seed, s.cfg.MemLatency, s.cfg.Protocol, s.cfg.Prefetcher, s.cfg.Interconnect.String())
 }
 
 // cellKey is the canonical spec string for one grid cell.
@@ -83,6 +84,14 @@ func (s *Suite) obsKey(c *ObsCell) string {
 func (s *Suite) onlineKey(c *OnlineCell) string {
 	return fmt.Sprintf("%s|wl=%s|engine=%s|t=%d",
 		s.specPrefix("busprefetch-online/v1"), c.Workload, c.Engine, c.Transfer)
+}
+
+// icKey is the canonical spec string for one interconnect cell. The cell's own
+// topology spec is embedded — the sweep's cells deliberately ignore the
+// suite-level Interconnect, each simulating its own fabric.
+func (s *Suite) icKey(c *InterconnectCell) string {
+	return fmt.Sprintf("%s|wl=%s|topo=%s|strat=%s|t=%d",
+		s.specPrefix("busprefetch-ic/v1"), c.Workload, c.IC.String(), c.Strategy, c.Transfer)
 }
 
 // loadCellCheckpoint returns the persisted result for k, if the store holds a
@@ -106,11 +115,13 @@ func (s *Suite) loadCellCheckpoint(k Key) (*sim.Result, bool) {
 	cfg.MemLatency = s.cfg.MemLatency
 	cfg.TransferCycles = k.Transfer
 	cfg.Protocol = s.cfg.Protocol
+	cfg.Interconnect = s.cfg.Interconnect
 	return &sim.Result{
 		Config:       cfg,
 		Cycles:       snap.Cycles,
 		Counters:     snap.Counters,
 		Bus:          snap.Bus,
+		Links:        snap.Links,
 		Procs:        snap.Procs,
 		RegionMisses: snap.RegionMisses,
 	}, true
@@ -128,6 +139,7 @@ func (s *Suite) storeCellCheckpoint(k Key, res *sim.Result) {
 		Cycles:       res.Cycles,
 		Counters:     res.Counters,
 		Bus:          res.Bus,
+		Links:        res.Links,
 		Procs:        res.Procs,
 		RegionMisses: res.RegionMisses,
 	})
@@ -185,6 +197,52 @@ func (s *Suite) loadOnlineCheckpoint(c *OnlineCell) bool {
 	c.Summary = snap.Summary
 	c.Stats = snap.Stats
 	return true
+}
+
+// icSnapshot is the persisted form of one interconnect cell. Every field is
+// integral, so it shares the exactness guarantee.
+type icSnapshot struct {
+	Cycles   uint64
+	Counters sim.Counters
+	Bus      bus.Stats
+	Links    []bus.Stats `json:",omitempty"`
+}
+
+// loadICCheckpoint fills c from a persisted interconnect cell, if any.
+func (s *Suite) loadICCheckpoint(c *InterconnectCell) bool {
+	if !s.checkpointsEnabled() {
+		return false
+	}
+	payload, ok, err := s.cfg.Checkpoints.Get(s.icKey(c))
+	if err != nil || !ok {
+		return false
+	}
+	var snap icSnapshot
+	if json.Unmarshal(payload, &snap) != nil || snap.Cycles == 0 {
+		return false
+	}
+	c.Cycles = snap.Cycles
+	c.Counters = snap.Counters
+	c.Bus = snap.Bus
+	c.Links = snap.Links
+	return true
+}
+
+// storeICCheckpoint persists a completed interconnect cell, best-effort.
+func (s *Suite) storeICCheckpoint(c *InterconnectCell) {
+	if !s.checkpointsEnabled() {
+		return
+	}
+	payload, err := json.Marshal(icSnapshot{
+		Cycles:   c.Cycles,
+		Counters: c.Counters,
+		Bus:      c.Bus,
+		Links:    c.Links,
+	})
+	if err != nil {
+		return
+	}
+	_ = s.cfg.Checkpoints.Put(s.icKey(c), payload)
 }
 
 // storeOnlineCheckpoint persists a completed online cell, best-effort.

@@ -16,7 +16,7 @@ import (
 // SectionNames lists the report sections in presentation order; these are
 // also the valid values of mkfigures' -only flag.
 func SectionNames() []string {
-	return []string{"table1", "fig1", "table2", "fig2", "util", "fig3", "table3", "table4", "table5", "ablations", "protocols", "observability", "online"}
+	return []string{"table1", "fig1", "table2", "fig2", "util", "fig3", "table3", "table4", "table5", "ablations", "protocols", "observability", "online", "interconnect"}
 }
 
 // ValidSection reports whether name selects a known section
@@ -46,6 +46,8 @@ func (s *Suite) KeysFor(want func(name string) bool) []Key {
 		// against the grid's NP baselines.
 		keys = append(keys, onlineNPKeys(Figure3Workloads(), OnlineTransfers())...)
 	}
+	// The interconnect sweep contributes no keys: its NP baselines are
+	// in-sweep (per topology), not grid cells.
 	return keys
 }
 
@@ -162,6 +164,14 @@ func (s *Suite) RenderSections(ctx context.Context, want func(name string) bool)
 		// half of the online-vs-oracle sweep without re-running the grid.
 		cells, err := s.Online(ctx, nil, nil)
 		if err := add("online", RenderOnline(cells), err); err != nil {
+			return "", err
+		}
+	}
+	if want("interconnect") {
+		// Its own golden file (testdata/golden_interconnect_t8.txt) pins the
+		// T=8 half of the topology ladder without re-running the grid.
+		cells, err := s.Interconnect(ctx, nil)
+		if err := add("interconnect", RenderInterconnect(cells), err); err != nil {
 			return "", err
 		}
 	}

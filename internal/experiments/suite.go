@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"busprefetch/internal/interconnect"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/runner"
@@ -39,6 +40,10 @@ type Config struct {
 	// section ignores it — it sweeps prefetchers itself — and the
 	// observability slice always records the oracle.
 	Prefetcher prefetch.Kind
+	// Interconnect selects the fabric every grid cell simulates (the zero
+	// value is the paper's single priority bus). The interconnect section
+	// ignores it — it sweeps topologies itself.
+	Interconnect interconnect.Config
 	// Parallelism bounds concurrent simulations; 0 selects GOMAXPROCS.
 	Parallelism int
 	// PerRun, when non-nil, adjusts one run's simulator configuration just
@@ -304,6 +309,7 @@ func (s *Suite) simulate(ctx context.Context, k Key) (*sim.Result, error) {
 	cfg.MemLatency = s.cfg.MemLatency
 	cfg.TransferCycles = k.Transfer
 	cfg.Protocol = s.cfg.Protocol
+	cfg.Interconnect = s.cfg.Interconnect
 	if s.cfg.PerRun != nil {
 		s.cfg.PerRun(k, &cfg)
 	}

@@ -1,0 +1,302 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"busprefetch/internal/bus"
+	"busprefetch/internal/names"
+)
+
+// Kind identifies an interconnect topology.
+type Kind uint8
+
+const (
+	// SingleBus is the paper's machine: one split-transaction bus.
+	SingleBus Kind = iota
+	// MultiBus is N independent data buses with address-interleaved routing.
+	MultiBus
+	// Directory is a point-to-point model: every line has a home node with
+	// its own link, and each transaction pays a directory-lookup latency
+	// before service.
+	Directory
+	numKinds
+)
+
+var kindNames = []string{"bus", "multibus", "directory"}
+
+func (k Kind) String() string { return names.Lookup("Kind", kindNames, int(k)) }
+
+// Valid reports whether k names a known topology.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Kinds returns every topology in declaration order.
+func Kinds() []Kind { return []Kind{SingleBus, MultiBus, Directory} }
+
+// ParseKind resolves a topology name ("bus", "multibus", "directory"),
+// case-insensitively.
+func ParseKind(name string) (Kind, error) {
+	i, err := names.Parse("interconnect", kindNames, name)
+	if err != nil {
+		return SingleBus, fmt.Errorf("interconnect: %w", err)
+	}
+	return Kind(i), nil
+}
+
+// ParseConfig builds a validated Config from CLI-style inputs: a topology
+// name, a link count (0 = the topology's default), and an arbitration
+// discipline name. It is the shared backend of the CLIs' -interconnect,
+// -buses, and -discipline flags.
+func ParseConfig(kind string, links int, discipline string) (Config, error) {
+	k, err := ParseKind(kind)
+	if err != nil {
+		return Config{}, err
+	}
+	d, err := bus.ParseDiscipline(discipline)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{Kind: k, Links: links, Discipline: d}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// DefaultMultiBusLinks is the MultiBus link count when Config.Links is zero.
+const DefaultMultiBusLinks = 2
+
+// DefaultLookupCycles is the Directory home-node lookup latency when
+// Config.LookupCycles is zero: the indirection cost the point-to-point
+// fabric pays per transaction in exchange for not sharing a bus.
+const DefaultLookupCycles = 20
+
+// Config selects and parameterizes a topology. The zero value is the paper's
+// machine — a single priority-arbitrated bus — and simulates byte-identically
+// to the pre-seam simulator.
+type Config struct {
+	// Kind is the topology.
+	Kind Kind
+	// Links is the parallel-link count: data buses for MultiBus (0 selects
+	// DefaultMultiBusLinks), home-node links for Directory (0 selects one
+	// per processor). SingleBus requires 0 or 1.
+	Links int
+	// Discipline is the per-link arbitration service discipline.
+	Discipline bus.Discipline
+	// LookupCycles is the Directory home-node lookup latency added to every
+	// transaction's uncontended phase (0 selects DefaultLookupCycles).
+	// Only Directory pays it; other kinds require it to be 0.
+	LookupCycles int
+	// RouteShift drops the line-offset bits before interleaving, so
+	// consecutive lines land on consecutive links. The simulator sets it to
+	// log2(line size); it only matters when Links > 1.
+	RouteShift uint
+}
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	switch {
+	case !c.Kind.Valid():
+		return fmt.Errorf("interconnect: unknown kind %d", int(c.Kind))
+	case !c.Discipline.Valid():
+		return fmt.Errorf("interconnect: unknown discipline %d", int(c.Discipline))
+	case c.Links < 0:
+		return fmt.Errorf("interconnect: negative link count %d", c.Links)
+	case c.Kind == SingleBus && c.Links > 1:
+		return fmt.Errorf("interconnect: single bus with %d links (use multibus)", c.Links)
+	case c.LookupCycles < 0:
+		return fmt.Errorf("interconnect: negative lookup latency %d", c.LookupCycles)
+	case c.Kind != Directory && c.LookupCycles != 0:
+		return fmt.Errorf("interconnect: lookup latency %d on a %s topology (directory only)", c.LookupCycles, c.Kind)
+	case c.RouteShift > 63:
+		return fmt.Errorf("interconnect: route shift %d exceeds the address width", c.RouteShift)
+	}
+	return nil
+}
+
+// links resolves the effective link count for nproc processors.
+func (c Config) links(nproc int) int {
+	if c.Links > 0 {
+		return c.Links
+	}
+	switch c.Kind {
+	case MultiBus:
+		return DefaultMultiBusLinks
+	case Directory:
+		return nproc
+	default:
+		return 1
+	}
+}
+
+// lookup resolves the effective Directory lookup latency.
+func (c Config) lookup() uint64 {
+	if c.Kind != Directory {
+		return 0
+	}
+	if c.LookupCycles > 0 {
+		return uint64(c.LookupCycles)
+	}
+	return DefaultLookupCycles
+}
+
+// String renders the canonical spec form used in checkpoint keys and
+// diagnostics: every field that changes a simulated result appears.
+func (c Config) String() string {
+	var s string
+	switch c.Kind {
+	case MultiBus:
+		s = fmt.Sprintf("multibus:%d", c.links(0))
+	case Directory:
+		if c.Links > 0 {
+			s = fmt.Sprintf("directory:%d+%d", c.Links, c.lookup())
+		} else {
+			s = fmt.Sprintf("directory:np+%d", c.lookup())
+		}
+	default:
+		s = "bus"
+	}
+	if c.Discipline != bus.Priority {
+		s += "/" + c.Discipline.String()
+	}
+	return s
+}
+
+// Observer receives every grant on every link: the link index, the grant
+// time, the occupancy the winner holds, its op, the arbitration class it
+// held, and the requesting processor.
+type Observer func(link int, grant, occupancy uint64, op bus.Op, class bus.Class, proc int)
+
+// Interconnect is the contended memory fabric: it admits requests, arbitrates
+// them onto links under a service discipline, accounts occupancy, and fires
+// each request's OnGrant (the coherence serialization point, where the
+// simulator snoops) and OnComplete callbacks.
+//
+// The contract every implementation obeys (pinned by the conformance suite):
+// a submitted request is granted exactly once, no earlier than its Ready
+// time, and completed exactly once at grant+Occupancy; grants on one link
+// never overlap; requests for the same Addr serialize on one link, so their
+// grant order is a total order the coherence layer can rely on; and the
+// whole schedule is a deterministic function of the submission sequence.
+type Interconnect interface {
+	// Submit queues a request at simulation time now. The request's Addr
+	// routes it; Ready may be adjusted upward by topology latency (the
+	// Directory lookup) before admission.
+	Submit(now uint64, r *bus.Request) error
+	// Promote raises a still-pending request to Demand class on its link.
+	Promote(r *bus.Request)
+	// Cancel removes a still-pending request, reporting whether it was
+	// removed before being granted.
+	Cancel(r *bus.Request) bool
+	// Pending returns the number of requests awaiting a grant, across links.
+	Pending() int
+	// Links returns the parallel-link count.
+	Links() int
+	// Stats returns the aggregate traffic counters, summed across links.
+	Stats() bus.Stats
+	// LinkStats returns per-link traffic counters, indexed by link.
+	LinkStats() []bus.Stats
+	// SetObserver installs (or, with nil, removes) the per-grant observer.
+	SetObserver(fn Observer)
+}
+
+// New builds the configured fabric for nproc processors on sched. Every
+// topology is composed from bus.Bus links; the zero Config yields the
+// paper's single priority bus.
+func New(cfg Config, sched bus.Scheduler, nproc int) (Interconnect, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.links(nproc)
+	if n <= 0 {
+		return nil, fmt.Errorf("interconnect: resolved link count %d for %d processors", n, nproc)
+	}
+	f := &fabric{shift: cfg.RouteShift, lookup: cfg.lookup(), links: make([]*bus.Bus, n)}
+	for i := range f.links {
+		b, err := bus.NewWithDiscipline(sched, nproc, cfg.Discipline)
+		if err != nil {
+			return nil, err
+		}
+		f.links[i] = b
+	}
+	return f, nil
+}
+
+// fabric implements every topology: one or more bus links plus a routing
+// function and an admission latency. Requests route by line address, so all
+// transactions on a line serialize on the same link and the grant stays a
+// coherence serialization point regardless of link count.
+type fabric struct {
+	links  []*bus.Bus
+	shift  uint
+	lookup uint64
+}
+
+// route returns the link a request belongs to. Addr is stable for the life
+// of a request, so Promote and Cancel recompute the same link Submit used.
+func (f *fabric) route(r *bus.Request) *bus.Bus {
+	if len(f.links) == 1 {
+		return f.links[0]
+	}
+	return f.links[(r.Addr>>f.shift)%uint64(len(f.links))]
+}
+
+func (f *fabric) Submit(now uint64, r *bus.Request) error {
+	if r == nil {
+		return fmt.Errorf("interconnect: nil request at cycle %d", now)
+	}
+	if f.lookup != 0 {
+		// The home-node directory lookup extends the transaction's
+		// uncontended phase; the link's occupancy is unchanged.
+		r.Ready += f.lookup
+	}
+	return f.route(r).Submit(now, r)
+}
+
+func (f *fabric) Promote(r *bus.Request) { f.route(r).Promote(r) }
+
+func (f *fabric) Cancel(r *bus.Request) bool { return f.route(r).Cancel(r) }
+
+func (f *fabric) Pending() int {
+	n := 0
+	for _, b := range f.links {
+		n += b.Pending()
+	}
+	return n
+}
+
+func (f *fabric) Links() int { return len(f.links) }
+
+func (f *fabric) Stats() bus.Stats {
+	var agg bus.Stats
+	for _, b := range f.links {
+		s := b.Stats()
+		agg.BusyCycles += s.BusyCycles
+		for i := range s.Ops {
+			agg.Ops[i] += s.Ops[i]
+		}
+		agg.DemandGrants += s.DemandGrants
+		agg.PrefetchGrants += s.PrefetchGrants
+	}
+	return agg
+}
+
+func (f *fabric) LinkStats() []bus.Stats {
+	out := make([]bus.Stats, len(f.links))
+	for i, b := range f.links {
+		out[i] = b.Stats()
+	}
+	return out
+}
+
+func (f *fabric) SetObserver(fn Observer) {
+	for i, b := range f.links {
+		if fn == nil {
+			b.SetObserver(nil)
+			continue
+		}
+		link := i
+		b.SetObserver(func(grant, occupancy uint64, op bus.Op, class bus.Class, proc int) {
+			fn(link, grant, occupancy, op, class, proc)
+		})
+	}
+}

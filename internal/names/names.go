@@ -1,6 +1,9 @@
 package names
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Lookup returns names[i] when i is in range, and "typ(i)" otherwise.
 func Lookup(typ string, names []string, i int) string {
@@ -8,4 +11,17 @@ func Lookup(typ string, names []string, i int) string {
 		return names[i]
 	}
 	return fmt.Sprintf("%s(%d)", typ, i)
+}
+
+// Parse resolves s against names case-insensitively and returns its index.
+// Unknown names fail with a diagnostic that lists every valid name, so a CLI
+// error is self-documenting. Every enum parser in the tree shares this one
+// contract (and its table-driven test shape).
+func Parse(typ string, names []string, s string) (int, error) {
+	for i, n := range names {
+		if strings.EqualFold(s, n) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown %s %q (valid: %s)", typ, s, strings.Join(names, ", "))
 }

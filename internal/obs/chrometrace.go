@@ -38,20 +38,35 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
 	if r != nil {
 		busTid := len(r.procs)
+		spans := r.Spans()
+		// Multi-link interconnect spans land on BusTrack-N; give each link
+		// its own named timeline after the processors.
+		links := 1
+		for _, s := range spans {
+			if s.Track < 0 && BusTrack-s.Track+1 > links {
+				links = BusTrack - s.Track + 1
+			}
+		}
 		for tid := 0; tid < len(r.procs); tid++ {
 			f.TraceEvents = append(f.TraceEvents, traceEvent{
 				Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
 				Args: map[string]string{"name": fmt.Sprintf("proc %d", tid)},
 			})
 		}
-		f.TraceEvents = append(f.TraceEvents, traceEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: busTid,
-			Args: map[string]string{"name": "bus"},
-		})
-		for _, s := range r.Spans() {
+		for l := 0; l < links; l++ {
+			name := "bus"
+			if l > 0 {
+				name = fmt.Sprintf("bus %d", l)
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: busTid + l,
+				Args: map[string]string{"name": name},
+			})
+		}
+		for _, s := range spans {
 			ev := traceEvent{Name: s.Name, Ph: "X", Ts: s.Start, Dur: s.End - s.Start, Pid: 0, Tid: s.Track}
-			if s.Track == BusTrack {
-				ev.Tid = busTid
+			if s.Track < 0 {
+				ev.Tid = busTid + (BusTrack - s.Track)
 			}
 			if s.Detail != "" {
 				ev.Args = map[string]string{"class": s.Detail}

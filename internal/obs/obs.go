@@ -1,6 +1,9 @@
 package obs
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Phase is a processor activity class for span recording.
 type Phase uint8
@@ -154,7 +157,9 @@ type Span struct {
 	Detail string
 }
 
-// BusTrack is the Span.Track value for bus-occupancy spans.
+// BusTrack is the Span.Track value for bus-occupancy spans. On a multi-link
+// interconnect, link N's spans land on BusTrack-N, so link tracks stay
+// distinct from (and sort before) processor tracks.
 const BusTrack = -1
 
 // lifetime is one in-progress prefetch being tracked.
@@ -440,6 +445,14 @@ func (r *Recorder) ProcFinished(proc int, finish uint64) {
 // [grant, grant+occupancy) by proc's op transaction of the given
 // arbitration class.
 func (r *Recorder) BusOccupied(grant, occupancy uint64, op, class string, proc int) {
+	r.BusOccupiedLink(0, grant, occupancy, op, class, proc)
+}
+
+// BusOccupiedLink is BusOccupied on a multi-link interconnect: link 0 records
+// exactly as BusOccupied does (so single-bus recordings are byte-identical to
+// the pre-seam recorder), and higher links get "@link"-suffixed op keys and
+// their own occupancy track (BusTrack-link).
+func (r *Recorder) BusOccupiedLink(link int, grant, occupancy uint64, op, class string, proc int) {
 	if r == nil {
 		return
 	}
@@ -447,12 +460,17 @@ func (r *Recorder) BusOccupied(grant, occupancy uint64, op, class string, proc i
 	if op == "fill" {
 		key = op + "/" + class
 	}
+	track := BusTrack
+	if link > 0 {
+		key = fmt.Sprintf("%s@%d", key, link)
+		track = BusTrack - link
+	}
 	c := r.busOps[key]
 	c.Grants++
 	c.Cycles += occupancy
 	r.busOps[key] = c
 	if r.withSpans {
-		r.spans = append(r.spans, Span{Name: op, Track: BusTrack, Start: grant, End: grant + occupancy, Detail: class})
+		r.spans = append(r.spans, Span{Name: op, Track: track, Start: grant, End: grant + occupancy, Detail: class})
 	}
 }
 

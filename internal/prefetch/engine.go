@@ -25,7 +25,6 @@ package prefetch
 
 import (
 	"fmt"
-	"strings"
 
 	"busprefetch/internal/memory"
 	"busprefetch/internal/names"
@@ -76,12 +75,11 @@ func Kinds() []Kind { return []Kind{Oracle, Stride, Temporal, Pointer} }
 // ParsePrefetcher resolves a prefetcher name ("oracle", "stride",
 // "temporal", "pointer", case-insensitive) to its Kind.
 func ParsePrefetcher(name string) (Kind, error) {
-	for _, k := range Kinds() {
-		if strings.EqualFold(name, k.String()) {
-			return k, nil
-		}
+	i, err := names.Parse("prefetcher", prefetcherNames, name)
+	if err != nil {
+		return 0, fmt.Errorf("prefetch: %w", err)
 	}
-	return 0, fmt.Errorf("prefetch: unknown prefetcher %q (valid: %s)", name, strings.Join(prefetcherNames, ", "))
+	return Kind(i), nil
 }
 
 // Prefetcher is one selectable prefetching implementation: the offline

@@ -3,10 +3,10 @@ package prefetch
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"busprefetch/internal/filter"
 	"busprefetch/internal/memory"
+	"busprefetch/internal/names"
 	"busprefetch/internal/trace"
 )
 
@@ -42,12 +42,11 @@ func Strategies() []Strategy { return []Strategy{NP, PREF, EXCL, LPD, PWS} }
 
 // ParseStrategy converts a name ("PREF", "pws", ...) to a Strategy.
 func ParseStrategy(name string) (Strategy, error) {
-	for s, n := range strategyNames {
-		if strings.EqualFold(name, n) {
-			return Strategy(s), nil
-		}
+	i, err := names.Parse("strategy", strategyNames[:], name)
+	if err != nil {
+		return NP, fmt.Errorf("prefetch: %w", err)
 	}
-	return NP, fmt.Errorf("prefetch: unknown strategy %q (valid: %s)", name, strings.Join(strategyNames[:], ", "))
+	return Strategy(i), nil
 }
 
 // Options configures insertion.

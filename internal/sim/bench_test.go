@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"testing"
 
+	"busprefetch/internal/bus"
+	"busprefetch/internal/interconnect"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/sim"
 	"busprefetch/internal/trace"
@@ -75,5 +77,40 @@ func TestFullCellBodyMatchesSim(t *testing.T) {
 	}
 	if !reflect.DeepEqual(bench, direct) {
 		t.Errorf("benchmark-path Result differs from non-benchmark path:\nbench:  %+v\ndirect: %+v", bench, direct)
+	}
+}
+
+// BenchmarkInterconnectOverhead times the same full cell across the fabric
+// ladder. The bus variant is the seam-overhead check: it simulates exactly
+// what BenchmarkFullCell simulates, but spelled through the Interconnect
+// configuration, so the perf CI job can gate the abstraction's cost on the
+// single-bus path (the paper-baseline configuration every other benchmark
+// and golden runs through).
+func BenchmarkInterconnectOverhead(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		ic   interconnect.Config
+	}{
+		{"bus", interconnect.Config{}},
+		{"fcfs", interconnect.Config{Discipline: bus.FCFS}},
+		{"dual", interconnect.Config{Kind: interconnect.MultiBus, Links: 2}},
+		{"quad", interconnect.Config{Kind: interconnect.MultiBus, Links: 4}},
+		{"directory", interconnect.Config{Kind: interconnect.Directory}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			tr, cfg := benchCellTrace(b)
+			cfg.Interconnect = v.ic
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(cfg, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Cycles == 0 {
+					b.Fatal("empty simulation")
+				}
+			}
+			b.ReportMetric(float64(tr.Events()*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }

@@ -532,6 +532,7 @@ func (p *proc) startFetch(la memory.Addr, excl bool, word int, isPrefetch bool, 
 	inf.req.Occupancy = uint64(p.s.cfg.TransferCycles)
 	inf.req.Class = class
 	inf.req.Op = bus.OpFill
+	inf.req.Addr = uint64(la)
 	inf.req.Proc = p.id
 	p.inflight = append(p.inflight, inf)
 	if isPrefetch {
@@ -541,7 +542,7 @@ func (p *proc) startFetch(la memory.Addr, excl bool, word int, isPrefetch bool, 
 			r.PrefetchIssued(p.id, uint64(la), p.clock)
 		}
 	}
-	if err := p.s.bus.Submit(p.clock, &inf.req); err != nil {
+	if err := p.s.ic.Submit(p.clock, &inf.req); err != nil {
 		p.s.fail(err)
 	}
 }
@@ -698,19 +699,19 @@ func (p *proc) handleEviction(ev cache.Eviction, t uint64) {
 		vl, vev := p.victim.Allocate(ev.LineAddr)
 		vl.State = ev.State
 		if vev.HadTag && vev.State.Dirty() {
-			p.writeback(t)
+			p.writeback(t, vev.LineAddr)
 		}
 		return
 	}
 	if ev.State.Dirty() {
-		p.writeback(t)
+		p.writeback(t, ev.LineAddr)
 	}
 }
 
-// writeback posts a dirty-line writeback bus operation. Requests come from
-// a per-processor pool; each returns itself to the pool on completion, so a
-// steady state of writebacks allocates nothing.
-func (p *proc) writeback(t uint64) {
+// writeback posts a dirty-line writeback bus operation for the evicted line.
+// Requests come from a per-processor pool; each returns itself to the pool on
+// completion, so a steady state of writebacks allocates nothing.
+func (p *proc) writeback(t uint64, la memory.Addr) {
 	var req *bus.Request
 	if n := len(p.wbFree); n > 0 {
 		req = p.wbFree[n-1]
@@ -726,8 +727,9 @@ func (p *proc) writeback(t uint64) {
 	req.Occupancy = uint64(p.s.cfg.TransferCycles)
 	req.Class = bus.Writeback
 	req.Op = bus.OpWriteback
+	req.Addr = uint64(la)
 	req.Proc = p.id
-	if err := p.s.bus.Submit(t, req); err != nil {
+	if err := p.s.ic.Submit(t, req); err != nil {
 		p.s.fail(err)
 	}
 }
@@ -752,9 +754,10 @@ func (p *proc) startWriteOp(a, la memory.Addr, action coherence.WriteAction) {
 		w.req.Op, w.req.Occupancy = bus.OpUpdate, p.s.updCycles
 	}
 	w.req.Class = bus.Demand
+	w.req.Addr = uint64(la)
 	w.req.Proc = p.id
 	p.waitStart = p.clock
-	if err := p.s.bus.Submit(p.clock, &w.req); err != nil {
+	if err := p.s.ic.Submit(p.clock, &w.req); err != nil {
 		p.s.fail(err)
 	}
 }

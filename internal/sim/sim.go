@@ -3,12 +3,14 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"busprefetch/internal/bus"
 	"busprefetch/internal/cache"
 	"busprefetch/internal/check"
 	"busprefetch/internal/coherence"
+	"busprefetch/internal/interconnect"
 	"busprefetch/internal/memory"
 	"busprefetch/internal/names"
 	"busprefetch/internal/obs"
@@ -89,6 +91,12 @@ type Config struct {
 	// Protocol selects Illinois (default), the MSI ablation, or the Dragon
 	// write-update ablation.
 	Protocol Protocol
+	// Interconnect selects the contended fabric's topology and service
+	// discipline. The zero value is the paper's machine — one
+	// priority-arbitrated split-transaction bus — and simulates
+	// byte-identically to the pre-seam simulator. RouteShift is set by the
+	// simulator from Geometry; callers leave it zero.
+	Interconnect interconnect.Config
 	// VictimCacheLines, when non-zero, adds a small fully-associative
 	// victim cache (Jouppi) behind each data cache — the fix the paper
 	// suggests for the conflict misses prefetching introduces (§4.3).
@@ -181,6 +189,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: unknown protocol %d", int(c.Protocol))
 	case c.PrefetchTarget != PrefetchToCache && c.PrefetchTarget != PrefetchToBuffer:
 		return fmt.Errorf("sim: unknown prefetch target %d", int(c.PrefetchTarget))
+	}
+	if err := c.Interconnect.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	if err := c.Online.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
@@ -351,8 +362,13 @@ type Result struct {
 	Cycles uint64
 	// Counters aggregates event counts across processors.
 	Counters Counters
-	// Bus is the contended-resource traffic summary.
+	// Bus is the contended-resource traffic summary, summed across every
+	// interconnect link.
 	Bus bus.Stats
+	// Links is the per-link traffic breakdown when the interconnect has more
+	// than one link (nil on the paper's single bus, so single-bus results —
+	// and their checkpoints and goldens — are unchanged by the seam).
+	Links []bus.Stats
 	// Procs is the per-processor breakdown.
 	Procs []ProcStats
 	// RegionMisses attributes CPU misses to data structures when
@@ -405,12 +421,18 @@ func (r *Result) MissClassRate(m MissClass) float64 {
 }
 
 // BusUtilization returns the fraction of the run the contended resource was
-// in use.
+// in use. With a multi-link interconnect it is the mean per-link utilization
+// (aggregate busy cycles over link-count × run cycles), so a half-loaded
+// dual bus reads 0.5, not 1.0.
 func (r *Result) BusUtilization() float64 {
 	if r.Cycles == 0 {
 		return 0
 	}
-	u := float64(r.Bus.BusyCycles) / float64(r.Cycles)
+	capacity := float64(r.Cycles)
+	if len(r.Links) > 1 {
+		capacity *= float64(len(r.Links))
+	}
+	u := float64(r.Bus.BusyCycles) / capacity
 	if u > 1 {
 		u = 1 // rounding guard: the bus can be busy through the final cycle
 	}
@@ -550,9 +572,11 @@ func fillIndex(excl, isPrefetch, sharers bool) int {
 
 // simulator owns the machine state for one run.
 type simulator struct {
-	cfg   Config
-	eng   *engine
-	bus   *bus.Bus
+	cfg Config
+	eng *engine
+	// ic is the contended fabric (Config.Interconnect); the default is the
+	// paper's single bus.
+	ic    interconnect.Interconnect
 	procs []*proc
 	// Lock and barrier state lives in dense slices sized by scanning the
 	// trace's synchronization events once at construction; lockIdx/barrIdx
@@ -800,16 +824,20 @@ func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
 			}
 		}
 	}
-	b, err := bus.New(s.eng, t.Procs())
+	icCfg := cfg.Interconnect
+	// Route on line numbers, not raw line addresses: dropping the offset bits
+	// interleaves consecutive lines across links.
+	icCfg.RouteShift = uint(bits.TrailingZeros64(uint64(cfg.Geometry.LineSize)))
+	ic, err := interconnect.New(icCfg, s.eng, t.Procs())
 	if err != nil {
 		return nil, err
 	}
-	s.bus = b
+	s.ic = ic
 	if cfg.Obs != nil {
 		s.rec = cfg.Obs
 		rec := s.rec
-		b.SetObserver(func(grant, occupancy uint64, op bus.Op, class bus.Class, proc int) {
-			rec.BusOccupied(grant, occupancy, op.String(), class.String(), proc)
+		ic.SetObserver(func(link int, grant, occupancy uint64, op bus.Op, class bus.Class, proc int) {
+			rec.BusOccupiedLink(link, grant, occupancy, op.String(), class.String(), proc)
 		})
 	}
 	s.procs = make([]*proc, t.Procs())
@@ -829,7 +857,10 @@ func (s *simulator) run() (*Result, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	res := &Result{Config: s.cfg, Counters: s.c, Bus: s.bus.Stats(), Procs: make([]ProcStats, len(s.procs))}
+	res := &Result{Config: s.cfg, Counters: s.c, Bus: s.ic.Stats(), Procs: make([]ProcStats, len(s.procs))}
+	if s.ic.Links() > 1 {
+		res.Links = s.ic.LinkStats()
+	}
 	if s.regionTallies != nil {
 		// Fold the dense per-region tallies into the name-keyed result map:
 		// regions sharing a name merge, and regions that attracted no misses
