@@ -40,7 +40,6 @@ import (
 	"busprefetch/internal/memory"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/sim"
-	"busprefetch/internal/trace"
 	"busprefetch/internal/workload"
 )
 
@@ -234,7 +233,7 @@ type Metrics struct {
 	BusOps uint64
 }
 
-func metricsFrom(spec RunSpec, annotated *trace.Trace, res *sim.Result) *Metrics {
+func metricsFrom(spec RunSpec, res *sim.Result) *Metrics {
 	m := &Metrics{
 		Workload:             spec.Workload,
 		Strategy:             spec.Strategy,
@@ -249,7 +248,7 @@ func metricsFrom(spec RunSpec, annotated *trace.Trace, res *sim.Result) *Metrics
 		BusUtilization:       res.BusUtilization(),
 		ProcessorUtilization: res.MeanProcUtilization(),
 		PrefetchesIssued:     res.Counters.PrefetchesIssued,
-		PrefetchOverhead:     prefetch.Overhead(annotated),
+		PrefetchOverhead:     overheadFrom(res),
 		OnlinePrefetches:     res.Counters.OnlineIssued,
 		BusOps:               res.Bus.TotalOps(),
 	}
@@ -263,9 +262,25 @@ func metricsFrom(spec RunSpec, annotated *trace.Trace, res *sim.Result) *Metrics
 	return m
 }
 
+// overheadFrom derives the paper's prefetch-overhead metric (prefetch
+// instructions per demand reference) from the run's retirement counters;
+// every event in the stream retires, so this equals the static annotation
+// count without holding the trace in memory.
+func overheadFrom(res *sim.Result) float64 {
+	demand := res.Counters.DemandRefs()
+	if demand == 0 {
+		return 0
+	}
+	return float64(res.Counters.PrefetchesIssued) / float64(demand)
+}
+
 // Run generates the workload trace, annotates it with the requested
 // prefetch strategy, simulates it on the configured machine and returns the
 // paper's metrics. Runs are deterministic in the spec.
+//
+// The pipeline is fully streaming: workload events flow from the generator
+// through the prefetch annotator into the simulator in fixed-size chunks,
+// so memory stays flat in the trace length.
 func Run(spec RunSpec) (*Metrics, error) {
 	spec, err := spec.normalize()
 	if err != nil {
@@ -276,7 +291,7 @@ func Run(spec RunSpec) (*Metrics, error) {
 		return nil, err
 	}
 	geom := memory.Geometry{CacheSize: spec.CacheKB * 1024, LineSize: spec.LineBytes, Assoc: 1}
-	base, _, err := w.Generate(workload.Params{
+	src, _, err := w.Source(workload.Params{
 		Procs:        spec.Procs,
 		Scale:        spec.Scale,
 		Seed:         spec.Seed,
@@ -294,12 +309,12 @@ func Run(spec RunSpec) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	annotated, err := prefetch.ByKind(pfKind).Annotate(base, prefetch.Options{
+	annotated, err := prefetch.ByKind(pfKind).AnnotateSource(src, prefetch.Options{
 		Strategy:           strat,
 		Geometry:           geom,
 		Distance:           spec.Distance,
 		ExcludeWriteShared: spec.BufferPrefetch && strat != prefetch.NP,
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -325,11 +340,11 @@ func Run(spec RunSpec) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(cfg, annotated)
+	res, err := sim.RunSource(cfg, annotated)
 	if err != nil {
 		return nil, err
 	}
-	return metricsFrom(spec, annotated, res), nil
+	return metricsFrom(spec, res), nil
 }
 
 // Comparison holds one strategy's metrics plus its execution time relative

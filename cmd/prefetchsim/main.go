@@ -120,6 +120,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		seed         = fs.Int64("seed", 1, "workload generator seed")
 		restructured = fs.Bool("restructured", false, "use the false-sharing-restructured layout")
 		jobs         = fs.Int("jobs", 0, "worker pool size for -all strategy runs (0 = GOMAXPROCS)")
+		materialize  = fs.Bool("materialize", false, "materialize the full trace before simulating instead of the streaming hot path (slower; same results)")
 		distance     = fs.Int("distance", 0, "prefetch distance in cycles (0 = strategy default)")
 		regions      = fs.Bool("regions", false, "attribute CPU misses to workload data structures")
 		tracePath    = fs.String("trace", "", "replay a saved binary trace instead of generating a workload")
@@ -194,8 +195,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		strategies = append(strategies, s)
 	}
 
+	// The default path is fully streaming: the workload source (or the
+	// decoded BPTR source) feeds the annotator feeds the simulator in
+	// fixed-size chunks. -materialize builds the whole trace up front
+	// instead; both paths produce identical results.
 	var (
 		base *trace.Trace
+		src  trace.Source
 		info workload.Info
 	)
 	if *tracePath != "" {
@@ -203,21 +209,35 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		base, err = trace.Decode(f)
+		if *materialize {
+			base, err = trace.Decode(f)
+		} else {
+			src, err = trace.DecodeSource(f)
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
 			return err
 		}
-		info = workload.Info{Name: base.Name, Description: "replayed from " + *tracePath}
+		name := ""
+		if base != nil {
+			name = base.Name
+		} else {
+			name = src.Name()
+		}
+		info = workload.Info{Name: name, Description: "replayed from " + *tracePath}
 	} else {
 		w, err := workload.ByName(*wlName)
 		if err != nil {
 			return fmt.Errorf("unknown workload %q (valid: %s)", *wlName, workloadNames())
 		}
 		params := workload.Params{Procs: *procs, Scale: *scale, Seed: *seed, Restructured: *restructured}
-		base, info, err = w.Generate(params)
+		if *materialize {
+			base, info, err = w.Generate(params)
+		} else {
+			src, info, err = w.Source(params)
+		}
 		if err != nil {
 			return err
 		}
@@ -235,7 +255,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
-	st := trace.Summarize(base, cfg.Geometry)
+	var st trace.Stats
+	if base != nil {
+		st = trace.Summarize(base, cfg.Geometry)
+	} else {
+		if st, err = trace.SummarizeSource(src, cfg.Geometry); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(stdout, "workload %s: %d procs, %d demand refs (%d reads, %d writes), %d locks, %d barriers\n",
 		info.Name, st.Procs, st.DemandRefs, st.Reads, st.Writes, st.Locks, st.Barriers)
 	fabric := ""
@@ -261,25 +288,42 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 					ctx, cancel = context.WithTimeout(ctx, *timeout)
 					defer cancel()
 				}
-				annotated, err := prefetch.ByKind(pfKind).Annotate(base, prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance})
-				if err != nil {
-					return err
-				}
+				opts := prefetch.Options{Strategy: s, Geometry: cfg.Geometry, Distance: *distance}
 				runCfg := cfg
 				runCfg.Label = info.Name + "/" + s.String()
 				if pfKind.Online() {
 					runCfg.Online = prefetch.OnlineConfig{Kind: pfKind, Strategy: s}
 					runCfg.Label += "/" + pfKind.String()
 				}
-				if *traceOut != "" {
-					// -all is excluded above, so this is the only task and the
-					// recorder assignment is race-free.
-					rec = obs.New(annotated.Procs(), obs.Options{Spans: true})
-					runCfg.Obs = rec
-				}
-				res, err := sim.RunContext(ctx, runCfg, annotated)
-				if err != nil {
-					return fmt.Errorf("strategy %s: %w", s, err)
+				var res *sim.Result
+				if base != nil {
+					annotated, err := prefetch.ByKind(pfKind).Annotate(base, opts)
+					if err != nil {
+						return err
+					}
+					if *traceOut != "" {
+						// -all is excluded above, so this is the only task and
+						// the recorder assignment is race-free.
+						rec = obs.New(annotated.Procs(), obs.Options{Spans: true})
+						runCfg.Obs = rec
+					}
+					res, err = sim.RunContext(ctx, runCfg, annotated)
+					if err != nil {
+						return fmt.Errorf("strategy %s: %w", s, err)
+					}
+				} else {
+					annotated, err := prefetch.ByKind(pfKind).AnnotateSource(src, opts, nil)
+					if err != nil {
+						return err
+					}
+					if *traceOut != "" {
+						rec = obs.New(annotated.Procs(), obs.Options{Spans: true})
+						runCfg.Obs = rec
+					}
+					res, err = sim.RunSourceContext(ctx, runCfg, annotated)
+					if err != nil {
+						return fmt.Errorf("strategy %s: %w", s, err)
+					}
 				}
 				results[i] = res
 				return nil

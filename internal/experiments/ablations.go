@@ -53,20 +53,12 @@ func (s *Suite) runConfig(ctx context.Context, label, wl string, strat prefetch.
 	// only the simulator configuration (protocol, latency, distance, victim
 	// cache) share one generation, as do ablations at the default geometry
 	// and the main suite grid.
-	t, _, err := s.traceFor(ctx, wl, restructured, cfg.Geometry)
-	if err != nil {
-		return nil, err
-	}
 	opts := prefetch.Options{Strategy: strat, Geometry: cfg.Geometry}
 	if annotate != nil {
 		opts = annotate(opts)
 	}
-	annotated, err := prefetch.Annotate(t, opts)
-	if err != nil {
-		return nil, err
-	}
 	cfg.Label = label
-	return sim.RunContext(ctx, cfg, annotated)
+	return s.runCell(ctx, cfg, wl, restructured, cfg.Geometry, prefetch.Oracle, opts, nil)
 }
 
 // variantRun is one cell of an ablation sweep.

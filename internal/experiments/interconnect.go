@@ -6,6 +6,7 @@ import (
 
 	"busprefetch/internal/bus"
 	"busprefetch/internal/interconnect"
+	"busprefetch/internal/memory"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/report"
 	"busprefetch/internal/runner"
@@ -172,10 +173,6 @@ func (s *Suite) runICCell(ctx context.Context, c *InterconnectCell) error {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
-	base, err := s.baseTrace(ctx, c.Workload, false)
-	if err != nil {
-		return err
-	}
 	cfg := sim.DefaultConfig()
 	cfg.Label = "ic:" + c.Label()
 	cfg.MemLatency = s.cfg.MemLatency
@@ -185,11 +182,8 @@ func (s *Suite) runICCell(ctx context.Context, c *InterconnectCell) error {
 		s.cfg.PerRun(Key{Workload: c.Workload, Strategy: c.Strategy, Transfer: c.Transfer}, &cfg)
 	}
 	cfg.Interconnect = c.IC // after PerRun: the sweep's topology always wins
-	annotated, err := prefetch.ByKind(prefetch.Oracle).Annotate(base, prefetch.Options{Strategy: c.Strategy, Geometry: cfg.Geometry})
-	if err != nil {
-		return err
-	}
-	res, err := sim.RunContext(ctx, cfg, annotated)
+	res, err := s.runCell(ctx, cfg, c.Workload, false, memory.Geometry{}, prefetch.Oracle,
+		prefetch.Options{Strategy: c.Strategy, Geometry: cfg.Geometry}, nil)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"busprefetch/internal/memory"
 	"busprefetch/internal/obs"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/report"
@@ -108,10 +109,6 @@ func (s *Suite) runObsCell(ctx context.Context, c *ObsCell) error {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
-	base, err := s.baseTrace(ctx, c.Workload, false)
-	if err != nil {
-		return err
-	}
 	cfg := sim.DefaultConfig()
 	cfg.Label = "obs:" + c.Label()
 	cfg.MemLatency = s.cfg.MemLatency
@@ -120,12 +117,9 @@ func (s *Suite) runObsCell(ctx context.Context, c *ObsCell) error {
 	if s.cfg.PerRun != nil {
 		s.cfg.PerRun(Key{Workload: c.Workload, Strategy: c.Strategy, Transfer: c.Transfer}, &cfg)
 	}
-	annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: c.Strategy, Geometry: cfg.Geometry})
-	if err != nil {
-		return err
-	}
-	cfg.Obs = obs.New(annotated.Procs(), obs.Options{})
-	res, err := sim.RunContext(ctx, cfg, annotated)
+	res, err := s.runCell(ctx, cfg, c.Workload, false, memory.Geometry{}, prefetch.Oracle,
+		prefetch.Options{Strategy: c.Strategy, Geometry: cfg.Geometry},
+		func(procs int, cfg *sim.Config) { cfg.Obs = obs.New(procs, obs.Options{}) })
 	if err != nil {
 		return err
 	}
@@ -152,10 +146,6 @@ func (s *Suite) RecordChromeTrace(label string, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("trace cell %q: bad transfer %q", label, parts[2])
 	}
-	base, err := s.baseTrace(context.Background(), parts[0], false)
-	if err != nil {
-		return err
-	}
 	cfg := sim.DefaultConfig()
 	cfg.Label = "trace:" + label
 	cfg.MemLatency = s.cfg.MemLatency
@@ -167,13 +157,14 @@ func (s *Suite) RecordChromeTrace(label string, w io.Writer) error {
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("trace cell %q: %w", label, err)
 	}
-	annotated, err := prefetch.Annotate(base, prefetch.Options{Strategy: strat, Geometry: cfg.Geometry})
+	var rec *obs.Recorder
+	_, err = s.runCell(context.Background(), cfg, parts[0], false, memory.Geometry{}, prefetch.Oracle,
+		prefetch.Options{Strategy: strat, Geometry: cfg.Geometry},
+		func(procs int, cfg *sim.Config) {
+			rec = obs.New(procs, obs.Options{Spans: true})
+			cfg.Obs = rec
+		})
 	if err != nil {
-		return err
-	}
-	rec := obs.New(annotated.Procs(), obs.Options{Spans: true})
-	cfg.Obs = rec
-	if _, err := sim.Run(cfg, annotated); err != nil {
 		return err
 	}
 	return rec.WriteChromeTrace(w)

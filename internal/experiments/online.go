@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"busprefetch/internal/memory"
 	"busprefetch/internal/obs"
 	"busprefetch/internal/prefetch"
 	"busprefetch/internal/report"
@@ -146,10 +147,6 @@ func (s *Suite) runOnlineCell(ctx context.Context, c *OnlineCell) error {
 	if err != nil {
 		return err
 	}
-	base, err := s.baseTrace(ctx, c.Workload, false)
-	if err != nil {
-		return err
-	}
 	cfg := sim.DefaultConfig()
 	cfg.Label = "online:" + c.Label()
 	cfg.MemLatency = s.cfg.MemLatency
@@ -158,15 +155,12 @@ func (s *Suite) runOnlineCell(ctx context.Context, c *OnlineCell) error {
 	if s.cfg.PerRun != nil {
 		s.cfg.PerRun(Key{Workload: c.Workload, Strategy: prefetch.PREF, Transfer: c.Transfer}, &cfg)
 	}
-	annotated, err := prefetch.ByKind(c.Engine).Annotate(base, prefetch.Options{Strategy: prefetch.PREF, Geometry: cfg.Geometry})
-	if err != nil {
-		return err
-	}
 	if c.Engine.Online() {
 		cfg.Online = prefetch.OnlineConfig{Kind: c.Engine, Strategy: prefetch.PREF}
 	}
-	cfg.Obs = obs.New(annotated.Procs(), obs.Options{})
-	res, err := sim.RunContext(ctx, cfg, annotated)
+	res, err := s.runCell(ctx, cfg, c.Workload, false, memory.Geometry{}, c.Engine,
+		prefetch.Options{Strategy: prefetch.PREF, Geometry: cfg.Geometry},
+		func(procs int, cfg *sim.Config) { cfg.Obs = obs.New(procs, obs.Options{}) })
 	if err != nil {
 		return err
 	}

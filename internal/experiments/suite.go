@@ -46,6 +46,14 @@ type Config struct {
 	Interconnect interconnect.Config
 	// Parallelism bounds concurrent simulations; 0 selects GOMAXPROCS.
 	Parallelism int
+	// Materialize disables the streaming hot path: every cell generates its
+	// full trace, annotates it in memory, and replays the materialized
+	// result — the pre-fusion pipeline. The default (false) streams events
+	// generator → annotator → simulator in pooled chunks with nothing
+	// materialized. Results are identical either way (the streaming seam is
+	// byte-exact); the flag exists as an escape hatch and as the comparison
+	// baseline for the performance suite.
+	Materialize bool
 	// PerRun, when non-nil, adjusts one run's simulator configuration just
 	// before it executes (after the suite's own fields are applied). Tests
 	// use it to enable invariant checking or to poison a single cell with
@@ -153,11 +161,22 @@ func (s *Suite) Config() Config { return s.cfg }
 // Workers returns the suite's worker-pool bound.
 func (s *Suite) Workers() int { return s.pool.Workers() }
 
-// Info returns the Table 1 metadata for a workload, generating its trace if
-// needed.
+// Info returns the Table 1 metadata for a workload. It comes from the
+// workload's plan (layout and sizing), so no trace is generated.
 func (s *Suite) Info(name string) (workload.Info, error) {
-	_, info, err := s.traceFor(context.Background(), name, false, memory.Geometry{})
+	_, info, err := s.sourceFor(context.Background(), name, false, memory.Geometry{})
 	return info, err
+}
+
+// traceKey is the cache key for a workload variant at a layout geometry.
+func (s *Suite) traceKey(name string, restructured bool, g memory.Geometry) runner.TraceKey {
+	return runner.TraceKey{
+		Workload:     name,
+		Scale:        s.cfg.Scale,
+		Seed:         s.cfg.Seed,
+		Restructured: restructured,
+		Geometry:     g,
+	}
 }
 
 // traceFor returns (generating on first use) the unannotated trace for a
@@ -165,14 +184,7 @@ func (s *Suite) Info(name string) (workload.Info, error) {
 // the default. The underlying cache is shared with the ablations, so an
 // ablation at the default geometry reuses the suite's base traces.
 func (s *Suite) traceFor(ctx context.Context, name string, restructured bool, g memory.Geometry) (*trace.Trace, workload.Info, error) {
-	key := runner.TraceKey{
-		Workload:     name,
-		Scale:        s.cfg.Scale,
-		Seed:         s.cfg.Seed,
-		Restructured: restructured,
-		Geometry:     g,
-	}
-	return s.traces.Get(ctx, key, func() (*trace.Trace, workload.Info, error) {
+	return s.traces.Get(ctx, s.traceKey(name, restructured, g), func() (*trace.Trace, workload.Info, error) {
 		w, err := workload.ByName(name)
 		if err != nil {
 			return nil, workload.Info{}, err
@@ -181,6 +193,76 @@ func (s *Suite) traceFor(ctx context.Context, name string, restructured bool, g 
 			Scale: s.cfg.Scale, Seed: s.cfg.Seed, Restructured: restructured, Geometry: g,
 		})
 	})
+}
+
+// sourceFor returns (planning on first use) the unannotated streaming
+// source for a workload variant. Planning does the layout and sizing work
+// only; events are produced on demand every time the source is drained,
+// so one cached source serves any number of concurrent cells without
+// holding a trace in memory.
+func (s *Suite) sourceFor(ctx context.Context, name string, restructured bool, g memory.Geometry) (trace.Source, workload.Info, error) {
+	return s.traces.GetSource(ctx, s.traceKey(name, restructured, g), func() (trace.Source, workload.Info, error) {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, workload.Info{}, err
+		}
+		return w.Source(workload.Params{
+			Scale: s.cfg.Scale, Seed: s.cfg.Seed, Restructured: restructured, Geometry: g,
+		})
+	})
+}
+
+// runCell is the shared cell executor: it resolves a workload variant,
+// annotates it with prefetcher pf under opt, and simulates it under cfg.
+// By default the whole pipeline streams — events flow generator →
+// annotator → simulator in pooled chunks, nothing materialized; under
+// Config.Materialize it runs the pre-fusion generate/annotate/replay
+// pipeline instead. The two are result-identical.
+//
+// genGeom is the layout geometry the trace is generated at (zero selects
+// the default); opt.Geometry is the annotation geometry, which PerRun
+// hooks may have adjusted independently. preRun, when non-nil, runs just
+// before the simulation with the processor count — the observability
+// cells size their recorder with it.
+func (s *Suite) runCell(ctx context.Context, cfg sim.Config, wl string, restructured bool,
+	genGeom memory.Geometry, pf prefetch.Kind, opt prefetch.Options,
+	preRun func(procs int, cfg *sim.Config)) (*sim.Result, error) {
+	p := prefetch.ByKind(pf)
+	if s.cfg.Materialize {
+		t, _, err := s.traceFor(ctx, wl, restructured, genGeom)
+		if err != nil {
+			return nil, err
+		}
+		annotated, err := p.Annotate(t, opt)
+		if err != nil {
+			return nil, err
+		}
+		if preRun != nil {
+			preRun(annotated.Procs(), &cfg)
+		}
+		return sim.RunContext(ctx, cfg, annotated)
+	}
+	src, _, err := s.sourceFor(ctx, wl, restructured, genGeom)
+	if err != nil {
+		return nil, err
+	}
+	var prof *trace.SharingProfile
+	if opt.Strategy == prefetch.PWS || opt.ExcludeWriteShared {
+		// The write-shared line set needs a whole-stream pre-pass; memoize
+		// it per (trace, geometry) so the cells that share it analyze once.
+		prof, err = s.traces.SharingProfile(ctx, s.traceKey(wl, restructured, genGeom), opt.Geometry, src)
+		if err != nil {
+			return nil, err
+		}
+	}
+	annotated, err := p.AnnotateSource(src, opt, prof)
+	if err != nil {
+		return nil, err
+	}
+	if preRun != nil {
+		preRun(annotated.Procs(), &cfg)
+	}
+	return sim.RunSourceContext(ctx, cfg, annotated)
 }
 
 // baseTrace returns the default-geometry trace for a workload variant.
@@ -300,10 +382,6 @@ func (s *Suite) simulate(ctx context.Context, k Key) (*sim.Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
 		defer cancel()
 	}
-	base, err := s.baseTrace(ctx, k.Workload, k.Restructured)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: generating %v: %w", k, err)
-	}
 	cfg := sim.DefaultConfig()
 	cfg.Label = k.String()
 	cfg.MemLatency = s.cfg.MemLatency
@@ -313,16 +391,13 @@ func (s *Suite) simulate(ctx context.Context, k Key) (*sim.Result, error) {
 	if s.cfg.PerRun != nil {
 		s.cfg.PerRun(k, &cfg)
 	}
-	annotated, err := prefetch.ByKind(s.cfg.Prefetcher).Annotate(base, prefetch.Options{Strategy: k.Strategy, Geometry: cfg.Geometry})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: annotating %v: %w", k, err)
-	}
 	if s.cfg.Prefetcher.Online() {
 		cfg.Online = prefetch.OnlineConfig{Kind: s.cfg.Prefetcher, Strategy: k.Strategy}
 	}
-	res, err := sim.RunContext(ctx, cfg, annotated)
+	res, err := s.runCell(ctx, cfg, k.Workload, k.Restructured, memory.Geometry{},
+		s.cfg.Prefetcher, prefetch.Options{Strategy: k.Strategy, Geometry: cfg.Geometry}, nil)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: simulating %v: %w", k, err)
+		return nil, fmt.Errorf("experiments: %v: %w", k, err)
 	}
 	return res, nil
 }

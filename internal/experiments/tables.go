@@ -48,7 +48,7 @@ func (s *Suite) Table1() ([]Table1Row, error) {
 			rows = append(rows, Table1Row{Workload: name, Err: err.Error()})
 			continue
 		}
-		t, err := s.baseTrace(context.Background(), name, false)
+		refsPerProc, err := s.refsPerProc(name)
 		if err != nil {
 			rows = append(rows, Table1Row{Workload: name, Err: err.Error()})
 			continue
@@ -59,10 +59,32 @@ func (s *Suite) Table1() ([]Table1Row, error) {
 			DataSetKB:   float64(info.DataSet) / 1024,
 			SharedKB:    float64(info.SharedData) / 1024,
 			Processes:   info.Procs,
-			RefsPerProc: t.DemandRefs() / t.Procs(),
+			RefsPerProc: refsPerProc,
 		})
 	}
 	return rows, nil
+}
+
+// refsPerProc counts a workload's demand references per processor. The
+// streaming default drains the source once without materializing the trace;
+// Materialize reads the count off the cached trace.
+func (s *Suite) refsPerProc(name string) (int, error) {
+	if s.cfg.Materialize {
+		t, err := s.baseTrace(context.Background(), name, false)
+		if err != nil {
+			return 0, err
+		}
+		return t.DemandRefs() / t.Procs(), nil
+	}
+	src, _, err := s.sourceFor(context.Background(), name, false, memory.Geometry{})
+	if err != nil {
+		return 0, err
+	}
+	_, demand, err := trace.CountEvents(src)
+	if err != nil {
+		return 0, err
+	}
+	return demand / src.Procs(), nil
 }
 
 // RenderTable1 formats Table 1.
@@ -614,9 +636,16 @@ func RenderTable5(rows []Table5Row, transfers []int) string {
 // SharingSummary summarizes a workload's sharing profile (supporting data
 // for Table 1 and DESIGN.md).
 func (s *Suite) SharingSummary(name string) (trace.Stats, error) {
-	t, err := s.baseTrace(context.Background(), name, false)
+	if s.cfg.Materialize {
+		t, err := s.baseTrace(context.Background(), name, false)
+		if err != nil {
+			return trace.Stats{}, err
+		}
+		return trace.Summarize(t, memory.DefaultGeometry()), nil
+	}
+	src, _, err := s.sourceFor(context.Background(), name, false, memory.Geometry{})
 	if err != nil {
 		return trace.Stats{}, err
 	}
-	return trace.Summarize(t, memory.DefaultGeometry()), nil
+	return trace.SummarizeSource(src, memory.DefaultGeometry())
 }

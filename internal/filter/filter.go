@@ -1,7 +1,8 @@
 package filter
 
 import (
-	"busprefetch/internal/cache"
+	"math/bits"
+
 	"busprefetch/internal/memory"
 	"busprefetch/internal/trace"
 )
@@ -9,27 +10,99 @@ import (
 // Cache is a uniprocessor cache filter: it reports, for a sequence of
 // accesses, which would miss. It has no coherence; every fill installs the
 // line valid.
+//
+// The filter is the inner loop of prefetch annotation — one Access per
+// trace event — so it keeps only what that loop needs: a flat tag array
+// with per-entry recency stamps, not internal/cache's coherence-state
+// lines. Replacement is the same discipline as cache.Cache's Allocate
+// restricted to always-valid lines (first empty way, else lowest recency,
+// first index winning ties), so the marked miss sequence is bit-identical
+// to the cache-backed filter this replaces.
 type Cache struct {
-	c *cache.Cache
+	ways      int
+	lineShift uint
+	setMask   uint64
+	tags      []uint64 // sets*ways, set-major; tag+1, 0 = empty
+	stamp     []uint64 // recency, parallel to tags
+	clock     uint64
 }
 
-// NewCache returns an empty filter with the given geometry.
+// NewCache returns an empty filter with the given geometry. It panics on an
+// invalid geometry, like cache.New: geometry is static configuration.
 func NewCache(geom memory.Geometry) *Cache {
-	return &Cache{c: cache.New(geom)}
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	n := geom.Sets() * geom.Ways()
+	return &Cache{
+		ways:      geom.Ways(),
+		lineShift: uint(bits.TrailingZeros64(uint64(geom.LineSize))),
+		setMask:   uint64(geom.Sets() - 1),
+		tags:      make([]uint64, n),
+		stamp:     make([]uint64, n),
+	}
 }
 
-// Access touches a and reports whether it missed (and filled).
+// Access touches a and reports whether it missed (and filled). The
+// direct-mapped case — the paper's cache, so nearly every Access in a run —
+// is a single compare-and-store kept small enough to inline; recency stamps
+// are irrelevant with one way per set.
 func (f *Cache) Access(a memory.Addr) (miss bool) {
-	if _, hit := f.c.Probe(a); hit {
-		return false
+	tag := uint64(a) >> f.lineShift
+	if f.ways == 1 {
+		i := int(tag & f.setMask)
+		if f.tags[i] == tag+1 {
+			return false
+		}
+		f.tags[i] = tag + 1
+		return true
 	}
-	line, _ := f.c.Allocate(a)
-	line.State = cache.Exclusive
+	return f.accessAssoc(tag)
+}
+
+// accessAssoc is Access for associative sets: LRU with first-index
+// tie-breaking, matching cache.Cache's Allocate over always-valid lines.
+func (f *Cache) accessAssoc(tag uint64) (miss bool) {
+	si := int(tag&f.setMask) * f.ways
+	set := f.tags[si : si+f.ways]
+	f.clock++
+	for i, t := range set {
+		if t == tag+1 {
+			f.stamp[si+i] = f.clock
+			return false
+		}
+	}
+	victim := -1
+	for i, t := range set {
+		if t == 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < f.ways; i++ {
+			if f.stamp[si+i] < f.stamp[si+victim] {
+				victim = i
+			}
+		}
+	}
+	set[victim] = tag + 1
+	f.stamp[si+victim] = f.clock
 	return true
 }
 
 // Holds reports whether the filter currently holds a's line.
-func (f *Cache) Holds(a memory.Addr) bool { return f.c.HoldsValid(a) }
+func (f *Cache) Holds(a memory.Addr) bool {
+	tag := uint64(a) >> f.lineShift
+	si := int(tag&f.setMask) * f.ways
+	for _, t := range f.tags[si : si+f.ways] {
+		if t == tag+1 {
+			return true
+		}
+	}
+	return false
+}
 
 // MarkMisses runs a processor's stream through a uniprocessor filter with
 // geometry geom and returns a bitmap, indexed by event position, marking the

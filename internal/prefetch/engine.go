@@ -95,6 +95,14 @@ type Prefetcher interface {
 	// simulation time by the Engine, so the replayed stream is exactly
 	// the NP demand stream.
 	Annotate(t *trace.Trace, opt Options) (*trace.Trace, error)
+	// AnnotateSource is Annotate over a streaming trace.Source — the
+	// fused hot path. The oracle returns a transforming source whose
+	// streams are byte-identical to Annotate's output; online
+	// prefetchers return src unchanged (sources are read-only, so no
+	// clone is needed). prof optionally supplies a memoized sharing
+	// profile (computed with opt.Geometry) for the strategies that need
+	// whole-trace knowledge; nil means compute it on demand.
+	AnnotateSource(src trace.Source, opt Options, prof *trace.SharingProfile) (trace.Source, error)
 	// NewEngine returns a fresh per-processor online engine, or nil for
 	// the oracle (which needs none). Engines are stateful and must not be
 	// shared across processors or runs.
@@ -303,6 +311,9 @@ func (oraclePrefetcher) String() string { return Oracle.String() }
 func (oraclePrefetcher) Annotate(t *trace.Trace, opt Options) (*trace.Trace, error) {
 	return Annotate(t, opt)
 }
+func (oraclePrefetcher) AnnotateSource(src trace.Source, opt Options, prof *trace.SharingProfile) (trace.Source, error) {
+	return AnnotateSource(src, opt, prof)
+}
 func (oraclePrefetcher) NewEngine(EngineOptions) Engine { return nil }
 
 // onlinePrefetcher is the shared Prefetcher wrapper for the online
@@ -321,6 +332,19 @@ func (p onlinePrefetcher) Annotate(t *trace.Trace, opt Options) (*trace.Trace, e
 		return nil, fmt.Errorf("prefetch: bad strategy %d", int(opt.Strategy))
 	}
 	return t.Clone(), nil
+}
+
+func (p onlinePrefetcher) AnnotateSource(src trace.Source, opt Options, _ *trace.SharingProfile) (trace.Source, error) {
+	if err := opt.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Strategy < NP || opt.Strategy >= NumStrategies {
+		return nil, fmt.Errorf("prefetch: bad strategy %d", int(opt.Strategy))
+	}
+	// Online engines replay the unmodified demand stream; their
+	// prefetches are issued at simulation time. Sources are read-only,
+	// so the stream passes through without even Annotate's clone.
+	return src, nil
 }
 
 func (p onlinePrefetcher) NewEngine(opt EngineOptions) Engine {

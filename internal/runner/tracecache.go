@@ -51,10 +51,12 @@ type traceEntry struct {
 // Failed generations are memoized too: a broken configuration fails once and
 // every cell that needs it gets the same error.
 type TraceCache struct {
-	mu      sync.Mutex
-	entries map[TraceKey]*traceEntry
-	hits    uint64
-	misses  uint64
+	mu       sync.Mutex
+	entries  map[TraceKey]*traceEntry
+	sources  map[TraceKey]*sourceEntry
+	profiles map[profileKey]*profileEntry
+	hits     uint64
+	misses   uint64
 }
 
 // NewTraceCache returns an empty cache.
@@ -106,6 +108,106 @@ func (c *TraceCache) Get(ctx context.Context, k TraceKey, gen func() (*trace.Tra
 	}
 	close(e.ready)
 	return e.t, e.info, e.err
+}
+
+// sourceEntry is one streaming-source cache slot; ready is closed once
+// src/info/err are immutable.
+type sourceEntry struct {
+	ready chan struct{}
+	src   trace.Source
+	info  workload.Info
+	err   error
+}
+
+// GetSource is Get for streaming sources: gen plans the workload source
+// (layout and sizing, no event generation) at most once per key, and every
+// caller observes the same (Source, Info, error). Sources are restartable
+// and return a fresh iterator per Events call, so one cached source serves
+// any number of concurrent cells. Hits and misses land in the same Stats
+// counters as Get — the cells of a sweep share one accounting whichever
+// path they take.
+//
+// Cancellation follows Get's rules: waiters bail with ctx.Err(), and a
+// generation that fails with a cancellation error is evicted.
+func (c *TraceCache) GetSource(ctx context.Context, k TraceKey, gen func() (trace.Source, workload.Info, error)) (trace.Source, workload.Info, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	k = k.NormalizeGeometry()
+	c.mu.Lock()
+	if c.sources == nil {
+		c.sources = make(map[TraceKey]*sourceEntry)
+	}
+	if e, ok := c.sources[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.src, e.info, e.err
+		case <-ctx.Done():
+			return nil, workload.Info{}, ctx.Err()
+		}
+	}
+	e := &sourceEntry{ready: make(chan struct{})}
+	c.sources[k] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.src, e.info, e.err = gen()
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		c.mu.Lock()
+		if c.sources[k] == e {
+			delete(c.sources, k)
+		}
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.src, e.info, e.err
+}
+
+// profileKey identifies one sharing profile: the trace it describes and
+// the line size it was computed at.
+type profileKey struct {
+	trace TraceKey
+	geom  memory.Geometry
+}
+
+type profileEntry struct {
+	ready chan struct{}
+	prof  *trace.SharingProfile
+	err   error
+}
+
+// SharingProfile memoizes trace.AnalyzeSharingSource(src, geom) per
+// (trace key, geometry) with the same singleflight semantics as Get: the
+// profile pre-pass drains the whole source, so the strategies of one
+// sweep cell family (PWS, EXCL variants) must share one analysis instead
+// of re-deriving it per cell. src must be the un-annotated source for k.
+func (c *TraceCache) SharingProfile(ctx context.Context, k TraceKey, geom memory.Geometry, src trace.Source) (*trace.SharingProfile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pk := profileKey{trace: k.NormalizeGeometry(), geom: geom}
+	c.mu.Lock()
+	if c.profiles == nil {
+		c.profiles = make(map[profileKey]*profileEntry)
+	}
+	if e, ok := c.profiles[pk]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.prof, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &profileEntry{ready: make(chan struct{})}
+	c.profiles[pk] = e
+	c.mu.Unlock()
+
+	e.prof, e.err = trace.AnalyzeSharingSource(src, geom)
+	close(e.ready)
+	return e.prof, e.err
 }
 
 // Stats returns how many Get calls were served from the cache (hits,

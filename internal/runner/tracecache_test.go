@@ -134,6 +134,98 @@ func TestTraceCacheMemoizesErrors(t *testing.T) {
 	}
 }
 
+// TestTraceCacheSourceSingleflight is the streaming twin of
+// TestTraceCacheSingleflight: concurrent GetSource calls for one key plan
+// the source exactly once (misses == 1) and every other caller is a hit —
+// waiters on an in-flight generation count as hits, not misses.
+func TestTraceCacheSourceSingleflight(t *testing.T) {
+	c := NewTraceCache()
+	var generations atomic.Int64
+	const goroutines = 16
+	results := make([]trace.Source, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src, _, err := c.GetSource(context.Background(), testKey("mp3d", false), func() (trace.Source, workload.Info, error) {
+				generations.Add(1)
+				w, err := workload.ByName("mp3d")
+				if err != nil {
+					return nil, workload.Info{}, err
+				}
+				return w.Source(workload.Params{Scale: 0.1, Seed: 1})
+			})
+			if err != nil {
+				t.Errorf("GetSource: %v", err)
+				return
+			}
+			results[i] = src
+		}(i)
+	}
+	wg.Wait()
+	if n := generations.Load(); n != 1 {
+		t.Errorf("%d plans ran, want exactly 1", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if results[i] != results[0] {
+			t.Errorf("goroutine %d got a different source", i)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Errorf("stats = %d hits, %d misses; want %d, 1", hits, misses, goroutines-1)
+	}
+}
+
+// TestTraceCacheSharingProfileSingleflight: the whole-source sharing
+// analysis runs once per (key, geometry) however many cells demand it
+// concurrently, and everyone observes the same profile.
+func TestTraceCacheSharingProfileSingleflight(t *testing.T) {
+	c := NewTraceCache()
+	w, err := workload.ByName("water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _, err := w.Source(workload.Params{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := memory.DefaultGeometry()
+	const goroutines = 8
+	profs := make([]*trace.SharingProfile, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.SharingProfile(context.Background(), testKey("water", false), geom, src)
+			if err != nil {
+				t.Errorf("SharingProfile: %v", err)
+				return
+			}
+			profs[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if profs[i] != profs[0] {
+			t.Errorf("goroutine %d got a different profile", i)
+		}
+	}
+	// A different geometry is a different profile.
+	geom2 := geom
+	geom2.LineSize *= 2
+	geom2.CacheSize *= 2
+	p2, err := c.SharingProfile(context.Background(), testKey("water", false), geom2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == profs[0] {
+		t.Error("distinct geometries shared a profile entry")
+	}
+}
+
 func TestTraceCacheHitRate(t *testing.T) {
 	c := NewTraceCache()
 	if r := c.HitRate(); r != 0 {

@@ -80,6 +80,114 @@ func TestFullCellBodyMatchesSim(t *testing.T) {
 	}
 }
 
+// benchCellSource plans the benchmark cell as a fused streaming pipeline:
+// the mp3d generator feeding the PREF oracle annotator, no materialized
+// trace anywhere.
+func benchCellSource(tb testing.TB) (trace.Source, sim.Config) {
+	tb.Helper()
+	w, err := workload.ByName("mp3d")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	src, _, err := w.Source(workload.Params{Scale: 0.2, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.TransferCycles = 8
+	annotated, err := prefetch.AnnotateSource(src, prefetch.Options{Strategy: prefetch.PREF, Geometry: cfg.Geometry}, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return annotated, cfg
+}
+
+// drainCell drains every processor stream of src to completion, returning
+// the total event count — the generate→annotate hot path with no simulator
+// behind it, which is what the streaming seam itself costs.
+func drainCell(b *testing.B, src trace.Source) int {
+	events := 0
+	for p := 0; p < src.Procs(); p++ {
+		it := src.Events(p)
+		for {
+			chunk, err := it.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if chunk == nil {
+				break
+			}
+			events += len(chunk)
+		}
+		it.Close()
+	}
+	return events
+}
+
+// BenchmarkStreamingCell times the fused generate-into-annotate hot path of
+// the benchmark cell: workload events flow from the mp3d generator through
+// the PREF oracle annotator in pooled fixed-size chunks and are drained at
+// the simulator's seam. This is the producer side every streamed simulation
+// rides on; the perf CI job gates on it regressing more than 10% against
+// bench/baseline.txt.
+func BenchmarkStreamingCell(b *testing.B) {
+	src, _ := benchCellSource(b)
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events += drainCell(b, src)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkMaterializedCell times the pre-fusion producer path of the same
+// cell for comparison: materialize the whole workload trace, then annotate
+// it into a second materialized trace — what every trace-cache miss paid
+// before the streaming seam, and the "before" column of PERFORMANCE.md's
+// fusion table. Not gated in CI; it exists so the streamed/materialized
+// producer comparison stays reproducible with one command.
+func BenchmarkMaterializedCell(b *testing.B) {
+	w, err := workload.ByName("mp3d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base, _, err := w.Generate(workload.Params{Scale: 0.2, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := prefetch.Annotate(base, prefetch.Options{Strategy: prefetch.PREF, Geometry: cfg.Geometry})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += tr.Events()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// TestStreamingCellBodyMatchesSim is BenchmarkStreamingCell's semantic
+// anchor: the streamed cell, simulated, produces a Result byte-identical to
+// the materialized benchmark cell, so the benchmark can never time a
+// pipeline that drifts from what the experiments run.
+func TestStreamingCellBodyMatchesSim(t *testing.T) {
+	src, cfg := benchCellSource(t)
+	streamed, err := sim.RunSource(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, cfg2 := benchCellTrace(t)
+	direct, err := sim.Run(cfg2, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, direct) {
+		t.Errorf("streamed Result differs from materialized path:\nstream: %+v\ndirect: %+v", streamed, direct)
+	}
+}
+
 // BenchmarkInterconnectOverhead times the same full cell across the fabric
 // ladder. The bus variant is the seam-overhead check: it simulates exactly
 // what BenchmarkFullCell simulates, but spelled through the Interconnect

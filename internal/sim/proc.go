@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"busprefetch/internal/bus"
 	"busprefetch/internal/cache"
 	"busprefetch/internal/check"
@@ -61,15 +63,33 @@ type buffered struct {
 	sharers bool
 }
 
-// proc replays one processor's event stream.
+// proc replays one processor's event stream through a chunk cursor:
+// stream is the current chunk, pc the position within it, and base the
+// absolute index of the chunk's first event. A materialized replay sets
+// stream to the whole trace stream and leaves it nil — one chunk, never
+// refilled — so both paths share one run loop and one set of semantics.
 type proc struct {
 	s      *simulator
 	id     int
 	stream trace.Stream
 	cache  *cache.Cache
 	pc     int
+	base   int
 	clock  uint64
 	stats  ProcStats
+
+	// it feeds the cursor in streaming mode; nil means stream is the
+	// whole event stream. srcFailed latches an iterator error or an
+	// inline-validation failure so the processor never advances past it.
+	it        trace.Iterator
+	srcFailed bool
+	// validate enables the inline structural checks of streaming replays
+	// (trace.Validate's rules, enforced as events retire): held tracks
+	// the locks this processor holds, barSeen its barrier arrivals
+	// (checked against simulator.barLog).
+	validate bool
+	held     map[memory.Addr]bool
+	barSeen  int
 
 	// inflight holds the outstanding fetches (at most the prefetch buffer
 	// depth plus one blocked demand fetch — a dozen and change), so lookup
@@ -130,11 +150,10 @@ type proc struct {
 	finished  bool
 }
 
-func newProc(s *simulator, id int, stream trace.Stream) *proc {
+func newProc(s *simulator, id int) *proc {
 	p := &proc{
 		s:      s,
 		id:     id,
-		stream: stream,
 		cache:  cache.New(s.cfg.Geometry),
 		wasted: make(map[memory.Addr]bool),
 		online: s.cfg.Online.NewEngine(s.cfg.Geometry),
@@ -228,11 +247,7 @@ func (p *proc) run(now uint64) {
 	}
 	entry := p.clock
 	for {
-		if p.pc >= len(p.stream) {
-			if !p.finished {
-				p.finished = true
-				p.stats.FinishTime = p.clock
-			}
+		if p.pc >= len(p.stream) && !p.refill() {
 			return
 		}
 		e := p.stream[p.pc]
@@ -267,6 +282,12 @@ func (p *proc) run(now uint64) {
 			blocked = p.unlockOp(e.Addr)
 		case trace.Barrier:
 			blocked = p.barrierOp(e.Addr)
+		default:
+			// Unreachable on a materialized trace (Validate rejects unknown
+			// kinds up front); in streaming mode this is the inline check.
+			p.srcFailed = true
+			p.s.fail(fmt.Errorf("sim: proc %d event %d has unknown kind %d", p.id, p.base+p.pc, int(e.Kind)))
+			return
 		}
 		// The online engine observes each demand reference exactly once,
 		// after its first processing pass — the miss flag is settled by
@@ -279,6 +300,9 @@ func (p *proc) run(now uint64) {
 		if blocked {
 			return
 		}
+		if p.validate && !p.checkRetire(e) {
+			return
+		}
 		p.pc++
 		p.s.progress++
 		p.gapDone, p.refCounted, p.missCounted, p.atBarrier, p.onlineDone = false, false, false, false, false
@@ -287,6 +311,69 @@ func (p *proc) run(now uint64) {
 			return
 		}
 	}
+}
+
+// refill advances the cursor to the next non-empty chunk of the
+// processor's stream. It returns false when no events remain: either
+// the stream is exhausted (the processor finishes, after the end-of-
+// stream validation of streaming mode) or the source failed (the run
+// aborts through the recorded error at the next dispatch).
+func (p *proc) refill() bool {
+	if p.srcFailed {
+		return false
+	}
+	for p.it != nil {
+		chunk, err := p.it.Next()
+		if err != nil {
+			p.srcFailed = true
+			p.s.fail(fmt.Errorf("sim: proc %d event stream: %w", p.id, err))
+			return false
+		}
+		if chunk == nil {
+			p.it = nil
+			break
+		}
+		if len(chunk) == 0 {
+			continue
+		}
+		p.base += len(p.stream)
+		p.stream, p.pc = chunk, 0
+		return true
+	}
+	if p.validate && len(p.held) != 0 {
+		p.srcFailed = true
+		p.s.fail(fmt.Errorf("sim: proc %d stream ends holding %d locks", p.id, len(p.held)))
+		return false
+	}
+	if !p.finished {
+		p.finished = true
+		p.stats.FinishTime = p.clock
+	}
+	return false
+}
+
+// checkRetire enforces the lock-nesting rules of trace.Validate as an
+// event retires in streaming mode (retirement is the one point each
+// event passes exactly once, whatever blocking and retrying preceded
+// it). It returns false when the event violates them; the run aborts.
+func (p *proc) checkRetire(e trace.Event) bool {
+	switch e.Kind {
+	case trace.Lock:
+		if p.held[e.Addr] {
+			p.srcFailed = true
+			p.s.fail(fmt.Errorf("sim: proc %d event %d re-acquires held lock 0x%x", p.id, p.base+p.pc, uint64(e.Addr)))
+			return false
+		}
+		p.held[e.Addr] = true
+	case trace.Unlock:
+		if !p.held[e.Addr] {
+			p.srcFailed = true
+			p.s.fail(fmt.Errorf("sim: proc %d event %d releases unheld lock 0x%x", p.id, p.base+p.pc, uint64(e.Addr)))
+			return false
+		}
+		delete(p.held, e.Addr)
+	}
+	return true
 }
 
 // onlinePC derives the engine's PC proxy from a demand event. The traces
@@ -720,7 +807,12 @@ func (p *proc) writeback(t uint64, la memory.Addr) {
 		req.Reset()
 	} else {
 		r := &bus.Request{}
-		r.OnComplete = func(uint64) { p.wbFree = append(p.wbFree, r) }
+		// A completed writeback is progress: with the bus saturated, the
+		// lowest-priority writeback class starves and backlogs, and on long
+		// traces the post-run drain of that backlog alone can exceed the
+		// watchdog threshold — every processor finished, the bus busy every
+		// cycle — which must not read as a stall.
+		r.OnComplete = func(uint64) { p.s.progress++; p.wbFree = append(p.wbFree, r) }
 		req = r
 	}
 	req.Ready = t
@@ -848,7 +940,7 @@ func (p *proc) prefetchOp(a memory.Addr, excl bool) (blocked bool) {
 // lockOp acquires the FCFS lock at a, performing the acquire's exclusive
 // read-modify-write access to the lock's cache line.
 func (p *proc) lockOp(a memory.Addr) (blocked bool) {
-	ls := &p.s.locks[p.s.lockIdx[a]]
+	ls := &p.s.locks[p.s.lockSlot(a)]
 	switch ls.holder {
 	case p.id:
 		// Granted while waiting (or re-entry after the access blocked).
@@ -885,6 +977,25 @@ func (p *proc) unlockOp(a memory.Addr) (blocked bool) {
 func (p *proc) barrierOp(id memory.Addr) (blocked bool) {
 	if p.atBarrier {
 		return false
+	}
+	if p.validate {
+		// Inline barrier-sequence check (trace.Validate's rule): every
+		// processor's k-th barrier must name the same object as the first
+		// processor to arrive at its own k-th barrier. A mismatch would
+		// deadlock the replay; failing here reports it as the trace bug it
+		// is rather than as a watchdog stall.
+		k := p.barSeen
+		p.barSeen++
+		if k < len(p.s.barLog) {
+			if p.s.barLog[k] != id {
+				p.srcFailed = true
+				p.s.fail(fmt.Errorf("sim: proc %d barrier %d is %d, an earlier arrival had %d",
+					p.id, k, uint64(id), uint64(p.s.barLog[k])))
+				return true
+			}
+		} else {
+			p.s.barLog = append(p.s.barLog, id)
+		}
 	}
 	p.atBarrier = true
 	p.waitStart = p.clock

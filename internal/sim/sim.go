@@ -123,7 +123,8 @@ type Config struct {
 	// WatchdogCycles is the progress watchdog's threshold: the run aborts
 	// with a *check.StallError when this many cycles pass without any
 	// processor making progress (retiring an event, absorbing an instruction
-	// gap, or completing a fetch). Zero selects the 2^20-cycle default. The
+	// gap, completing a fetch, or completing a queued writeback). Zero
+	// selects the 2^20-cycle default. The
 	// watchdog also trips when ~2^20 events dispatch at no cycle cost without
 	// progress (livelock), and when the event queue drains with unfinished
 	// processors (deadlock).
@@ -500,18 +501,76 @@ func RunContext(ctx context.Context, cfg Config, t *trace.Trace) (*Result, error
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	if t.Procs() == 0 {
-		return nil, fmt.Errorf("sim: trace has no processors")
+	if err := checkProcs(t.Procs()); err != nil {
+		return nil, err
 	}
-	if t.Procs() > 64 {
-		return nil, fmt.Errorf("sim: %d processors exceeds the 64-processor limit", t.Procs())
-	}
-	s, err := newSimulator(cfg, t)
+	s, err := newSimulator(cfg, t.Procs())
 	if err != nil {
 		return nil, err
 	}
+	for i, p := range s.procs {
+		p.stream = t.Streams[i]
+	}
 	s.ctx = ctx
 	return s.run()
+}
+
+// RunSource simulates a streaming trace.Source on the configured machine.
+// Events are consumed chunk by chunk as each processor's iterator is
+// drained — nothing is materialized — so a workload source (or an
+// annotated wrapping of one) simulates in constant memory. The result is
+// identical to Run on the materialized equivalent: chunking never affects
+// scheduling, because iterators block until events are available and
+// simulated time comes only from event content.
+//
+// A materialized trace is validated up front; a source cannot be without
+// draining it, so the structural checks trace.Validate performs (known
+// event kinds, matched lock nesting, consistent barrier sequences) run
+// inline during the replay and abort it on the first violation.
+func RunSource(cfg Config, src trace.Source) (*Result, error) {
+	return RunSourceContext(context.Background(), cfg, src)
+}
+
+// RunSourceContext is RunSource under a context (see RunContext). All
+// iterators are closed before it returns, on every path, so abandoned
+// producer goroutines never outlive the run.
+func RunSourceContext(ctx context.Context, cfg Config, src trace.Source) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkProcs(src.Procs()); err != nil {
+		return nil, err
+	}
+	s, err := newSimulator(cfg, src.Procs())
+	if err != nil {
+		return nil, err
+	}
+	iters := make([]trace.Iterator, len(s.procs))
+	defer func() {
+		for _, it := range iters {
+			if it != nil {
+				it.Close()
+			}
+		}
+	}()
+	for i, p := range s.procs {
+		iters[i] = src.Events(i)
+		p.it = iters[i]
+		p.validate = true
+		p.held = make(map[memory.Addr]bool)
+	}
+	s.ctx = ctx
+	return s.run()
+}
+
+func checkProcs(n int) error {
+	if n == 0 {
+		return fmt.Errorf("sim: trace has no processors")
+	}
+	if n > 64 {
+		return fmt.Errorf("sim: %d processors exceeds the 64-processor limit", n)
+	}
+	return nil
 }
 
 // protoTables is the active coherence protocol's state machine flattened
@@ -578,15 +637,21 @@ type simulator struct {
 	// paper's single bus.
 	ic    interconnect.Interconnect
 	procs []*proc
-	// Lock and barrier state lives in dense slices sized by scanning the
-	// trace's synchronization events once at construction; lockIdx/barrIdx
-	// resolve an object's address to its slot. The maps are built once and
-	// never written during the run, so the per-sync-op cost is one integer
-	// map read into a flat table instead of a lazily allocated pointer cell.
+	// Lock and barrier state lives in dense slices; lockIdx/barrIdx resolve
+	// an object's address to its slot, registered lazily on first use
+	// (lockSlot/barrSlot). Lazy registration lets the streaming path run
+	// without a whole-trace pre-scan, and slot order never affects results —
+	// every access goes through the map — so the materialized path is
+	// byte-identical to the pre-scanning simulator it replaces.
 	locks   []lockState
 	barrs   []barrierState
 	lockIdx map[memory.Addr]int32
 	barrIdx map[memory.Addr]int32
+	// barLog is the inline barrier-sequence check of streaming replays: the
+	// k-th arrival value of whichever processor got there first, which every
+	// other processor's k-th barrier must match (trace.Validate's rule,
+	// enforced on the fly because a source cannot be pre-validated).
+	barLog []memory.Addr
 	c       Counters
 	geom    memory.Geometry
 	uncont  uint64 // MemLatency - TransferCycles
@@ -695,7 +760,7 @@ func (s *simulator) stallError(now uint64, reason string) *check.StallError {
 		if p.finished {
 			continue
 		}
-		st := check.ProcStall{Proc: p.id, Event: p.pc, Events: len(p.stream), Wait: check.WaitUnknown, Holder: -1}
+		st := check.ProcStall{Proc: p.id, Event: p.base + p.pc, Events: p.base + len(p.stream), Wait: check.WaitUnknown, Holder: -1}
 		if p.waitingForSlot {
 			st.Wait = check.WaitBufferSlot
 		}
@@ -780,7 +845,7 @@ type barrierState struct {
 	waiting    []int
 }
 
-func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
+func newSimulator(cfg Config, nprocs int) (*simulator, error) {
 	s := &simulator{
 		cfg:            cfg,
 		eng:            &engine{},
@@ -803,32 +868,13 @@ func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
 		sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].Base < s.regions[j].Base })
 		s.regionTallies = make([]RegionMisses, len(s.regions)+1)
 	}
-	// One pass over the trace discovers every lock and barrier object, so
-	// the run works against dense pre-sized state tables instead of growing
-	// maps of pointer cells as objects first appear.
 	s.lockIdx = make(map[memory.Addr]int32)
 	s.barrIdx = make(map[memory.Addr]int32)
-	for _, stream := range t.Streams {
-		for _, e := range stream {
-			switch e.Kind {
-			case trace.Lock, trace.Unlock:
-				if _, ok := s.lockIdx[e.Addr]; !ok {
-					s.lockIdx[e.Addr] = int32(len(s.locks))
-					s.locks = append(s.locks, lockState{addr: e.Addr, holder: -1})
-				}
-			case trace.Barrier:
-				if _, ok := s.barrIdx[e.Addr]; !ok {
-					s.barrIdx[e.Addr] = int32(len(s.barrs))
-					s.barrs = append(s.barrs, barrierState{addr: e.Addr})
-				}
-			}
-		}
-	}
 	icCfg := cfg.Interconnect
 	// Route on line numbers, not raw line addresses: dropping the offset bits
 	// interleaves consecutive lines across links.
 	icCfg.RouteShift = uint(bits.TrailingZeros64(uint64(cfg.Geometry.LineSize)))
-	ic, err := interconnect.New(icCfg, s.eng, t.Procs())
+	ic, err := interconnect.New(icCfg, s.eng, nprocs)
 	if err != nil {
 		return nil, err
 	}
@@ -840,11 +886,35 @@ func newSimulator(cfg Config, t *trace.Trace) (*simulator, error) {
 			rec.BusOccupiedLink(link, grant, occupancy, op.String(), class.String(), proc)
 		})
 	}
-	s.procs = make([]*proc, t.Procs())
+	s.procs = make([]*proc, nprocs)
 	for i := range s.procs {
-		s.procs[i] = newProc(s, i, t.Streams[i])
+		s.procs[i] = newProc(s, i)
 	}
 	return s, nil
+}
+
+// lockSlot returns the dense-slice index of lock a, registering it on
+// first use.
+func (s *simulator) lockSlot(a memory.Addr) int32 {
+	if i, ok := s.lockIdx[a]; ok {
+		return i
+	}
+	i := int32(len(s.locks))
+	s.lockIdx[a] = i
+	s.locks = append(s.locks, lockState{addr: a, holder: -1})
+	return i
+}
+
+// barrSlot returns the dense-slice index of barrier id, registering it
+// on first use.
+func (s *simulator) barrSlot(id memory.Addr) int32 {
+	if i, ok := s.barrIdx[id]; ok {
+		return i
+	}
+	i := int32(len(s.barrs))
+	s.barrIdx[id] = i
+	s.barrs = append(s.barrs, barrierState{addr: id})
+	return i
 }
 
 func (s *simulator) run() (*Result, error) {
@@ -998,7 +1068,7 @@ func (s *simulator) snoopUpdate(now uint64, requester int, la memory.Addr) (shar
 
 // releaseLock hands the lock to the next FCFS waiter, if any, at time now.
 func (s *simulator) releaseLock(a memory.Addr, now uint64) {
-	ls := &s.locks[s.lockIdx[a]]
+	ls := &s.locks[s.lockSlot(a)]
 	if len(ls.queue) == 0 {
 		ls.holder = -1
 		return
@@ -1019,7 +1089,7 @@ func (s *simulator) releaseLock(a memory.Addr, now uint64) {
 // clocks advance asynchronously. It always blocks the caller; the release
 // event re-enters the processor past the barrier.
 func (s *simulator) arriveBarrier(id memory.Addr, p *proc, now uint64) (blocked bool) {
-	bs := &s.barrs[s.barrIdx[id]]
+	bs := &s.barrs[s.barrSlot(id)]
 	bs.arrived++
 	if now > bs.maxArrival {
 		bs.maxArrival = now

@@ -13,12 +13,11 @@ func watchdogSim(t *testing.T) *simulator {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.WatchdogCycles = 100
-	s, err := newSimulator(cfg, &trace.Trace{Streams: []trace.Stream{
-		{{Kind: trace.Read, Addr: 0x1000}},
-	}})
+	s, err := newSimulator(cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	s.procs[0].stream = trace.Stream{{Kind: trace.Read, Addr: 0x1000}}
 	return s
 }
 
@@ -76,9 +75,7 @@ func TestWatchdogLivelockTrips(t *testing.T) {
 
 func TestWatchdogDefaultThreshold(t *testing.T) {
 	cfg := DefaultConfig()
-	s, err := newSimulator(cfg, &trace.Trace{Streams: []trace.Stream{
-		{{Kind: trace.Read, Addr: 0x1000}},
-	}})
+	s, err := newSimulator(cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

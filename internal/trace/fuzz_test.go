@@ -71,6 +71,62 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeSource feeds arbitrary bytes to DecodeSource. It must never
+// panic; it must accept exactly the inputs Decode accepts; and for accepted
+// inputs the streamed events must equal the materialized trace event for
+// event — the two decoders are one format.
+func FuzzDecodeSource(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Encode(&valid, fuzzSeedTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncated mid-stream
+	f.Add([]byte("XXXX\x02\x00\x00\x00"))       // bad magic
+	f.Add([]byte("BPTR\x63"))                   // unsupported version
+	huge := []byte("BPTR\x02\x00\x01")
+	huge = binary.AppendUvarint(huge, maxStreamEvents)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, terr := Decode(bytes.NewReader(data))
+		src, serr := DecodeSource(bytes.NewReader(data))
+		if (terr == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree: Decode err %v, DecodeSource err %v", terr, serr)
+		}
+		if serr != nil {
+			return
+		}
+		if src.Name() != tr.Name || src.Procs() != tr.Procs() {
+			t.Fatalf("source header (%q, %d) != trace header (%q, %d)",
+				src.Name(), src.Procs(), tr.Name, tr.Procs())
+		}
+		for p := 0; p < src.Procs(); p++ {
+			var got Stream
+			it := src.Events(p)
+			for {
+				chunk, err := it.Next()
+				if err != nil {
+					t.Fatalf("proc %d: streamed decode failed after validation: %v", p, err)
+				}
+				if chunk == nil {
+					break
+				}
+				got = append(got, chunk...)
+			}
+			it.Close()
+			if len(got) != len(tr.Streams[p]) {
+				t.Fatalf("proc %d: streamed %d events, materialized %d", p, len(got), len(tr.Streams[p]))
+			}
+			for i := range got {
+				if got[i] != tr.Streams[p][i] {
+					t.Fatalf("proc %d event %d: streamed %+v, materialized %+v", p, i, got[i], tr.Streams[p][i])
+				}
+			}
+		}
+	})
+}
+
 // TestDecodeRejectsBitFlips flips a single bit at every byte offset of a valid
 // version-2 file. Every flip must be rejected — by a structural check or, for
 // bytes the structure cannot see, by the CRC footer — and none may panic.

@@ -167,4 +167,3 @@ func Summarize(t *Trace, geom memory.Geometry) Stats {
 	}
 	return st
 }
-

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"busprefetch/internal/memory"
+)
+
+// AnalyzeSharingSource is AnalyzeSharing over a streaming Source: it
+// drains a fresh iterator per processor and classifies each touched
+// cache line, without materializing the trace. The result is identical
+// to AnalyzeSharing on the materialized trace — line classification
+// only ORs per-processor bits, so it is independent of event order.
+func AnalyzeSharingSource(src Source, geom memory.Geometry) (*SharingProfile, error) {
+	p := &SharingProfile{geom: geom, lines: make(map[memory.Addr]LineUse)}
+	for proc := 0; proc < src.Procs(); proc++ {
+		bit := uint64(1) << uint(proc)
+		it := src.Events(proc)
+		for {
+			chunk, err := it.Next()
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			if chunk == nil {
+				break
+			}
+			for _, e := range chunk {
+				switch e.Kind {
+				case Read:
+					la := geom.LineAddr(e.Addr)
+					u := p.lines[la]
+					u.Readers |= bit
+					p.lines[la] = u
+				case Write, Lock, Unlock:
+					la := geom.LineAddr(e.Addr)
+					u := p.lines[la]
+					u.Readers |= bit
+					u.Writers |= bit
+					p.lines[la] = u
+				}
+			}
+		}
+		it.Close()
+	}
+	return p, nil
+}
+
+// SummarizeSource computes the same whole-trace statistics as Summarize
+// from a streaming Source in a single drain per processor, fusing the
+// event counting and the sharing analysis.
+func SummarizeSource(src Source, geom memory.Geometry) (Stats, error) {
+	st := Stats{Procs: src.Procs()}
+	prof := &SharingProfile{geom: geom, lines: make(map[memory.Addr]LineUse)}
+	for proc := 0; proc < src.Procs(); proc++ {
+		bit := uint64(1) << uint(proc)
+		it := src.Events(proc)
+		for {
+			chunk, err := it.Next()
+			if err != nil {
+				it.Close()
+				return Stats{}, err
+			}
+			if chunk == nil {
+				break
+			}
+			st.Events += len(chunk)
+			for _, e := range chunk {
+				switch e.Kind {
+				case Read:
+					st.Reads++
+					la := geom.LineAddr(e.Addr)
+					u := prof.lines[la]
+					u.Readers |= bit
+					prof.lines[la] = u
+				case Write:
+					st.Writes++
+					la := geom.LineAddr(e.Addr)
+					u := prof.lines[la]
+					u.Readers |= bit
+					u.Writers |= bit
+					prof.lines[la] = u
+				case Prefetch, PrefetchExcl:
+					st.Prefetches++
+				case Lock:
+					st.Locks++
+					la := geom.LineAddr(e.Addr)
+					u := prof.lines[la]
+					u.Readers |= bit
+					u.Writers |= bit
+					prof.lines[la] = u
+				case Unlock:
+					la := geom.LineAddr(e.Addr)
+					u := prof.lines[la]
+					u.Readers |= bit
+					u.Writers |= bit
+					prof.lines[la] = u
+				case Barrier:
+					st.Barriers++
+				}
+			}
+		}
+		it.Close()
+	}
+	st.DemandRefs = st.Reads + st.Writes
+	st.Barriers /= max(1, st.Procs) // count barrier episodes, not arrivals
+	st.TouchedData = prof.TotalLines() * geom.LineSize
+	for _, u := range prof.lines {
+		if popcount(u.Readers|u.Writers) >= 2 {
+			st.SharedData += geom.LineSize
+		}
+		if u.WriteShared() {
+			st.WriteShared += geom.LineSize
+		}
+	}
+	return st, nil
+}

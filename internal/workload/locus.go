@@ -2,7 +2,6 @@ package workload
 
 import (
 	"busprefetch/internal/memory"
-	"busprefetch/internal/trace"
 )
 
 // LocusRoute models the paper's LocusRoute: a commercial-quality VLSI
@@ -31,11 +30,22 @@ func LocusRoute() *Workload {
 		Name:         "locus",
 		Description:  "commercial-quality VLSI standard cell router (SPLASH)",
 		DefaultProcs: 10,
-		generate:     genLocus,
+		plan:         planLocus,
 	}
 }
 
-func genLocus(p Params) (*trace.Trace, Info, error) {
+// locusPlan is the fixed layout and schedule shared by all processors.
+type locusPlan struct {
+	p        Params
+	grid     memory.Region
+	wireLock memory.Region
+	wireCtr  memory.Region
+	stats    memory.Region
+	wireData []memory.Addr
+	wires    int
+}
+
+func planLocus(p Params) (procPlan, Info, error) {
 	ls := p.Geometry.LineSize
 	lay, err := memory.NewLayout(0x5000_0000, ls)
 	if err != nil {
@@ -54,101 +64,10 @@ func genLocus(p Params) (*trace.Trace, Info, error) {
 		wireData[i] = lay.AllocLines("wire-scratch", 4096, false).Base
 	}
 
-	cellAddr := func(row, col int) memory.Addr {
-		return grid.Base + memory.Addr((row*locusGridCols+col)*memory.WordSize)
-	}
-
 	refsPerWire := locusWireLen * (locusTries + 2 + locusPrivate)
 	wires := int(float64(locusRefsPerK*1000) * p.Scale / float64(refsPerWire))
 	if wires < 1 {
 		wires = 1
-	}
-
-	rowsPerProc := locusGridRows / p.Procs
-
-	t := &trace.Trace{Streams: make([]trace.Stream, p.Procs)}
-	for proc := 0; proc < p.Procs; proc++ {
-		r := newRNG(p.Seed, uint64(proc)+401)
-		b := &builder{}
-		scratchWords := 4096 / memory.WordSize
-		sw := 0
-		homeRow := proc * rowsPerProc
-		cursor := r.Intn(locusGridCols - locusWireLen)
-		for w := 0; w < wires; w++ {
-			// Claim the next wire from the shared queue.
-			b.Instr(locusGap)
-			b.Lock(wireLock.Base)
-			b.Instr(2)
-			b.Read(wireCtr.Base)
-			b.Instr(1)
-			b.Write(wireCtr.Base)
-			b.Unlock(wireLock.Base)
-
-			// Geographic partitioning: wires usually land in the
-			// processor's home strip; sometimes they stray into another
-			// processor's region (the write-sharing overlap). Successive
-			// wires cluster around a moving cursor — routing works one
-			// region of the chip at a time — which gives the strong reuse
-			// the real program exhibits.
-			var row int
-			inBand := r.Intn(100) < locusBandPct
-			switch {
-			case inBand:
-				// The congested channel band: two grid rows every
-				// processor routes through. Revisited within a few wires
-				// (so the prefetch filters see good locality and skip it)
-				// but written by everyone — uncoverable invalidation
-				// misses, the router's contended heart.
-				row = r.Intn(2)
-			case r.Intn(100) < locusOverlapPct:
-				row = r.Intn(locusGridRows)
-			default:
-				row = homeRow + r.Intn(rowsPerProc)
-			}
-			if r.Intn(100) < locusJumpPct {
-				cursor = r.Intn(locusGridCols - locusWireLen)
-			} else {
-				cursor += r.Intn(17) - 8
-				if cursor < 0 {
-					cursor = 0
-				}
-				if cursor > locusGridCols-locusWireLen {
-					cursor = locusGridCols - locusWireLen
-				}
-			}
-			col := cursor
-
-			// Evaluate candidate rows: read-only cost sweeps.
-			for try := 0; try < locusTries; try++ {
-				tr := row + try
-				if tr >= locusGridRows {
-					tr -= locusGridRows
-				}
-				for c := 0; c < locusWireLen; c++ {
-					b.Instr(locusGap)
-					b.Read(cellAddr(tr, col+c))
-				}
-			}
-			// Commit the best route: read-modify-write each cell, with
-			// private bookkeeping per cell.
-			for c := 0; c < locusWireLen; c++ {
-				a := cellAddr(row, col+c)
-				b.Instr(locusGap)
-				b.Read(a)
-				for k := 0; k < locusPrivate; k++ {
-					sw = (sw + 3) % scratchWords
-					b.Instr(locusGap)
-					b.Read(wireData[proc] + memory.Addr(sw*memory.WordSize))
-				}
-				b.Instr(locusGap)
-				b.Write(a)
-			}
-			// Update this processor's word of the packed statistics array.
-			sa := stats.Base + memory.Addr(proc*memory.WordSize)
-			b.Instr(locusGap)
-			b.Write(sa) // atomic add: one read-for-ownership
-		}
-		t.Streams[proc] = b.events
 	}
 
 	info := Info{
@@ -157,5 +76,96 @@ func genLocus(p Params) (*trace.Trace, Info, error) {
 		SharedData:  grid.Size + 2*ls,
 		Regions:     lay.Regions(),
 	}
-	return t, info, nil
+	return &locusPlan{
+		p: p, grid: grid, wireLock: wireLock, wireCtr: wireCtr,
+		stats: stats, wireData: wireData, wires: wires,
+	}, info, nil
+}
+
+func (pl *locusPlan) emit(proc int, b *builder) {
+	p := pl.p
+	grid, wireLock, wireCtr, stats, wireData := pl.grid, pl.wireLock, pl.wireCtr, pl.stats, pl.wireData
+	cellAddr := func(row, col int) memory.Addr {
+		return grid.Base + memory.Addr((row*locusGridCols+col)*memory.WordSize)
+	}
+	rowsPerProc := locusGridRows / p.Procs
+	r := newRNG(p.Seed, uint64(proc)+401)
+	scratchWords := 4096 / memory.WordSize
+	sw := 0
+	homeRow := proc * rowsPerProc
+	cursor := r.Intn(locusGridCols - locusWireLen)
+	for w := 0; w < pl.wires; w++ {
+		// Claim the next wire from the shared queue.
+		b.Instr(locusGap)
+		b.Lock(wireLock.Base)
+		b.Instr(2)
+		b.Read(wireCtr.Base)
+		b.Instr(1)
+		b.Write(wireCtr.Base)
+		b.Unlock(wireLock.Base)
+
+		// Geographic partitioning: wires usually land in the
+		// processor's home strip; sometimes they stray into another
+		// processor's region (the write-sharing overlap). Successive
+		// wires cluster around a moving cursor — routing works one
+		// region of the chip at a time — which gives the strong reuse
+		// the real program exhibits.
+		var row int
+		inBand := r.Intn(100) < locusBandPct
+		switch {
+		case inBand:
+			// The congested channel band: two grid rows every
+			// processor routes through. Revisited within a few wires
+			// (so the prefetch filters see good locality and skip it)
+			// but written by everyone — uncoverable invalidation
+			// misses, the router's contended heart.
+			row = r.Intn(2)
+		case r.Intn(100) < locusOverlapPct:
+			row = r.Intn(locusGridRows)
+		default:
+			row = homeRow + r.Intn(rowsPerProc)
+		}
+		if r.Intn(100) < locusJumpPct {
+			cursor = r.Intn(locusGridCols - locusWireLen)
+		} else {
+			cursor += r.Intn(17) - 8
+			if cursor < 0 {
+				cursor = 0
+			}
+			if cursor > locusGridCols-locusWireLen {
+				cursor = locusGridCols - locusWireLen
+			}
+		}
+		col := cursor
+
+		// Evaluate candidate rows: read-only cost sweeps.
+		for try := 0; try < locusTries; try++ {
+			tr := row + try
+			if tr >= locusGridRows {
+				tr -= locusGridRows
+			}
+			for c := 0; c < locusWireLen; c++ {
+				b.Instr(locusGap)
+				b.Read(cellAddr(tr, col+c))
+			}
+		}
+		// Commit the best route: read-modify-write each cell, with
+		// private bookkeeping per cell.
+		for c := 0; c < locusWireLen; c++ {
+			a := cellAddr(row, col+c)
+			b.Instr(locusGap)
+			b.Read(a)
+			for k := 0; k < locusPrivate; k++ {
+				sw = (sw + 3) % scratchWords
+				b.Instr(locusGap)
+				b.Read(wireData[proc] + memory.Addr(sw*memory.WordSize))
+			}
+			b.Instr(locusGap)
+			b.Write(a)
+		}
+		// Update this processor's word of the packed statistics array.
+		sa := stats.Base + memory.Addr(proc*memory.WordSize)
+		b.Instr(locusGap)
+		b.Write(sa) // atomic add: one read-for-ownership
+	}
 }

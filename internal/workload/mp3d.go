@@ -3,7 +3,6 @@ package workload
 import (
 	"busprefetch/internal/memory"
 	"busprefetch/internal/restructure"
-	"busprefetch/internal/trace"
 )
 
 // Mp3d models the SPLASH Mp3d application: rarefied hypersonic particle
@@ -34,13 +33,24 @@ func Mp3d() *Workload {
 		Name:         "mp3d",
 		Description:  "particle flow at extremely low density (SPLASH)",
 		DefaultProcs: 12,
-		generate:     genMp3d,
+		plan:         planMp3d,
 	}
 }
 
 func mp3dOwner(i, procs int) int { return (i / mp3dOwnerGroup) % procs }
 
-func genMp3d(p Params) (*trace.Trace, Info, error) {
+// mp3dPlan is the fixed layout and schedule shared by all processors.
+type mp3dPlan struct {
+	p         Params
+	ls        int
+	particles *restructure.Mapper
+	cellsR    memory.Region
+	counters  memory.Region
+	scratch   []memory.Addr
+	steps     int
+}
+
+func planMp3d(p Params) (procPlan, Info, error) {
 	ls := p.Geometry.LineSize
 	lay, err := memory.NewLayout(0x2000_0000, ls)
 	if err != nil {
@@ -79,72 +89,74 @@ func genMp3d(p Params) (*trace.Trace, Info, error) {
 		steps = 1
 	}
 
-	t := &trace.Trace{Streams: make([]trace.Stream, p.Procs)}
-	for proc := 0; proc < p.Procs; proc++ {
-		r := newRNG(p.Seed, uint64(proc)+101)
-		b := &builder{}
-		for step := 0; step < steps; step++ {
-			for i := 0; i < mp3dParticles; i++ {
-				if mp3dOwner(i, p.Procs) != proc {
-					continue
-				}
-				// Read position/velocity, do the move computation on
-				// private data, write the position back.
-				b.Instr(mp3dGap)
-				b.Read(particles.Word(i, 0))
-				b.Instr(mp3dGap)
-				b.Read(particles.Word(i, 1))
-				for k := 0; k < mp3dPrivate; k++ {
-					a := scratch[proc] + memory.Addr((k%(2048/memory.WordSize))*memory.WordSize)
-					b.Instr(mp3dGap)
-					if k%3 == 2 {
-						b.Write(a)
-					} else {
-						b.Read(a)
-					}
-				}
-				b.Instr(mp3dGap)
-				b.Write(particles.Word(i, 2))
-				// Collisions read a nearby particle: spatially adjacent
-				// records belong to other processors (interleaved
-				// ownership) and were written very recently, so these
-				// reads have good temporal locality — the PWS filter
-				// skips them — yet they still miss on invalidation.
-				if r.Intn(100) < mp3dCollidePct {
-					j := i - 1 - r.Intn(4*mp3dOwnerGroup)
-					if j < 0 {
-						j += mp3dParticles
-					}
-					b.Instr(mp3dGap)
-					b.Read(particles.Word(j, 0))
-				}
-				// Tally the move in the global reservoir counters.
-				if r.Intn(100) < mp3dCounterPct {
-					ctr := counters.Base + memory.Addr(r.Intn(4)*ls)
-					b.Instr(mp3dGap)
-					b.Write(ctr) // atomic add: a single read-for-ownership
-				}
-				// Movement updates the particle's space cell: a
-				// pseudo-random walk over a large, poorly-local array.
-				if r.Intn(100) < mp3dMovePct {
-					c := int((uint64(i)*2654435761 + uint64(step)*40503 + uint64(r.Intn(64))) % mp3dCells)
-					ca := cellsR.Base + memory.Addr(c*memory.WordSize)
-					b.Instr(mp3dGap)
-					b.Read(ca)
-					b.Instr(mp3dGap)
-					b.Write(ca)
-				}
-			}
-			b.Barrier(uint64(step))
-		}
-		t.Streams[proc] = b.events
-	}
-
 	info := Info{
 		Description: "rarefied particle flow, time-stepped with barriers",
 		DataSet:     int(lay.Top() - 0x2000_0000),
 		SharedData:  particles.Size() + cellsR.Size + counters.Size,
 		Regions:     lay.Regions(),
 	}
-	return t, info, nil
+	return &mp3dPlan{
+		p: p, ls: ls, particles: particles, cellsR: cellsR,
+		counters: counters, scratch: scratch, steps: steps,
+	}, info, nil
+}
+
+func (pl *mp3dPlan) emit(proc int, b *builder) {
+	p, ls := pl.p, pl.ls
+	particles, cellsR, counters, scratch := pl.particles, pl.cellsR, pl.counters, pl.scratch
+	r := newRNG(p.Seed, uint64(proc)+101)
+	for step := 0; step < pl.steps; step++ {
+		for i := 0; i < mp3dParticles; i++ {
+			if mp3dOwner(i, p.Procs) != proc {
+				continue
+			}
+			// Read position/velocity, do the move computation on
+			// private data, write the position back.
+			b.Instr(mp3dGap)
+			b.Read(particles.Word(i, 0))
+			b.Instr(mp3dGap)
+			b.Read(particles.Word(i, 1))
+			for k := 0; k < mp3dPrivate; k++ {
+				a := scratch[proc] + memory.Addr((k%(2048/memory.WordSize))*memory.WordSize)
+				b.Instr(mp3dGap)
+				if k%3 == 2 {
+					b.Write(a)
+				} else {
+					b.Read(a)
+				}
+			}
+			b.Instr(mp3dGap)
+			b.Write(particles.Word(i, 2))
+			// Collisions read a nearby particle: spatially adjacent
+			// records belong to other processors (interleaved
+			// ownership) and were written very recently, so these
+			// reads have good temporal locality — the PWS filter
+			// skips them — yet they still miss on invalidation.
+			if r.Intn(100) < mp3dCollidePct {
+				j := i - 1 - r.Intn(4*mp3dOwnerGroup)
+				if j < 0 {
+					j += mp3dParticles
+				}
+				b.Instr(mp3dGap)
+				b.Read(particles.Word(j, 0))
+			}
+			// Tally the move in the global reservoir counters.
+			if r.Intn(100) < mp3dCounterPct {
+				ctr := counters.Base + memory.Addr(r.Intn(4)*ls)
+				b.Instr(mp3dGap)
+				b.Write(ctr) // atomic add: a single read-for-ownership
+			}
+			// Movement updates the particle's space cell: a
+			// pseudo-random walk over a large, poorly-local array.
+			if r.Intn(100) < mp3dMovePct {
+				c := int((uint64(i)*2654435761 + uint64(step)*40503 + uint64(r.Intn(64))) % mp3dCells)
+				ca := cellsR.Base + memory.Addr(c*memory.WordSize)
+				b.Instr(mp3dGap)
+				b.Read(ca)
+				b.Instr(mp3dGap)
+				b.Write(ca)
+			}
+		}
+		b.Barrier(uint64(step))
+	}
 }

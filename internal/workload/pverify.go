@@ -3,7 +3,6 @@ package workload
 import (
 	"busprefetch/internal/memory"
 	"busprefetch/internal/restructure"
-	"busprefetch/internal/trace"
 )
 
 // Pverify models the paper's Pverify: parallel boolean-circuit equivalence
@@ -39,13 +38,25 @@ func Pverify() *Workload {
 		Name:         "pverify",
 		Description:  "boolean circuit equivalence checking",
 		DefaultProcs: 16,
-		generate:     genPverify,
+		plan:         planPverify,
 	}
 }
 
 func pverifyOwner(gate, procs int) int { return gate % procs }
 
-func genPverify(p Params) (*trace.Trace, Info, error) {
+// pverifyPlan is the fixed layout and schedule shared by all processors.
+type pverifyPlan struct {
+	p         Params
+	ls        int
+	values    *restructure.Mapper
+	tally     memory.Region
+	queueLock memory.Region
+	queueCtr  memory.Region
+	tables    []memory.Addr
+	passes    int
+}
+
+func planPverify(p Params) (procPlan, Info, error) {
 	ls := p.Geometry.LineSize
 	lay, err := memory.NewLayout(0x4000_0000, ls)
 	if err != nil {
@@ -89,101 +100,105 @@ func genPverify(p Params) (*trace.Trace, Info, error) {
 		passes = 1
 	}
 
-	t := &trace.Trace{Streams: make([]trace.Stream, p.Procs)}
-	for proc := 0; proc < p.Procs; proc++ {
-		r := newRNG(p.Seed, uint64(proc)+301)
-		b := &builder{}
-		tableWords := 4096 / memory.WordSize
-		tw := 0
-		bar := uint64(0)
-		for pass := 0; pass < passes; pass++ {
-			for level := 0; level < pverifyLevels; level++ {
-				levelBase := level * gatesPerLevel
-				// Claim work in batches through the shared queue.
-				for batch := 0; batch < ownPerLevel; batch += pverifyBatch {
-					b.Instr(pverifyGap)
-					b.Lock(queueLock.Base)
-					b.Instr(2)
-					b.Read(queueCtr.Base)
-					b.Instr(1)
-					b.Write(queueCtr.Base)
-					b.Unlock(queueLock.Base)
-					n := pverifyBatch
-					if batch+n > ownPerLevel {
-						n = ownPerLevel - batch
-					}
-					for g := 0; g < n; g++ {
-						// The gate this processor evaluates: round-robin
-						// within the level, so adjacent gates (adjacent
-						// value words) belong to different processors.
-						gate := levelBase + (batch+g)*p.Procs + proc
-						if gate >= levelBase+gatesPerLevel {
-							gate = levelBase + (gate % gatesPerLevel)
-						}
-						// Read fanins from the preceding gates. Levelized
-						// circuits connect mostly to nearby levels, so one
-						// fanin comes from the immediately preceding gates —
-						// values other processors are writing *right now*,
-						// with good temporal locality (the PWS filter skips
-						// them, leaving their invalidation misses uncovered)
-						// — and the rest from a wider span with poor
-						// temporal locality (PWS prefetches those).
-						for f := 0; f < pverifyFanin; f++ {
-							span := pverifyHotSpan
-							if f == pverifyFanin-1 {
-								span = pverifyFanSpan
-							}
-							if span > pverifyGates {
-								span = pverifyGates
-							}
-							src := gate - 2 - r.Intn(span)
-							if src < 0 {
-								src += pverifyGates
-							}
-							// Multi-bit signals: read the gate's value and
-							// its owner's next value — adjacent within an
-							// owner's block after restructuring, two lines
-							// apart in the original interleaved layout.
-							b.Instr(pverifyGap)
-							b.Read(values.Elem(src))
-							b.Instr(pverifyGap)
-							b.Read(values.Elem((src + p.Procs) % pverifyGates))
-						}
-						// Private truth-table evaluation.
-						for k := 0; k < pverifyPrivate; k++ {
-							tw = (tw + 7) % tableWords
-							a := tables[proc] + memory.Addr(tw*memory.WordSize)
-							b.Instr(pverifyGap)
-							if k%5 == 4 {
-								b.Write(a)
-							} else {
-								b.Read(a)
-							}
-						}
-						b.Instr(pverifyGap)
-						b.Write(values.Elem(gate))
-						// Retire the gate into the level tally.
-						if g%2 == 0 {
-							ta := tally.Base + memory.Addr(level*ls)
-							b.Instr(pverifyGap)
-							b.Write(ta) // atomic add: one read-for-ownership
-						}
-					}
-				}
-			}
-			// One barrier per verification pass; within a pass the work
-			// queue, not barriers, orders the computation.
-			b.Barrier(bar)
-			bar++
-		}
-		t.Streams[proc] = b.events
-	}
-
 	info := Info{
 		Description: "levelized gate evaluation with a shared work queue",
 		DataSet:     int(lay.Top() - 0x4000_0000),
 		SharedData:  values.Size() + 2*ls,
 		Regions:     lay.Regions(),
 	}
-	return t, info, nil
+	return &pverifyPlan{
+		p: p, ls: ls, values: values, tally: tally,
+		queueLock: queueLock, queueCtr: queueCtr, tables: tables, passes: passes,
+	}, info, nil
+}
+
+func (pl *pverifyPlan) emit(proc int, b *builder) {
+	p, ls := pl.p, pl.ls
+	values, tally, queueLock, queueCtr, tables := pl.values, pl.tally, pl.queueLock, pl.queueCtr, pl.tables
+	gatesPerLevel := pverifyGates / pverifyLevels
+	ownPerLevel := gatesPerLevel / p.Procs
+	r := newRNG(p.Seed, uint64(proc)+301)
+	tableWords := 4096 / memory.WordSize
+	tw := 0
+	bar := uint64(0)
+	for pass := 0; pass < pl.passes; pass++ {
+		for level := 0; level < pverifyLevels; level++ {
+			levelBase := level * gatesPerLevel
+			// Claim work in batches through the shared queue.
+			for batch := 0; batch < ownPerLevel; batch += pverifyBatch {
+				b.Instr(pverifyGap)
+				b.Lock(queueLock.Base)
+				b.Instr(2)
+				b.Read(queueCtr.Base)
+				b.Instr(1)
+				b.Write(queueCtr.Base)
+				b.Unlock(queueLock.Base)
+				n := pverifyBatch
+				if batch+n > ownPerLevel {
+					n = ownPerLevel - batch
+				}
+				for g := 0; g < n; g++ {
+					// The gate this processor evaluates: round-robin
+					// within the level, so adjacent gates (adjacent
+					// value words) belong to different processors.
+					gate := levelBase + (batch+g)*p.Procs + proc
+					if gate >= levelBase+gatesPerLevel {
+						gate = levelBase + (gate % gatesPerLevel)
+					}
+					// Read fanins from the preceding gates. Levelized
+					// circuits connect mostly to nearby levels, so one
+					// fanin comes from the immediately preceding gates —
+					// values other processors are writing *right now*,
+					// with good temporal locality (the PWS filter skips
+					// them, leaving their invalidation misses uncovered)
+					// — and the rest from a wider span with poor
+					// temporal locality (PWS prefetches those).
+					for f := 0; f < pverifyFanin; f++ {
+						span := pverifyHotSpan
+						if f == pverifyFanin-1 {
+							span = pverifyFanSpan
+						}
+						if span > pverifyGates {
+							span = pverifyGates
+						}
+						src := gate - 2 - r.Intn(span)
+						if src < 0 {
+							src += pverifyGates
+						}
+						// Multi-bit signals: read the gate's value and
+						// its owner's next value — adjacent within an
+						// owner's block after restructuring, two lines
+						// apart in the original interleaved layout.
+						b.Instr(pverifyGap)
+						b.Read(values.Elem(src))
+						b.Instr(pverifyGap)
+						b.Read(values.Elem((src + p.Procs) % pverifyGates))
+					}
+					// Private truth-table evaluation.
+					for k := 0; k < pverifyPrivate; k++ {
+						tw = (tw + 7) % tableWords
+						a := tables[proc] + memory.Addr(tw*memory.WordSize)
+						b.Instr(pverifyGap)
+						if k%5 == 4 {
+							b.Write(a)
+						} else {
+							b.Read(a)
+						}
+					}
+					b.Instr(pverifyGap)
+					b.Write(values.Elem(gate))
+					// Retire the gate into the level tally.
+					if g%2 == 0 {
+						ta := tally.Base + memory.Addr(level*ls)
+						b.Instr(pverifyGap)
+						b.Write(ta) // atomic add: one read-for-ownership
+					}
+				}
+			}
+		}
+		// One barrier per verification pass; within a pass the work
+		// queue, not barriers, orders the computation.
+		b.Barrier(bar)
+		bar++
+	}
 }

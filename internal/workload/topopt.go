@@ -3,7 +3,6 @@ package workload
 import (
 	"busprefetch/internal/memory"
 	"busprefetch/internal/restructure"
-	"busprefetch/internal/trace"
 )
 
 // Topopt models the paper's Topopt: topological optimization of VLSI
@@ -46,11 +45,24 @@ func Topopt() *Workload {
 		Name:         "topopt",
 		Description:  "VLSI topological optimization via parallel simulated annealing",
 		DefaultProcs: 10,
-		generate:     genTopopt,
+		plan:         planTopopt,
 	}
 }
 
-func genTopopt(p Params) (*trace.Trace, Info, error) {
+// topoptPlan is the fixed layout and schedule shared by all processors.
+type topoptPlan struct {
+	p       Params
+	ls      int
+	cells   *restructure.Mapper
+	locks   memory.Region
+	cost    memory.Region
+	tablesA []memory.Addr
+	tablesB []memory.Addr
+	scratch []memory.Addr
+	moves   int
+}
+
+func planTopopt(p Params) (procPlan, Info, error) {
 	ls := p.Geometry.LineSize
 	lay, err := memory.NewLayout(0x1000_0000, ls)
 	if err != nil {
@@ -122,93 +134,96 @@ func genTopopt(p Params) (*trace.Trace, Info, error) {
 		moves = 1
 	}
 
-	t := &trace.Trace{Streams: make([]trace.Stream, p.Procs)}
-	for proc := 0; proc < p.Procs; proc++ {
-		r := newRNG(p.Seed, uint64(proc)+1)
-		b := &builder{}
-		readCell := func(c int) {
-			b.Instr(topoptGap)
-			b.Read(cells.Word(c, 0))
-			b.Instr(topoptGap)
-			b.Read(cells.Word(c, 1))
-		}
-		// Moves are biased: a processor mostly optimizes its own cells (so
-		// its cells and region locks stay resident and owned), but swap
-		// partners come from anywhere — the cross-processor write sharing.
-		ownCount := topoptCells / p.Procs
-		for m := 0; m < moves; m++ {
-			var c1 int
-			if r.Intn(100) < topoptHomePct {
-				c1 = proc + p.Procs*r.Intn(ownCount)
-			} else {
-				c1 = r.Intn(topoptCells)
-			}
-			var c2 int
-			if r.Intn(100) < topoptHomePct {
-				c2 = proc + p.Procs*r.Intn(ownCount)
-			} else {
-				c2 = r.Intn(topoptCells)
-			}
-			region := c1 % topoptLocks
-			b.Instr(topoptGap)
-			b.Lock(locks.Base + memory.Addr(region*ls))
-			checkCost := m%4 == 3
-			if checkCost {
-				b.Instr(topoptGap)
-				b.Read(cost.Base) // current global cost
-			}
-			readCell(c1)
-			readCell(c2)
-			// One topological neighbour per endpoint — circuit neighbours
-			// belong to the same partition, i.e. the same owner.
-			b.Instr(topoptGap)
-			b.Read(cells.Word((c1+p.Procs*(1+r.Intn(5)))%topoptCells, 0))
-			b.Instr(topoptGap)
-			b.Read(cells.Word((c2+p.Procs*(1+r.Intn(5)))%topoptCells, 0))
-			// Cost evaluation: one colliding pair of table lookups plus
-			// private scratch work.
-			// Table lookups cycle through a small hot window, so they stay
-			// resident — except that in the original layout A[j] and B[j]
-			// share a cache set and evict each other on every move.
-			j := (m * 7) % 512
-			b.Instr(topoptGap)
-			b.Read(tablesA[proc] + memory.Addr(j*memory.WordSize))
-			b.Instr(topoptGap)
-			b.Read(tablesB[proc] + memory.Addr(j*memory.WordSize))
-			for k := 0; k < topoptScratch; k++ {
-				a := scratch[proc] + memory.Addr((k%(2048/memory.WordSize))*memory.WordSize)
-				b.Instr(topoptGap)
-				if k%4 == 3 {
-					b.Write(a)
-				} else {
-					b.Read(a)
-				}
-			}
-			if r.Intn(100) < topoptAcceptPct {
-				// Accept: swap the two cells' placements.
-				b.Instr(topoptGap)
-				b.Write(cells.Word(c1, 0))
-				b.Instr(topoptGap)
-				b.Write(cells.Word(c1, 1))
-				b.Instr(topoptGap)
-				b.Write(cells.Word(c2, 0))
-				b.Instr(topoptGap)
-				b.Write(cells.Word(c2, 1))
-				if checkCost {
-					b.Instr(topoptGap)
-					b.Write(cost.Base) // publish the new global cost
-				}
-			}
-			b.Unlock(locks.Base + memory.Addr(region*ls))
-		}
-		t.Streams[proc] = b.events
-	}
-
 	info := Info{
 		Description: "parallel simulated annealing on a VLSI circuit",
 		DataSet:     int(lay.Top() - 0x1000_0000),
 		SharedData:  cells.Size() + locks.Size + cost.Size,
 		Regions:     lay.Regions(),
 	}
-	return t, info, nil
+	return &topoptPlan{
+		p: p, ls: ls, cells: cells, locks: locks, cost: cost,
+		tablesA: tablesA, tablesB: tablesB, scratch: scratch, moves: moves,
+	}, info, nil
+}
+
+func (pl *topoptPlan) emit(proc int, b *builder) {
+	p, ls := pl.p, pl.ls
+	cells, locks, cost := pl.cells, pl.locks, pl.cost
+	tablesA, tablesB, scratch := pl.tablesA, pl.tablesB, pl.scratch
+	r := newRNG(p.Seed, uint64(proc)+1)
+	readCell := func(c int) {
+		b.Instr(topoptGap)
+		b.Read(cells.Word(c, 0))
+		b.Instr(topoptGap)
+		b.Read(cells.Word(c, 1))
+	}
+	// Moves are biased: a processor mostly optimizes its own cells (so
+	// its cells and region locks stay resident and owned), but swap
+	// partners come from anywhere — the cross-processor write sharing.
+	ownCount := topoptCells / p.Procs
+	for m := 0; m < pl.moves; m++ {
+		var c1 int
+		if r.Intn(100) < topoptHomePct {
+			c1 = proc + p.Procs*r.Intn(ownCount)
+		} else {
+			c1 = r.Intn(topoptCells)
+		}
+		var c2 int
+		if r.Intn(100) < topoptHomePct {
+			c2 = proc + p.Procs*r.Intn(ownCount)
+		} else {
+			c2 = r.Intn(topoptCells)
+		}
+		region := c1 % topoptLocks
+		b.Instr(topoptGap)
+		b.Lock(locks.Base + memory.Addr(region*ls))
+		checkCost := m%4 == 3
+		if checkCost {
+			b.Instr(topoptGap)
+			b.Read(cost.Base) // current global cost
+		}
+		readCell(c1)
+		readCell(c2)
+		// One topological neighbour per endpoint — circuit neighbours
+		// belong to the same partition, i.e. the same owner.
+		b.Instr(topoptGap)
+		b.Read(cells.Word((c1+p.Procs*(1+r.Intn(5)))%topoptCells, 0))
+		b.Instr(topoptGap)
+		b.Read(cells.Word((c2+p.Procs*(1+r.Intn(5)))%topoptCells, 0))
+		// Cost evaluation: one colliding pair of table lookups plus
+		// private scratch work.
+		// Table lookups cycle through a small hot window, so they stay
+		// resident — except that in the original layout A[j] and B[j]
+		// share a cache set and evict each other on every move.
+		j := (m * 7) % 512
+		b.Instr(topoptGap)
+		b.Read(tablesA[proc] + memory.Addr(j*memory.WordSize))
+		b.Instr(topoptGap)
+		b.Read(tablesB[proc] + memory.Addr(j*memory.WordSize))
+		for k := 0; k < topoptScratch; k++ {
+			a := scratch[proc] + memory.Addr((k%(2048/memory.WordSize))*memory.WordSize)
+			b.Instr(topoptGap)
+			if k%4 == 3 {
+				b.Write(a)
+			} else {
+				b.Read(a)
+			}
+		}
+		if r.Intn(100) < topoptAcceptPct {
+			// Accept: swap the two cells' placements.
+			b.Instr(topoptGap)
+			b.Write(cells.Word(c1, 0))
+			b.Instr(topoptGap)
+			b.Write(cells.Word(c1, 1))
+			b.Instr(topoptGap)
+			b.Write(cells.Word(c2, 0))
+			b.Instr(topoptGap)
+			b.Write(cells.Word(c2, 1))
+			if checkCost {
+				b.Instr(topoptGap)
+				b.Write(cost.Base) // publish the new global cost
+			}
+		}
+		b.Unlock(locks.Base + memory.Addr(region*ls))
+	}
 }

@@ -3,7 +3,6 @@ package workload
 import (
 	"busprefetch/internal/memory"
 	"busprefetch/internal/restructure"
-	"busprefetch/internal/trace"
 )
 
 // Water models the SPLASH Water application: forces and potentials in a
@@ -31,11 +30,21 @@ func Water() *Workload {
 		Name:         "water",
 		Description:  "forces and potentials in liquid water (SPLASH)",
 		DefaultProcs: 10,
-		generate:     genWater,
+		plan:         planWater,
 	}
 }
 
-func genWater(p Params) (*trace.Trace, Info, error) {
+// waterPlan is the fixed layout and schedule shared by all processors.
+type waterPlan struct {
+	p          Params
+	mols       *restructure.Mapper
+	energyLock memory.Region
+	energy     memory.Region
+	scratch    []memory.Addr
+	steps      int
+}
+
+func planWater(p Params) (procPlan, Info, error) {
 	ls := p.Geometry.LineSize
 	lay, err := memory.NewLayout(0x3000_0000, ls)
 	if err != nil {
@@ -60,84 +69,11 @@ func genWater(p Params) (*trace.Trace, Info, error) {
 		scratch[i] = lay.AllocLines("scratch", 1024, false).Base
 	}
 
-	// Molecules are block-partitioned: processor p owns the contiguous
-	// range [p*M/P, (p+1)*M/P).
-	ownStart := func(proc int) int { return proc * waterMols / p.Procs }
-	ownEnd := func(proc int) int { return (proc + 1) * waterMols / p.Procs }
-
 	own := waterMols / p.Procs
 	refsPerStep := own*waterSample*(2+waterPrivate) + own*5*waterUpdatePct/100
 	steps := int(float64(waterRefsPerK*1000)*p.Scale) / refsPerStep
 	if steps < 1 {
 		steps = 1
-	}
-
-	t := &trace.Trace{Streams: make([]trace.Stream, p.Procs)}
-	for proc := 0; proc < p.Procs; proc++ {
-		r := newRNG(p.Seed, uint64(proc)+201)
-		b := &builder{}
-		scratchWords := 1024 / memory.WordSize
-		sc := 0
-		for step := 0; step < steps; step++ {
-			// Force phase: for each owned molecule, interact with a sample
-			// of all molecules, reading their positions and accumulating
-			// forces in private storage.
-			// The sweep visits the following molecules in index order (the
-			// triangular O(n^2) interaction loop of the real program), so
-			// each shared line is read several times consecutively — good
-			// temporal locality, one coverable miss per invalidated line.
-			for i := ownStart(proc); i < ownEnd(proc); i++ {
-				// Periodically fold accumulated contributions into the
-				// lock-guarded global energy sum.
-				if i%8 == 7 {
-					b.Instr(waterGap)
-					b.Lock(energyLock.Base)
-					b.Instr(2)
-					b.Read(energy.Base)
-					b.Instr(2)
-					b.Write(energy.Base)
-					b.Unlock(energyLock.Base)
-				}
-				start := r.Intn(waterMols)
-				for k := 0; k < waterSample; k++ {
-					j := (start + k) % waterMols
-					b.Instr(waterGap)
-					b.Read(mols.Word(j, 0))
-					b.Instr(waterGap)
-					b.Read(mols.Word(j, 1))
-					for q := 0; q < waterPrivate; q++ {
-						sc = (sc + 1) % scratchWords
-						a := scratch[proc] + memory.Addr(sc*memory.WordSize)
-						b.Instr(waterGap)
-						if q == waterPrivate-1 {
-							b.Write(a)
-						} else {
-							b.Read(a)
-						}
-					}
-				}
-			}
-			b.Barrier(uint64(step * 2))
-			// Update phase: owners integrate and write the positions of the
-			// molecules that moved appreciably this step.
-			for i := ownStart(proc); i < ownEnd(proc); i++ {
-				if r.Intn(100) >= waterUpdatePct {
-					continue
-				}
-				b.Instr(waterGap)
-				b.Read(mols.Word(i, 3))
-				b.Instr(waterGap)
-				b.Read(mols.Word(i, 4))
-				b.Instr(waterGap)
-				b.Write(mols.Word(i, 0))
-				b.Instr(waterGap)
-				b.Write(mols.Word(i, 1))
-				b.Instr(waterGap)
-				b.Write(mols.Word(i, 2))
-			}
-			b.Barrier(uint64(step*2 + 1))
-		}
-		t.Streams[proc] = b.events
 	}
 
 	info := Info{
@@ -146,5 +82,79 @@ func genWater(p Params) (*trace.Trace, Info, error) {
 		SharedData:  mols.Size() + energyLock.Size + energy.Size,
 		Regions:     lay.Regions(),
 	}
-	return t, info, nil
+	return &waterPlan{
+		p: p, mols: mols, energyLock: energyLock, energy: energy,
+		scratch: scratch, steps: steps,
+	}, info, nil
+}
+
+func (pl *waterPlan) emit(proc int, b *builder) {
+	p := pl.p
+	mols, energyLock, energy, scratch := pl.mols, pl.energyLock, pl.energy, pl.scratch
+	// Molecules are block-partitioned: processor p owns the contiguous
+	// range [p*M/P, (p+1)*M/P).
+	ownStart := func(proc int) int { return proc * waterMols / p.Procs }
+	ownEnd := func(proc int) int { return (proc + 1) * waterMols / p.Procs }
+	r := newRNG(p.Seed, uint64(proc)+201)
+	scratchWords := 1024 / memory.WordSize
+	sc := 0
+	for step := 0; step < pl.steps; step++ {
+		// Force phase: for each owned molecule, interact with a sample
+		// of all molecules, reading their positions and accumulating
+		// forces in private storage.
+		// The sweep visits the following molecules in index order (the
+		// triangular O(n^2) interaction loop of the real program), so
+		// each shared line is read several times consecutively — good
+		// temporal locality, one coverable miss per invalidated line.
+		for i := ownStart(proc); i < ownEnd(proc); i++ {
+			// Periodically fold accumulated contributions into the
+			// lock-guarded global energy sum.
+			if i%8 == 7 {
+				b.Instr(waterGap)
+				b.Lock(energyLock.Base)
+				b.Instr(2)
+				b.Read(energy.Base)
+				b.Instr(2)
+				b.Write(energy.Base)
+				b.Unlock(energyLock.Base)
+			}
+			start := r.Intn(waterMols)
+			for k := 0; k < waterSample; k++ {
+				j := (start + k) % waterMols
+				b.Instr(waterGap)
+				b.Read(mols.Word(j, 0))
+				b.Instr(waterGap)
+				b.Read(mols.Word(j, 1))
+				for q := 0; q < waterPrivate; q++ {
+					sc = (sc + 1) % scratchWords
+					a := scratch[proc] + memory.Addr(sc*memory.WordSize)
+					b.Instr(waterGap)
+					if q == waterPrivate-1 {
+						b.Write(a)
+					} else {
+						b.Read(a)
+					}
+				}
+			}
+		}
+		b.Barrier(uint64(step * 2))
+		// Update phase: owners integrate and write the positions of the
+		// molecules that moved appreciably this step.
+		for i := ownStart(proc); i < ownEnd(proc); i++ {
+			if r.Intn(100) >= waterUpdatePct {
+				continue
+			}
+			b.Instr(waterGap)
+			b.Read(mols.Word(i, 3))
+			b.Instr(waterGap)
+			b.Read(mols.Word(i, 4))
+			b.Instr(waterGap)
+			b.Write(mols.Word(i, 0))
+			b.Instr(waterGap)
+			b.Write(mols.Word(i, 1))
+			b.Instr(waterGap)
+			b.Write(mols.Word(i, 2))
+		}
+		b.Barrier(uint64(step*2 + 1))
+	}
 }

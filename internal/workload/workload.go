@@ -60,6 +60,15 @@ type Info struct {
 	Regions []memory.Region
 }
 
+// procPlan is a workload's fixed layout and schedule: everything the
+// generator computes before the per-processor loop. emit replays one
+// processor's loop body into b; it must be a pure function of (plan,
+// proc) so processors can be generated independently, in any order,
+// concurrently, and repeatedly with identical results.
+type procPlan interface {
+	emit(proc int, b *builder)
+}
+
 // Workload is a named trace generator.
 type Workload struct {
 	// Name is the canonical lower-case name (e.g. "mp3d").
@@ -68,32 +77,81 @@ type Workload struct {
 	Description string
 	// DefaultProcs is the processor count used when Params.Procs is zero.
 	DefaultProcs int
-	generate     func(p Params) (*trace.Trace, Info, error)
+	plan         func(p Params) (procPlan, Info, error)
 }
 
-// Generate builds the trace (and its Info) for the given parameters.
-func (w *Workload) Generate(p Params) (*trace.Trace, Info, error) {
+// planFor validates parameters and computes the workload's plan.
+func (w *Workload) planFor(p Params) (Params, procPlan, Info, error) {
 	p = p.withDefaults(w.DefaultProcs)
 	if p.Scale <= 0 {
-		return nil, Info{}, fmt.Errorf("workload %s: scale %v must be positive", w.Name, p.Scale)
+		return p, nil, Info{}, fmt.Errorf("workload %s: scale %v must be positive", w.Name, p.Scale)
 	}
 	if p.Procs < 2 || p.Procs > 64 {
-		return nil, Info{}, fmt.Errorf("workload %s: procs %d outside [2, 64]", w.Name, p.Procs)
+		return p, nil, Info{}, fmt.Errorf("workload %s: procs %d outside [2, 64]", w.Name, p.Procs)
 	}
 	if err := p.Geometry.Validate(); err != nil {
-		return nil, Info{}, fmt.Errorf("workload %s: %w", w.Name, err)
+		return p, nil, Info{}, fmt.Errorf("workload %s: %w", w.Name, err)
 	}
-	t, info, err := w.generate(p)
+	pl, info, err := w.plan(p)
 	if err != nil {
-		return nil, Info{}, fmt.Errorf("workload %s: %w", w.Name, err)
+		return p, nil, Info{}, fmt.Errorf("workload %s: %w", w.Name, err)
 	}
-	t.Name = w.Name
 	info.Name = w.Name
 	info.Procs = p.Procs
+	return p, pl, info, nil
+}
+
+// Generate builds the materialized trace (and its Info) for the given
+// parameters.
+func (w *Workload) Generate(p Params) (*trace.Trace, Info, error) {
+	p, pl, info, err := w.planFor(p)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	t := &trace.Trace{Name: w.Name, Streams: make([]trace.Stream, p.Procs)}
+	for proc := 0; proc < p.Procs; proc++ {
+		b := &builder{}
+		pl.emit(proc, b)
+		t.Streams[proc] = b.events
+	}
 	if err := t.Validate(); err != nil {
 		return nil, Info{}, fmt.Errorf("workload %s: generated invalid trace: %w", w.Name, err)
 	}
 	return t, info, nil
+}
+
+// Source returns the workload as a streaming trace.Source: planning
+// (layout, sizing) happens up front, but events are produced lazily,
+// chunk by chunk, as each processor's iterator is drained — the no-
+// materialization fast path into the annotator and the simulator. The
+// source is restartable and its streams are byte-identical to
+// Generate's.
+func (w *Workload) Source(p Params) (trace.Source, Info, error) {
+	p, pl, info, err := w.planFor(p)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	return &workloadSource{name: w.Name, procs: p.Procs, plan: pl}, info, nil
+}
+
+type workloadSource struct {
+	name  string
+	procs int
+	plan  procPlan
+}
+
+func (s *workloadSource) Name() string { return s.name }
+
+func (s *workloadSource) Procs() int { return s.procs }
+
+func (s *workloadSource) Events(proc int) trace.Iterator {
+	pl := s.plan
+	return trace.NewPipe(func(flush func([]trace.Event) []trace.Event) error {
+		b := &builder{sink: func(s trace.Stream) trace.Stream { return flush(s) }}
+		pl.emit(proc, b)
+		b.finish()
+		return nil
+	})
 }
 
 // All returns the five workloads in the paper's presentation order.
