@@ -33,6 +33,7 @@
 package busprefetch
 
 import (
+	"context"
 	"fmt"
 
 	"busprefetch/internal/coherence"
@@ -174,6 +175,47 @@ func (s RunSpec) normalize() (RunSpec, error) {
 	return s, nil
 }
 
+// SpecString returns the canonical one-line form of the spec: defaults
+// filled in, names parsed to their canonical case, every field that
+// determines the simulation's result included. Two specs with equal
+// SpecStrings produce byte-identical results (runs are deterministic in the
+// spec), which is what lets the experiment server key its content-addressed
+// result store on it — alongside the build revision — and serve a cached
+// result to any client that resubmits the spec. Invalid specs (unknown
+// workload names excepted, which fail at generation) return the parse error
+// a Run of the same spec would.
+func (s RunSpec) SpecString() (string, error) {
+	s, err := s.normalize()
+	if err != nil {
+		return "", err
+	}
+	strat, err := prefetch.ParseStrategy(s.Strategy)
+	if err != nil {
+		return "", err
+	}
+	pf, err := prefetch.ParsePrefetcher(s.Prefetcher)
+	if err != nil {
+		return "", err
+	}
+	// Run leaves the simulator's default (Illinois) in place for an empty
+	// Protocol; the canonical form names it explicitly.
+	if s.Protocol == "" {
+		s.Protocol = "illinois"
+	}
+	proto, err := coherence.Parse(s.Protocol)
+	if err != nil {
+		return "", err
+	}
+	ic, err := interconnect.ParseConfig(s.Interconnect, s.Buses, s.Discipline)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("wl=%s|strat=%s|pf=%s|t=%d|mem=%d|procs=%d|scale=%g|seed=%d|restr=%t|dist=%d|cache=%d|line=%d|proto=%s|victim=%d|buffer=%t|ic=%s",
+		s.Workload, strat, pf, s.Transfer, s.MemLatency, s.Procs, s.Scale, s.Seed,
+		s.Restructured, s.Distance, s.CacheKB, s.LineBytes, proto, s.VictimCacheLines,
+		s.BufferPrefetch, ic.String()), nil
+}
+
 // MissComponents is the paper's Figure 3 taxonomy, as rates per demand
 // reference.
 type MissComponents struct {
@@ -282,6 +324,13 @@ func overheadFrom(res *sim.Result) float64 {
 // through the prefetch annotator into the simulator in fixed-size chunks,
 // so memory stays flat in the trace length.
 func Run(spec RunSpec) (*Metrics, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run under a context: cancelling ctx aborts the simulation at
+// its next cancellation poll and returns ctx's error. The experiment server
+// uses it to drain in-flight runs on shutdown.
+func RunContext(ctx context.Context, spec RunSpec) (*Metrics, error) {
 	spec, err := spec.normalize()
 	if err != nil {
 		return nil, err
@@ -340,7 +389,7 @@ func Run(spec RunSpec) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunSource(cfg, annotated)
+	res, err := sim.RunSourceContext(ctx, cfg, annotated)
 	if err != nil {
 		return nil, err
 	}

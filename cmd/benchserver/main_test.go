@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestVersionFlag: -version prints the stamped identity and exits clean.
+func TestVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "benchserver ") {
+		t.Errorf("-version printed %q", out.String())
+	}
+}
+
+// TestFlagValidation: bad flag values fail before binding a socket.
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "0"},
+		{"-queue", "-1"},
+		{"-drain-timeout", "0s"},
+		{"positional"},
+		{"-no-such-flag"},
+	} {
+		if err := run(context.Background(), args, &strings.Builder{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestServeAndGracefulExit boots the server on an ephemeral port, exercises
+// a real request over TCP, then cancels the context and expects a clean
+// drain — the SIGINT path end to end.
+func TestServeAndGracefulExit(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := newPipeWriter()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-q"}, pw)
+	}()
+
+	// The startup line names the bound address.
+	line, err := pr.line(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := strings.CutPrefix(strings.TrimSpace(line), "benchserver: listening on http://")
+	if !ok {
+		t.Fatalf("startup line %q", line)
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct{ Status string }
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", resp.StatusCode, hz)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run exited with %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after cancellation")
+	}
+}
+
+// pipeWriter adapts a line-buffered channel to io.Writer for capturing the
+// startup message without racing the server goroutine.
+type pipeWriter struct{ ch chan string }
+
+func newPipeWriter() (*pipeWriter, *pipeWriter) {
+	p := &pipeWriter{ch: make(chan string, 8)}
+	return p, p
+}
+
+func (p *pipeWriter) Write(b []byte) (int, error) {
+	p.ch <- string(b)
+	return len(b), nil
+}
+
+func (p *pipeWriter) line(timeout time.Duration) (string, error) {
+	select {
+	case s := <-p.ch:
+		return s, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("no output within %v", timeout)
+	}
+}

@@ -48,10 +48,12 @@ func TestInternalPackagesHaveDocGo(t *testing.T) {
 // markdownLink matches [text](target) links, including image links.
 var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
-// TestMarkdownLinksResolve checks every relative link in the top-level
-// documents: a renamed or deleted file must break the build, not the reader.
+// TestMarkdownLinksResolve checks every relative link in the tracked
+// documents: a renamed or deleted file must break the build, not the
+// reader. Targets resolve relative to the directory of the document that
+// links them, so docs/ files may link ../README.md and vice versa.
 func TestMarkdownLinksResolve(t *testing.T) {
-	docs := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "PERFORMANCE.md", "ROADMAP.md", "CHANGES.md"}
+	docs := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "PERFORMANCE.md", "ROADMAP.md", "CHANGES.md", "docs/API.md"}
 	for _, doc := range docs {
 		data, err := os.ReadFile(doc)
 		if err != nil {
@@ -70,9 +72,108 @@ func TestMarkdownLinksResolve(t *testing.T) {
 			if target == "" {
 				continue
 			}
-			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+			resolved := filepath.Join(filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s links to %q, which does not exist", doc, m[1])
 			}
+		}
+	}
+}
+
+// flagRegistration matches a flag definition in a CLI main.go:
+// flag.String("name", ...) or fs.Bool("name", ...).
+var flagRegistration = regexp.MustCompile(`(?:flag|fs)\.(?:String|Bool|Int|Int64|Float64|Duration)\("([^"]+)"`)
+
+// cliFlags extracts the set of flags a command registers, from its source.
+func cliFlags(t *testing.T, cmd string) map[string]bool {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join("cmd", cmd, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("cmd/%s: %v (%d files)", cmd, err, len(matches))
+	}
+	flags := make(map[string]bool)
+	for _, path := range matches {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range flagRegistration.FindAllStringSubmatch(string(data), -1) {
+			flags[m[1]] = true
+		}
+	}
+	if len(flags) == 0 {
+		t.Fatalf("cmd/%s registers no flags; the extraction regexp has drifted from the code style", cmd)
+	}
+	return flags
+}
+
+// flagTableRow matches one row of a README flag table whose first cell is
+// the backticked flag name.
+var flagTableRow = regexp.MustCompile("(?m)^\\| `-([^`]+)` \\|(.*)\\|$")
+
+// TestReadmeFlagTablesMatchCLIs pins the README flag documentation to the
+// CLIs' actual flag sets, in both directions: every flag a CLI registers
+// must have a README row with its column checked, and every checked cell
+// must correspond to a registered flag — so adding, removing or renaming a
+// flag without updating the table breaks the build, not the reader.
+func TestReadmeFlagTablesMatchCLIs(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(data)
+
+	// The combined tracegen/prefetchsim/mkfigures table: columns T, P, M.
+	clis := []struct {
+		name   string
+		column int
+	}{{"tracegen", 0}, {"prefetchsim", 1}, {"mkfigures", 2}}
+	documented := map[string]map[string]bool{}
+	for _, c := range clis {
+		documented[c.name] = map[string]bool{}
+	}
+	benchserverDocumented := map[string]bool{}
+	for _, m := range flagTableRow.FindAllStringSubmatch(readme, -1) {
+		name, cells := m[1], strings.Split(m[2], "|")
+		if len(cells) >= 4 {
+			// T/P/M row: flag | T | P | M | meaning.
+			for _, c := range clis {
+				if strings.Contains(cells[c.column], "✓") {
+					documented[c.name][name] = true
+				}
+			}
+		} else {
+			// Two-cell row: the benchserver table (flag | meaning).
+			benchserverDocumented[name] = true
+		}
+	}
+
+	for _, c := range clis {
+		actual := cliFlags(t, c.name)
+		for f := range actual {
+			if !documented[c.name][f] {
+				t.Errorf("README flag table: %s registers -%s but its column is not checked", c.name, f)
+			}
+		}
+		for f := range documented[c.name] {
+			if !actual[f] {
+				t.Errorf("README flag table: %s column checks -%s, which the CLI does not register", c.name, f)
+			}
+		}
+	}
+
+	actual := cliFlags(t, "benchserver")
+	for f := range actual {
+		if !benchserverDocumented[f] {
+			t.Errorf("README benchserver table: missing registered flag -%s", f)
+		}
+	}
+	for f := range benchserverDocumented {
+		if !actual[f] {
+			t.Errorf("README benchserver table documents -%s, which the CLI does not register", f)
 		}
 	}
 }

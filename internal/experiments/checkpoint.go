@@ -62,10 +62,22 @@ func (s *Suite) checkpointsEnabled() bool {
 	return s.cfg.Checkpoints != nil && (s.cfg.PerRun == nil || s.cfg.Salt != "")
 }
 
+// SpecString returns the canonical suite-configuration spec: every
+// Config field that is invariant across a sweep's cells, plus the build
+// revision, in the exact form the checkpoint keys embed. The experiment
+// server keys its content-addressed result store on it (plus the per-request
+// fields a cell key ignores — the transfer sweep and the section list), so
+// two sweeps that agree on the spec share one computation and any code or
+// configuration change misses cleanly instead of resurrecting stale reports.
+func (c Config) SpecString() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("build=%s|salt=%s|scale=%g|seed=%d|mem=%d|proto=%s|pf=%s|ic=%s",
+		buildinfo.Revision(), c.Salt, c.Scale, c.Seed, c.MemLatency, c.Protocol, c.Prefetcher, c.Interconnect.String())
+}
+
 // specPrefix is the suite-wide portion of every checkpoint key.
 func (s *Suite) specPrefix(kind string) string {
-	return fmt.Sprintf("%s|build=%s|salt=%s|scale=%g|seed=%d|mem=%d|proto=%s|pf=%s|ic=%s",
-		kind, buildinfo.Revision(), s.cfg.Salt, s.cfg.Scale, s.cfg.Seed, s.cfg.MemLatency, s.cfg.Protocol, s.cfg.Prefetcher, s.cfg.Interconnect.String())
+	return kind + "|" + s.cfg.SpecString()
 }
 
 // cellKey is the canonical spec string for one grid cell.

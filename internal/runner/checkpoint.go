@@ -44,9 +44,11 @@ type CheckpointStats struct {
 	// Hits and Misses count Get outcomes; Corrupt is the subset of misses
 	// caused by an entry that existed but failed validation (and was
 	// deleted).
-	Hits, Misses, Corrupt uint64
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Corrupt uint64 `json:"corrupt"`
 	// Puts counts successful writes.
-	Puts uint64
+	Puts uint64 `json:"puts"`
 }
 
 // CheckpointStore is an on-disk content-addressed result store. It is safe

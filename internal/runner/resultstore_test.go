@@ -1,0 +1,222 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestResultStoreSingleflight pins the server cache's core economics: N
+// concurrent submissions of one spec run the computation once — misses==1,
+// hits==N-1, every caller observing the identical bytes — exactly the stats
+// law the TraceCache pins for trace generation.
+func TestResultStoreSingleflight(t *testing.T) {
+	s := NewResultStore(nil)
+	const n = 32
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload, hit, err := s.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
+				computes.Add(1)
+				return []byte("report"), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i], hits[i] = payload, hit
+		}(i)
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	nhits := 0
+	for i := range results {
+		if !bytes.Equal(results[i], []byte("report")) {
+			t.Errorf("caller %d got %q", i, results[i])
+		}
+		if hits[i] {
+			nhits++
+		}
+	}
+	if nhits != n-1 {
+		t.Errorf("%d callers reported a hit, want %d", nhits, n-1)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Errorf("stats = %+v, want misses==1, hits==%d", st, n-1)
+	}
+}
+
+// TestResultStoreRevisionChangeInvalidates pins the cache-invalidation
+// discipline: the key embeds the build revision, so a result computed by one
+// build can never be served to another — the new revision's key misses
+// cleanly and recomputes.
+func TestResultStoreRevisionChangeInvalidates(t *testing.T) {
+	disk, err := OpenCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewResultStore(disk)
+	key := func(rev string) string { return fmt.Sprintf("busprefetch-sweep/v1|build=%s|scale=1|seed=1", rev) }
+	compute := func(out string) func(context.Context) ([]byte, error) {
+		return func(context.Context) ([]byte, error) { return []byte(out), nil }
+	}
+	if _, hit, _ := s.Do(context.Background(), key("aaaa0000"), compute("old")); hit {
+		t.Fatal("first compute reported a hit")
+	}
+	if payload, hit, _ := s.Do(context.Background(), key("aaaa0000"), compute("WRONG")); !hit || string(payload) != "old" {
+		t.Fatalf("same revision: hit=%v payload=%q, want cached %q", hit, payload, "old")
+	}
+	payload, hit, _ := s.Do(context.Background(), key("bbbb1111"), compute("new"))
+	if hit {
+		t.Error("revision change was served from cache; stale results resurrected across builds")
+	}
+	if string(payload) != "new" {
+		t.Errorf("new revision got %q, want %q", payload, "new")
+	}
+	if st := s.Stats(); st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 misses (one per revision), 1 hit", st)
+	}
+}
+
+// TestResultStoreDiskRoundTrip proves results survive a restart: a second
+// store over the same directory (fresh memory) serves the payload from disk
+// without recomputation, and counts it as a disk hit.
+func TestResultStoreDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewResultStore(disk)
+	if _, _, err := s1.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
+		return []byte("persisted"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	disk2, err := OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewResultStore(disk2)
+	payload, hit, err := s2.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
+		t.Error("compute ran despite a valid disk entry")
+		return nil, nil
+	})
+	if err != nil || !hit || string(payload) != "persisted" {
+		t.Fatalf("restarted store: payload=%q hit=%v err=%v, want persisted hit", payload, hit, err)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats = %+v, want exactly one disk hit", st)
+	}
+}
+
+// TestResultStoreCorruptEntryQuarantined pins the self-healing path: a
+// bit-flipped persisted result fails the CheckpointStore's CRC on Get, is
+// quarantined (deleted), and the result is recomputed and re-persisted —
+// the store never serves corrupt bytes.
+func TestResultStoreCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewResultStore(disk)
+	if _, _, err := s1.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
+		return []byte("good bytes"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload bit in the single .ckpt entry on disk.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected one persisted entry, got %v (%v)", entries, err)
+	}
+	data, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(entries[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	disk2, err := OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewResultStore(disk2)
+	recomputed := false
+	payload, hit, err := s2.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
+		recomputed = true
+		return []byte("good bytes"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || !recomputed {
+		t.Errorf("corrupt entry served as a hit (hit=%v recomputed=%v)", hit, recomputed)
+	}
+	if string(payload) != "good bytes" {
+		t.Errorf("payload = %q after quarantine", payload)
+	}
+	if st := disk2.Stats(); st.Corrupt != 1 {
+		t.Errorf("checkpoint stats = %+v, want Corrupt==1", st)
+	}
+	// The recomputed result must have landed cleanly where the corrupt one was.
+	if data, ok, _ := disk2.Get("spec|build=r1"); !ok || string(data) != "good bytes" {
+		t.Errorf("re-persisted entry = %q ok=%v, want clean replacement", data, ok)
+	}
+}
+
+// TestResultStoreCancellationNotMemoized mirrors the TraceCache rule: a
+// compute that dies with its caller's cancellation is evicted, so the next
+// caller recomputes instead of inheriting a dead context's failure forever.
+func TestResultStoreCancellationNotMemoized(t *testing.T) {
+	s := NewResultStore(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Do(ctx, "k", func(ctx context.Context) ([]byte, error) {
+		return nil, ctx.Err()
+	}); err == nil {
+		t.Fatal("cancelled compute returned nil error")
+	}
+	payload, hit, err := s.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || hit || string(payload) != "ok" {
+		t.Errorf("after cancellation: payload=%q hit=%v err=%v, want fresh compute", payload, hit, err)
+	}
+}
+
+// TestResultStoreFailureMemoized: a deterministic non-cancellation failure is
+// memoized like TraceCache generation failures — the broken spec fails once
+// and every resubmission gets the same error without recomputation.
+func TestResultStoreFailureMemoized(t *testing.T) {
+	s := NewResultStore(nil)
+	var computes int
+	fail := func(context.Context) ([]byte, error) {
+		computes++
+		return nil, fmt.Errorf("broken spec")
+	}
+	if _, _, err := s.Do(context.Background(), "k", fail); err == nil {
+		t.Fatal("want error")
+	}
+	_, hit, err := s.Do(context.Background(), "k", fail)
+	if err == nil || !hit || computes != 1 {
+		t.Errorf("resubmitted broken spec: hit=%v err=%v computes=%d, want memoized failure", hit, err, computes)
+	}
+}

@@ -1,0 +1,447 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"busprefetch"
+	"busprefetch/internal/buildinfo"
+	"busprefetch/internal/coherence"
+	"busprefetch/internal/experiments"
+	"busprefetch/internal/interconnect"
+	"busprefetch/internal/prefetch"
+	"busprefetch/internal/runner"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is how many jobs (runs or whole sweeps) execute concurrently;
+	// 0 selects 2. Shards is each sweep's internal cell parallelism
+	// (experiments.Config.Parallelism; 0 selects GOMAXPROCS) — the seam a
+	// multi-process deployment would push sweep cells across.
+	Workers int
+	Shards  int
+	// QueueDepth bounds each tenant's queued-plus-running jobs; a submission
+	// beyond it is rejected with 429 and a Retry-After. 0 selects 8.
+	QueueDepth int
+	// Checkpoints, when non-nil, is the durable tier: completed results
+	// persist into it (CRC-framed, quarantined on corruption) and completed
+	// sweep cells checkpoint into it, so both whole results and partial
+	// sweeps survive a restart.
+	Checkpoints *runner.CheckpointStore
+	// Timeout and Retries are each sweep cell's attempt budget
+	// (experiments.Config.Timeout / Retries).
+	Timeout time.Duration
+	Retries int
+	// Logf, when non-nil, receives one line per accepted and finished job.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	return o
+}
+
+// Server is the experiment service: submissions become Jobs on a scheduler,
+// every computation runs through a content-addressed ResultStore keyed by
+// (canonical spec string, build revision), and results stream back as
+// resources and NDJSON event feeds. See docs/API.md for the HTTP surface.
+type Server struct {
+	opts    Options
+	sched   *scheduler
+	results *runner.ResultStore
+
+	seq  atomic.Int64
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+// New creates a Server whose jobs run under ctx: cancelling it aborts every
+// running computation (the drain-deadline path; see Drain).
+func New(ctx context.Context, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:    opts,
+		sched:   newScheduler(ctx, opts.Workers, opts.QueueDepth),
+		results: runner.NewResultStore(opts.Checkpoints),
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// Drain stops accepting submissions (503) and waits for in-flight jobs to
+// finish; see scheduler.Drain for the deadline contract.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// logf logs one line through Options.Logf, when configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// APIError is the wire form of every failure: HTTP-level errors fill the
+// whole response body with {"error": ...}; job-level failures embed it in
+// the job resource. Class carries the runner.Classify taxonomy for
+// compute failures ("terminal" or "retryable, exhausted budget"), so a
+// client knows whether resubmitting the same spec can ever succeed.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Class   string `json:"class,omitempty"`
+}
+
+func (e *APIError) Error() string { return e.Message }
+
+// apiErrorFrom wraps a compute failure with its retry classification.
+func apiErrorFrom(err error) *APIError {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	return &APIError{Code: "compute_failed", Message: err.Error(), Class: runner.Classify(err).String()}
+}
+
+// JobResource is the API representation of a job
+// (GET /v1/{runs,sweeps}/{id}). Result is a RunResult or SweepResult once
+// Status is "done"; Error is set once Status is "failed".
+type JobResource struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	Tenant string          `json:"tenant"`
+	Status string          `json:"status"`
+	Cached bool            `json:"cached"`
+	Spec   json.RawMessage `json:"spec"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *APIError       `json:"error,omitempty"`
+}
+
+// RunRequest is the body of POST /v1/runs: busprefetch.RunSpec field for
+// field, in wire case. Zero values select the same defaults RunSpec does.
+type RunRequest struct {
+	Workload         string  `json:"workload"`
+	Strategy         string  `json:"strategy,omitempty"`
+	Prefetcher       string  `json:"prefetcher,omitempty"`
+	Transfer         int     `json:"transfer,omitempty"`
+	MemLatency       int     `json:"mem_latency,omitempty"`
+	Procs            int     `json:"procs,omitempty"`
+	Scale            float64 `json:"scale,omitempty"`
+	Seed             int64   `json:"seed,omitempty"`
+	Restructured     bool    `json:"restructured,omitempty"`
+	Distance         int     `json:"distance,omitempty"`
+	CacheKB          int     `json:"cache_kb,omitempty"`
+	LineBytes        int     `json:"line_bytes,omitempty"`
+	Protocol         string  `json:"protocol,omitempty"`
+	VictimCacheLines int     `json:"victim_cache_lines,omitempty"`
+	BufferPrefetch   bool    `json:"buffer_prefetch,omitempty"`
+	Interconnect     string  `json:"interconnect,omitempty"`
+	Buses            int     `json:"buses,omitempty"`
+	Discipline       string  `json:"discipline,omitempty"`
+}
+
+func (r RunRequest) spec() busprefetch.RunSpec {
+	return busprefetch.RunSpec{
+		Workload:         r.Workload,
+		Strategy:         r.Strategy,
+		Prefetcher:       r.Prefetcher,
+		Transfer:         r.Transfer,
+		MemLatency:       r.MemLatency,
+		Procs:            r.Procs,
+		Scale:            r.Scale,
+		Seed:             r.Seed,
+		Restructured:     r.Restructured,
+		Distance:         r.Distance,
+		CacheKB:          r.CacheKB,
+		LineBytes:        r.LineBytes,
+		Protocol:         r.Protocol,
+		VictimCacheLines: r.VictimCacheLines,
+		BufferPrefetch:   r.BufferPrefetch,
+		Interconnect:     r.Interconnect,
+		Buses:            r.Buses,
+		Discipline:       r.Discipline,
+	}
+}
+
+// Handler returns the service's HTTP handler (the full /v1 surface).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetJob("run"))
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetJob("sweep"))
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents("run"))
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents("sweep"))
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	return mux
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes an error-only body: {"error": {...}}.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, map[string]*APIError{"error": {Code: code, Message: message}})
+}
+
+// tenant resolves the submission's tenant: the X-Tenant header, or the
+// shared "default" queue.
+func tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// decodeBody strictly decodes the request body into v; unknown fields are a
+// client error (they are almost always a typo'd knob that would otherwise
+// silently revert to its default).
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// submit registers and schedules a new job, mapping admission failures to
+// their statuses, then answers 202 with the job resource (or, under ?wait=1,
+// blocks until the job is terminal and answers 200).
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, j *Job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	if err := s.sched.submit(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		switch {
+		case errors.Is(err, errQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "queue_full",
+				fmt.Sprintf("tenant %q already has %d jobs queued or running; retry shortly", j.tenant, s.opts.QueueDepth))
+		case errors.Is(err, errDraining):
+			writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not accepting new jobs")
+		default:
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		}
+		return
+	}
+	s.logf("accepted %s (tenant %s, key %s)", j.id, j.tenant, j.key)
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.Done():
+			writeJSON(w, http.StatusOK, j.resource())
+		case <-r.Context().Done():
+			// The client gave up; the job keeps running and remains pollable.
+		}
+		return
+	}
+	w.Header().Set("Location", fmt.Sprintf("/v1/%ss/%s", j.kind, j.id))
+	writeJSON(w, http.StatusAccepted, j.resource())
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_body", err.Error())
+		return
+	}
+	spec := req.spec()
+	key, err := runKey(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_spec", err.Error())
+		return
+	}
+	echo, _ := json.Marshal(req)
+	id := fmt.Sprintf("run-%d", s.seq.Add(1))
+	j := newJob(id, "run", tenant(r), echo, key,
+		func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			return s.results.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+				return computeRun(ctx, spec)
+			})
+		})
+	s.submit(w, r, j)
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_body", err.Error())
+		return
+	}
+	plan, err := planSweep(req, s.opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_spec", err.Error())
+		return
+	}
+	key := plan.key()
+	echo, _ := json.Marshal(req)
+	id := fmt.Sprintf("sweep-%d", s.seq.Add(1))
+	j := newJob(id, "sweep", tenant(r), echo, key,
+		func(ctx context.Context, j *Job) ([]byte, bool, error) {
+			return s.results.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+				return computeSweep(ctx, j, plan)
+			})
+		})
+	s.submit(w, r, j)
+}
+
+// job looks a job up by id, kind-checked: a run id is not addressable under
+// /v1/sweeps and vice versa.
+func (s *Server) job(id, kind string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.kind != kind {
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleGetJob(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.job(r.PathValue("id"), kind)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown_id", fmt.Sprintf("no %s with id %q", kind, r.PathValue("id")))
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			select {
+			case <-j.Done():
+			case <-r.Context().Done():
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, j.resource())
+	}
+}
+
+// handleEvents streams a job's progress as NDJSON: one Event per line,
+// flushed as produced, ending after the terminal "done"/"failed" event. A
+// client may connect at any point in the job's life — the stream always
+// replays from the first event, so it is a complete, gapless history.
+func (s *Server) handleEvents(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.job(r.PathValue("id"), kind)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown_id", fmt.Sprintf("no %s with id %q", kind, r.PathValue("id")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		after := 0
+		for {
+			events, terminal := j.eventsAfter(after, r.Context().Done())
+			for _, e := range events {
+				if enc.Encode(e) != nil {
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			after += len(events)
+			if terminal || (len(events) == 0 && r.Context().Err() != nil) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"version":  buildinfo.String("benchserver"),
+		"revision": buildinfo.Revision(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.sched.stats().Draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": status})
+}
+
+// statsResponse is the /v1/stats body: the result store's hit economics,
+// the durable tier's integrity counters, the scheduler's load, and a job
+// census by status.
+type statsResponse struct {
+	Results     runner.ResultStats      `json:"results"`
+	Checkpoints *runner.CheckpointStats `json:"checkpoints,omitempty"`
+	Queue       queueStats              `json:"queue"`
+	Jobs        map[string]int          `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Results: s.results.Stats(),
+		Queue:   s.sched.stats(),
+		Jobs:    map[string]int{},
+	}
+	if s.opts.Checkpoints != nil {
+		cs := s.opts.Checkpoints.Stats()
+		resp.Checkpoints = &cs
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		resp.Jobs[j.resource().Status]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMeta enumerates every valid name a spec field accepts, so clients
+// can build requests without hardcoding the vocabulary.
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	var workloads []map[string]any
+	for _, wl := range busprefetch.Workloads() {
+		workloads = append(workloads, map[string]any{
+			"name": wl.Name, "description": wl.Description, "default_procs": wl.DefaultProcs,
+		})
+	}
+	names := func(n int, at func(i int) string) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = at(i)
+		}
+		return out
+	}
+	protos := coherence.Kinds()
+	ics := interconnect.Kinds()
+	pfs := prefetch.Kinds()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workloads":     workloads,
+		"strategies":    busprefetch.Strategies(),
+		"prefetchers":   names(len(pfs), func(i int) string { return pfs[i].String() }),
+		"protocols":     names(len(protos), func(i int) string { return protos[i].String() }),
+		"interconnects": names(len(ics), func(i int) string { return ics[i].String() }),
+		"disciplines":   []string{"priority", "fcfs"},
+		"sections":      experiments.SectionNames(),
+		"transfers":     experiments.DefaultConfig().Transfers,
+		"workers":       s.opts.Workers,
+		"shards":        s.opts.Shards,
+	})
+}
