@@ -68,6 +68,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		store        = fs.String("store", "", "durable store directory: results and sweep cells persist here across restarts (empty = in-memory only)")
 		timeout      = fs.Duration("timeout", 0, "per-sweep-cell wall-clock budget (0 = none)")
 		retries      = fs.Int("retries", 0, "extra attempts for retryably-failing sweep cells")
+		retain       = fs.Int("retain", 512, "finished job resources kept addressable; older ones are evicted (results stay in the result store)")
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before aborting them")
 		version      = fs.Bool("version", false, "print version and exit")
 		quiet        = fs.Bool("q", false, "suppress per-job log output")
@@ -91,13 +92,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
 	}
+	if *retain <= 0 {
+		return fmt.Errorf("-retain must be positive, got %d", *retain)
+	}
 
 	opts := server.Options{
-		Workers:    *workers,
-		Shards:     *shards,
-		QueueDepth: *queue,
-		Timeout:    *timeout,
-		Retries:    *retries,
+		Workers:      *workers,
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		Timeout:      *timeout,
+		Retries:      *retries,
+		JobRetention: *retain,
 	}
 	if !*quiet {
 		opts.Logf = log.New(os.Stderr, "benchserver: ", log.LstdFlags).Printf

@@ -76,13 +76,22 @@ func (s *ResultStore) Len() int {
 // this call was served without running compute. Callers must treat the
 // returned payload as immutable.
 //
-// Failed computations are memoized (a deterministic spec fails the same way
-// every time; retry policy belongs inside compute) — except cancellations:
-// a compute that fails with the caller's context error is evicted so the
-// next caller recomputes instead of inheriting a dead context's failure, and
-// a waiter whose own ctx fires bails with ctx.Err() while the in-flight
-// computation proceeds for everyone else. Mirrors TraceCache.Get.
-func (s *ResultStore) Do(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, error)) (payload []byte, hit bool, err error) {
+// compute additionally reports whether its payload is cacheable. A
+// non-cacheable success (e.g. a sweep report degraded by tolerated cell
+// failures — valid for the caller, but a later run with a bigger budget
+// could do better) is returned to every caller of this flight but neither
+// memoized nor persisted: the entry is evicted so the next submission
+// recomputes.
+//
+// Terminally-failed computations are memoized (a deterministic spec fails
+// the same way every time; retry policy belongs inside compute). Failures
+// Classify as Retryable — stalls, exhausted timeout budgets — are evicted,
+// matching the "might succeed on resubmission" promise their APIError class
+// makes to clients. Cancellations are likewise evicted so the next caller
+// recomputes instead of inheriting a dead context's failure, and a waiter
+// whose own ctx fires bails with ctx.Err() while the in-flight computation
+// proceeds for everyone else. Mirrors TraceCache.Get.
+func (s *ResultStore) Do(ctx context.Context, key string, compute func(ctx context.Context) (payload []byte, cacheable bool, err error)) (payload []byte, hit bool, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -119,15 +128,28 @@ func (s *ResultStore) Do(ctx context.Context, key string, compute func(ctx conte
 	s.mu.Lock()
 	s.stats.Misses++
 	s.mu.Unlock()
-	e.payload, e.err = compute(ctx)
-	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+	var cacheable bool
+	e.payload, cacheable, e.err = compute(ctx)
+	evict := false
+	switch {
+	case e.err != nil:
+		// Cancellation never describes the spec; retryable failures promise
+		// the client that resubmission might succeed, so honoring that
+		// promise requires actually recomputing.
+		evict = errors.Is(e.err, context.Canceled) ||
+			errors.Is(e.err, context.DeadlineExceeded) ||
+			Classify(e.err) == Retryable
+	case !cacheable:
+		evict = true
+	}
+	if evict {
 		s.mu.Lock()
 		if s.entries[key] == e {
 			delete(s.entries, key)
 		}
 		s.mu.Unlock()
 	}
-	if e.err == nil && s.disk != nil {
+	if e.err == nil && cacheable && s.disk != nil {
 		// Best-effort, like cell checkpoints: a full or read-only volume
 		// must not fail the computation that just succeeded.
 		_ = s.disk.Put(key, e.payload)

@@ -26,9 +26,9 @@ func TestResultStoreSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			payload, hit, err := s.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
+			payload, hit, err := s.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, bool, error) {
 				computes.Add(1)
-				return []byte("report"), nil
+				return []byte("report"), true, nil
 			})
 			if err != nil {
 				t.Errorf("Do: %v", err)
@@ -69,8 +69,8 @@ func TestResultStoreRevisionChangeInvalidates(t *testing.T) {
 	}
 	s := NewResultStore(disk)
 	key := func(rev string) string { return fmt.Sprintf("busprefetch-sweep/v1|build=%s|scale=1|seed=1", rev) }
-	compute := func(out string) func(context.Context) ([]byte, error) {
-		return func(context.Context) ([]byte, error) { return []byte(out), nil }
+	compute := func(out string) func(context.Context) ([]byte, bool, error) {
+		return func(context.Context) ([]byte, bool, error) { return []byte(out), true, nil }
 	}
 	if _, hit, _ := s.Do(context.Background(), key("aaaa0000"), compute("old")); hit {
 		t.Fatal("first compute reported a hit")
@@ -100,8 +100,8 @@ func TestResultStoreDiskRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	s1 := NewResultStore(disk)
-	if _, _, err := s1.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
-		return []byte("persisted"), nil
+	if _, _, err := s1.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, bool, error) {
+		return []byte("persisted"), true, nil
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -111,9 +111,9 @@ func TestResultStoreDiskRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	s2 := NewResultStore(disk2)
-	payload, hit, err := s2.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
+	payload, hit, err := s2.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, bool, error) {
 		t.Error("compute ran despite a valid disk entry")
-		return nil, nil
+		return nil, true, nil
 	})
 	if err != nil || !hit || string(payload) != "persisted" {
 		t.Fatalf("restarted store: payload=%q hit=%v err=%v, want persisted hit", payload, hit, err)
@@ -134,8 +134,8 @@ func TestResultStoreCorruptEntryQuarantined(t *testing.T) {
 		t.Fatal(err)
 	}
 	s1 := NewResultStore(disk)
-	if _, _, err := s1.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
-		return []byte("good bytes"), nil
+	if _, _, err := s1.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, bool, error) {
+		return []byte("good bytes"), true, nil
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -160,9 +160,9 @@ func TestResultStoreCorruptEntryQuarantined(t *testing.T) {
 	}
 	s2 := NewResultStore(disk2)
 	recomputed := false
-	payload, hit, err := s2.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, error) {
+	payload, hit, err := s2.Do(context.Background(), "spec|build=r1", func(context.Context) ([]byte, bool, error) {
 		recomputed = true
-		return []byte("good bytes"), nil
+		return []byte("good bytes"), true, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -189,28 +189,28 @@ func TestResultStoreCancellationNotMemoized(t *testing.T) {
 	s := NewResultStore(nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := s.Do(ctx, "k", func(ctx context.Context) ([]byte, error) {
-		return nil, ctx.Err()
+	if _, _, err := s.Do(ctx, "k", func(ctx context.Context) ([]byte, bool, error) {
+		return nil, false, ctx.Err()
 	}); err == nil {
 		t.Fatal("cancelled compute returned nil error")
 	}
-	payload, hit, err := s.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
-		return []byte("ok"), nil
+	payload, hit, err := s.Do(context.Background(), "k", func(context.Context) ([]byte, bool, error) {
+		return []byte("ok"), true, nil
 	})
 	if err != nil || hit || string(payload) != "ok" {
 		t.Errorf("after cancellation: payload=%q hit=%v err=%v, want fresh compute", payload, hit, err)
 	}
 }
 
-// TestResultStoreFailureMemoized: a deterministic non-cancellation failure is
+// TestResultStoreFailureMemoized: a terminally-classified failure is
 // memoized like TraceCache generation failures — the broken spec fails once
 // and every resubmission gets the same error without recomputation.
 func TestResultStoreFailureMemoized(t *testing.T) {
 	s := NewResultStore(nil)
 	var computes int
-	fail := func(context.Context) ([]byte, error) {
+	fail := func(context.Context) ([]byte, bool, error) {
 		computes++
-		return nil, fmt.Errorf("broken spec")
+		return nil, false, fmt.Errorf("broken spec")
 	}
 	if _, _, err := s.Do(context.Background(), "k", fail); err == nil {
 		t.Fatal("want error")
@@ -218,5 +218,63 @@ func TestResultStoreFailureMemoized(t *testing.T) {
 	_, hit, err := s.Do(context.Background(), "k", fail)
 	if err == nil || !hit || computes != 1 {
 		t.Errorf("resubmitted broken spec: hit=%v err=%v computes=%d, want memoized failure", hit, err, computes)
+	}
+}
+
+// TestResultStoreRetryableFailureEvicted: a failure that classifies as
+// retryable (an exhausted timeout budget, a transient fault) promises the
+// client that resubmission might succeed — so it must not be memoized, or
+// the resubmission would replay the cached error without recomputing until
+// the process restarts.
+func TestResultStoreRetryableFailureEvicted(t *testing.T) {
+	s := NewResultStore(nil)
+	var computes int
+	if _, _, err := s.Do(context.Background(), "k", func(context.Context) ([]byte, bool, error) {
+		computes++
+		return nil, false, &TransientError{Err: fmt.Errorf("injected fault")}
+	}); err == nil {
+		t.Fatal("want error")
+	}
+	payload, hit, err := s.Do(context.Background(), "k", func(context.Context) ([]byte, bool, error) {
+		computes++
+		return []byte("recovered"), true, nil
+	})
+	if err != nil || hit || string(payload) != "recovered" || computes != 2 {
+		t.Errorf("after retryable failure: payload=%q hit=%v err=%v computes=%d, want fresh recompute",
+			payload, hit, err, computes)
+	}
+}
+
+// TestResultStoreUncacheableNotMemoizedOrPersisted: a compute that flags its
+// payload non-cacheable (a sweep degraded by tolerated cell failures) serves
+// that payload to its caller, but neither the memory tier nor the disk tier
+// keeps it — the next submission recomputes, and a restart finds nothing.
+func TestResultStoreUncacheableNotMemoizedOrPersisted(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewResultStore(disk)
+	payload, hit, err := s.Do(context.Background(), "k", func(context.Context) ([]byte, bool, error) {
+		return []byte("degraded"), false, nil
+	})
+	if err != nil || hit || string(payload) != "degraded" {
+		t.Fatalf("uncacheable compute: payload=%q hit=%v err=%v, want the payload served once", payload, hit, err)
+	}
+	if _, ok, _ := disk.Get("k"); ok {
+		t.Error("uncacheable payload was persisted to disk")
+	}
+	payload, hit, err = s.Do(context.Background(), "k", func(context.Context) ([]byte, bool, error) {
+		return []byte("complete"), true, nil
+	})
+	if err != nil || hit || string(payload) != "complete" {
+		t.Errorf("resubmission: payload=%q hit=%v err=%v, want a fresh compute", payload, hit, err)
+	}
+	if st := s.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 misses, 0 hits", st)
+	}
+	if data, ok, _ := disk.Get("k"); !ok || string(data) != "complete" {
+		t.Errorf("disk entry = %q ok=%v, want the cacheable result persisted", data, ok)
 	}
 }

@@ -122,3 +122,82 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition never became true")
 }
+
+// TestDrainAbortFailsQueuedJobs is the reviewer's repro for the shutdown
+// wedge: one worker, one running job (which never finishes on its own) plus
+// one queued job. The drain deadline expires, the base context is cancelled
+// — and the queued job, which no worker will ever pick up, must be failed
+// and retired so the post-abort Drain(Background) returns instead of
+// hanging the process, and so clients blocked on the queued job are
+// released.
+func TestDrainAbortFailsQueuedJobs(t *testing.T) {
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	s := New(base, Options{Workers: 1})
+
+	release := make(chan struct{}) // never closed: jobs only end by abort
+	inject := func(id string) *Job {
+		j := blockingJob(id, "alice", release)
+		s.mu.Lock()
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		w := httptest.NewRecorder()
+		s.submit(w, httptest.NewRequest("POST", "/v1/runs", nil), j)
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("%s: %d", id, w.Code)
+		}
+		return j
+	}
+	running := inject("r1")
+	queued := inject("r2")
+
+	// A client parked on the queued job the way ?wait=1 is.
+	waiterDone := make(chan struct{})
+	go func() { <-queued.Done(); close(waiterDone) }()
+
+	short, cancelShort := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancelShort()
+	if err := s.Drain(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain under deadline = %v, want DeadlineExceeded", err)
+	}
+	cancelBase()
+
+	done := make(chan error, 1)
+	go func() { done <- s.Drain(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("post-abort Drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-abort Drain never returned: queued jobs were not retired")
+	}
+	select {
+	case <-waiterDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client waiting on the queued job was never released")
+	}
+
+	if res := running.resource(); res.Status != StatusFailed {
+		t.Errorf("running job = %s, want failed (aborted through its context)", res.Status)
+	}
+	res := queued.resource()
+	if res.Status != StatusFailed || res.Error == nil || res.Error.Code != "aborted" {
+		t.Fatalf("queued job = %+v, want failed with code aborted", res)
+	}
+	if st := s.sched.stats(); st.Pending != 0 || st.Active != 0 {
+		t.Errorf("scheduler stats = %+v, want fully retired accounting", st)
+	}
+
+	// The scheduler is dead: a late submission must bounce, not enqueue into
+	// a pool with no workers.
+	late := blockingJob("r3", "alice", release)
+	s.mu.Lock()
+	s.jobs[late.id] = late
+	s.mu.Unlock()
+	w := httptest.NewRecorder()
+	s.submit(w, httptest.NewRequest("POST", "/v1/runs", nil), late)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("submit after abort: %d, want 503", w.Code)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sort"
 	"sync"
+
+	"busprefetch/internal/runner"
 )
 
 // Scheduling errors, mapped to HTTP statuses by the handler (429 with a
@@ -30,7 +32,8 @@ type scheduler struct {
 	tenants  []string       // sorted round-robin ring of tenants with pending work
 	next     int            // ring cursor
 	draining bool
-	active   int // jobs admitted and not yet terminal (drain barrier)
+	stopped  bool // base context cancelled: workers are exiting, nothing runs again
+	active   int  // jobs admitted and not yet terminal (drain barrier)
 	idle     chan struct{}
 }
 
@@ -54,9 +57,14 @@ func newScheduler(ctx context.Context, workers, depth int) *scheduler {
 	s.cond = sync.NewCond(&s.mu)
 	// A watcher turns ctx cancellation into a broadcast so parked workers
 	// observe it. Broadcasting under the mutex closes the missed-wakeup
-	// window between a worker's ctx check and its Wait.
+	// window between a worker's ctx check and its Wait. Cancellation also
+	// aborts every still-queued job: workers are about to exit, so nothing
+	// would ever run those jobs, and leaving them admitted would wedge both
+	// Drain (active never reaches 0) and clients blocked on the jobs.
 	context.AfterFunc(ctx, func() {
 		s.mu.Lock()
+		s.stopped = true
+		s.abortPendingLocked()
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	})
@@ -72,7 +80,7 @@ func newScheduler(ctx context.Context, workers, depth int) *scheduler {
 func (s *scheduler) submit(j *Job) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.draining {
+	if s.draining || s.stopped {
 		return errDraining
 	}
 	if s.inflight[j.tenant] >= s.depth {
@@ -108,6 +116,10 @@ func (s *scheduler) take(ctx context.Context) *Job {
 	defer s.mu.Unlock()
 	for {
 		if ctx.Err() != nil {
+			// Belt and suspenders with the AfterFunc watcher: a worker that
+			// observes cancellation retires whatever is still queued before
+			// exiting, so no admitted job can outlive the worker pool.
+			s.abortPendingLocked()
 			return nil
 		}
 		if len(s.tenants) > 0 {
@@ -138,6 +150,13 @@ func (s *scheduler) take(ctx context.Context) *Job {
 func (s *scheduler) finish(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.retireLocked(j)
+	s.cond.Broadcast()
+}
+
+// retireLocked removes one admitted job from the accounting and signals idle
+// when a drain has nothing left to wait for.
+func (s *scheduler) retireLocked(j *Job) {
 	s.inflight[j.tenant]--
 	if s.inflight[j.tenant] == 0 {
 		delete(s.inflight, j.tenant)
@@ -150,7 +169,29 @@ func (s *scheduler) finish(j *Job) {
 			close(s.idle)
 		}
 	}
-	s.cond.Broadcast()
+}
+
+// abortPendingLocked fails and retires every still-queued job. It runs once
+// the scheduler's base context is cancelled (the drain-deadline abort path):
+// no worker will ever pick those jobs up, so failing them here is what
+// releases their ?wait=1 and event-stream clients and lets the accounting
+// reach idle so a post-abort Drain returns. Running jobs are not touched —
+// they observe the same cancellation through their compute contexts and
+// retire through the normal worker path.
+func (s *scheduler) abortPendingLocked() {
+	for t, q := range s.pending {
+		for _, j := range q {
+			j.fail(&APIError{
+				Code:    "aborted",
+				Message: "server shut down before the job ran",
+				Class:   runner.Classify(context.Canceled).String(),
+			})
+			s.retireLocked(j)
+		}
+		delete(s.pending, t)
+	}
+	s.tenants = nil
+	s.next = 0
 }
 
 // work is one worker goroutine: pull, execute, repeat. The job's own
@@ -177,7 +218,10 @@ func (s *scheduler) work(ctx context.Context) {
 // terminal state. Queued jobs still execute — a graceful shutdown finishes
 // accepted work — but if ctx expires first the caller is expected to cancel
 // the scheduler's base context, which aborts running cells through the
-// simulator's cancellation polls; Drain then returns ctx.Err().
+// simulator's cancellation polls and fails every still-queued job (no
+// worker would ever run them again); a subsequent Drain call then observes
+// the accounting reach idle and returns. Drain itself returns ctx.Err()
+// when its deadline expires.
 func (s *scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true

@@ -39,6 +39,12 @@ type Options struct {
 	// (experiments.Config.Timeout / Retries).
 	Timeout time.Duration
 	Retries int
+	// JobRetention caps how many terminal job resources the server keeps
+	// addressable: past it, the oldest-finished jobs are evicted (their ids
+	// answer 404) so an always-on service does not grow without bound. The
+	// evicted results remain reproducible from the result store — resubmit
+	// the spec and it is served as a cache hit. 0 selects 512.
+	JobRetention int
 	// Logf, when non-nil, receives one line per accepted and finished job.
 	Logf func(format string, args ...any)
 }
@@ -49,6 +55,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 8
+	}
+	if o.JobRetention <= 0 {
+		o.JobRetention = 512
 	}
 	return o
 }
@@ -62,9 +71,10 @@ type Server struct {
 	sched   *scheduler
 	results *runner.ResultStore
 
-	seq  atomic.Int64
-	mu   sync.Mutex
-	jobs map[string]*Job
+	seq     atomic.Int64
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	retired []string // terminal job ids in completion order (eviction FIFO)
 }
 
 // New creates a Server whose jobs run under ctx: cancelling it aborts every
@@ -244,6 +254,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, j *Job) {
 		return
 	}
 	s.logf("accepted %s (tenant %s, key %s)", j.id, j.tenant, j.key)
+	go s.retire(j)
 	if r.URL.Query().Get("wait") != "" {
 		select {
 		case <-j.Done():
@@ -273,7 +284,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("run-%d", s.seq.Add(1))
 	j := newJob(id, "run", tenant(r), echo, key,
 		func(ctx context.Context, j *Job) ([]byte, bool, error) {
-			return s.results.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+			return s.results.Do(ctx, key, func(ctx context.Context) ([]byte, bool, error) {
 				return computeRun(ctx, spec)
 			})
 		})
@@ -296,11 +307,27 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("sweep-%d", s.seq.Add(1))
 	j := newJob(id, "sweep", tenant(r), echo, key,
 		func(ctx context.Context, j *Job) ([]byte, bool, error) {
-			return s.results.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+			return s.results.Do(ctx, key, func(ctx context.Context) ([]byte, bool, error) {
 				return computeSweep(ctx, j, plan)
 			})
 		})
 	s.submit(w, r, j)
+}
+
+// retire waits for j to reach a terminal state, then enforces the terminal-
+// job retention cap: j joins the completion-order FIFO and the oldest
+// terminal jobs beyond Options.JobRetention are evicted from the registry.
+// In-flight jobs are never evicted (only terminal ids enter the FIFO), so a
+// poll or event stream can always find a job that is still running.
+func (s *Server) retire(j *Job) {
+	<-j.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > s.opts.JobRetention {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
 }
 
 // job looks a job up by id, kind-checked: a run id is not addressable under

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // testServer builds a Server plus its handler over a cancellable base
@@ -386,4 +387,77 @@ func (s *orderLog) get() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]string(nil), s.log...)
+}
+
+// TestTerminalJobRetentionCap: the job registry does not grow without
+// bound — past Options.JobRetention, the oldest-finished job resources are
+// evicted (404), while newer ones stay addressable. The evicted results are
+// still reproducible: resubmitting the spec hits the result store.
+func TestTerminalJobRetentionCap(t *testing.T) {
+	s, h := testServer(t, Options{Workers: 1, JobRetention: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		req := tinyRun()
+		req.Seed = int64(i + 1) // distinct specs: three real computations
+		var r JobResource
+		if w := do(t, h, "POST", "/v1/runs?wait=1", "", req, &r); w.Code != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, w.Code, w.Body.String())
+		}
+		ids = append(ids, r.ID)
+	}
+	// retire() runs asynchronously after the terminal state; poll for it.
+	waitFor(t, func() bool {
+		return do(t, h, "GET", "/v1/runs/"+ids[0], "", nil, nil).Code == http.StatusNotFound
+	})
+	for _, id := range ids[1:] {
+		if w := do(t, h, "GET", "/v1/runs/"+id, "", nil, nil); w.Code != http.StatusOK {
+			t.Errorf("GET %s after eviction of older job: %d, want 200", id, w.Code)
+		}
+	}
+	// The evicted job's result is still one cache hit away.
+	req := tinyRun()
+	req.Seed = 1
+	var again JobResource
+	do(t, h, "POST", "/v1/runs?wait=1", "", req, &again)
+	if again.Status != StatusDone || !again.Cached {
+		t.Errorf("evicted spec resubmitted = status %s cached %v, want cached done", again.Status, again.Cached)
+	}
+	if st := s.results.Stats(); st.Misses != 3 || st.Hits != 1 {
+		t.Errorf("result-store stats = %+v, want 3 misses + 1 hit", st)
+	}
+}
+
+// TestDegradedSweepNotCached: a sweep whose cells exhaust their
+// timeout/retry budget is tolerated — the report annotates the failures and
+// the submitter gets it — but the degraded payload must not enter the
+// result store, or the incomplete report would be served for that spec
+// forever (even after a restart with a bigger -timeout). Resubmission
+// recomputes instead of hitting.
+func TestDegradedSweepNotCached(t *testing.T) {
+	// A 1ns per-cell budget fails every cell retryably, instantly.
+	s, h := testServer(t, Options{Workers: 1, Timeout: time.Nanosecond})
+	req := SweepRequest{Scale: 0.02, Transfers: []int{8}, Sections: []string{"table2"}}
+	var first JobResource
+	if w := do(t, h, "POST", "/v1/sweeps?wait=1", "", req, &first); w.Code != http.StatusOK {
+		t.Fatalf("submit: %d %s", w.Code, w.Body.String())
+	}
+	if first.Status != StatusDone || first.Cached {
+		t.Fatalf("first = status %s cached %v (error %+v), want uncached done", first.Status, first.Cached, first.Error)
+	}
+	var res SweepResult
+	if err := json.Unmarshal(first.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FailedCells) == 0 {
+		t.Fatal("budget of 1ns produced no failed cells; the test premise is broken")
+	}
+
+	var second JobResource
+	do(t, h, "POST", "/v1/sweeps?wait=1", "", req, &second)
+	if second.Status != StatusDone || second.Cached {
+		t.Errorf("degraded sweep resubmitted = status %s cached %v, want a fresh recompute", second.Status, second.Cached)
+	}
+	if st := s.results.Stats(); st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("result-store stats = %+v, want 2 misses + 0 hits (degraded results evicted)", st)
+	}
 }

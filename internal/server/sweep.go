@@ -146,8 +146,11 @@ func planSweep(req SweepRequest, opts Options) (sweepPlan, error) {
 // suite's canonical spec string (which already embeds the build revision)
 // with the per-request fields the cell keys ignore: the transfer sweep and
 // the rendered section list. Scheduling knobs — shards, timeout, retries —
-// are deliberately absent: they change how fast the sweep runs, never its
-// bytes (pinned by the determinism goldens).
+// are deliberately absent. Shards never change the bytes (pinned by the
+// determinism goldens); timeout and retries can — a cell that exhausts its
+// budget is tolerated and annotated in the report — but such a degraded
+// result is never cached (computeSweep flags it non-cacheable), so every
+// payload stored under this key is the complete, budget-independent report.
 func (p sweepPlan) key() string {
 	cfg := p.cfg
 	sections := p.sections
@@ -167,6 +170,9 @@ func (p sweepPlan) key() string {
 // requested) is the busprefetch-metrics/v1 observability report.
 // FailedCells names any cells that failed after retries; the report
 // annotates them in place, mkfigures-style, rather than failing the sweep.
+// A result carrying FailedCells is served to its submitter but never enters
+// the result store, so a resubmission (perhaps under a bigger -timeout /
+// -retries budget) recomputes the full report.
 type SweepResult struct {
 	Report      string                `json:"report"`
 	Bench       *runner.BenchReport   `json:"bench,omitempty"`
@@ -180,25 +186,31 @@ type SweepResult struct {
 // returns the canonical result JSON. The report field is RenderSections'
 // output plus the trailing newline Fprintln adds, so it is byte-identical to
 // mkfigures stdout.
-func computeSweep(ctx context.Context, j *Job, p sweepPlan) ([]byte, error) {
+//
+// cacheable is false when any cell failed: the degraded report is still a
+// valid answer for the submitting client, but memoizing it would serve an
+// incomplete sweep forever even after a restart with a bigger
+// timeout/retry budget, so the result store drops it and a resubmission
+// recomputes.
+func computeSweep(ctx context.Context, j *Job, p sweepPlan) (payload []byte, cacheable bool, err error) {
 	suite := experiments.NewSuite(p.cfg)
 	start := time.Now()
 	keys := suite.KeysFor(p.want)
 	var cellErrs *experiments.CellErrors
 	if err := suite.Prewarm(ctx, keys, j.progress); err != nil {
 		if !errors.As(err, &cellErrs) {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	text, err := suite.RenderSections(ctx, p.want)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	result := SweepResult{Report: text + "\n", Bench: suite.Bench(time.Since(start))}
 	if p.metrics {
 		cells, err := suite.Observability(ctx, nil)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		cfg := suite.Config()
 		result.Metrics = runner.NewMetricsReport(cfg.Scale, cfg.Seed, experiments.MetricsCells(cells))
@@ -209,7 +221,8 @@ func computeSweep(ctx context.Context, j *Job, p sweepPlan) ([]byte, error) {
 	if cellErrs != nil {
 		result.FailedCells = cellErrs.Failures()
 	}
-	return json.Marshal(result)
+	payload, err = json.Marshal(result)
+	return payload, cellErrs == nil, err
 }
 
 // RunResult is the payload of a completed run job.
@@ -229,10 +242,13 @@ func runKey(spec busprefetch.RunSpec) (string, error) {
 }
 
 // computeRun executes one RunSpec and returns the canonical result JSON.
-func computeRun(ctx context.Context, spec busprefetch.RunSpec) ([]byte, error) {
+// A successful run is always cacheable: it is the complete answer for its
+// spec at any scheduling budget.
+func computeRun(ctx context.Context, spec busprefetch.RunSpec) (payload []byte, cacheable bool, err error) {
 	m, err := busprefetch.RunContext(ctx, spec)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return json.Marshal(RunResult{Metrics: m})
+	payload, err = json.Marshal(RunResult{Metrics: m})
+	return payload, true, err
 }
